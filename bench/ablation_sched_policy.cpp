@@ -1,0 +1,60 @@
+// Experiment A1 (paper §3.3): "a LIFO-strategy is used for the replying to
+// help requests to hide the communication latencies. To avoid starving of
+// microframes, a FIFO-strategy is used momentarily for the local
+// scheduling." This ablation sweeps the help-reply policy against network
+// latency and reports the makespan of the prime search.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace sdvm;
+using bench::kPaperWorkMult;
+using bench::run_primes_sim;
+
+int main() {
+  std::printf("A1: help-reply policy (8 sites, primes p=100 width=20)\n");
+  std::printf("%12s | %12s | %12s | %8s\n", "latency", "LIFO reply",
+              "FIFO reply", "delta");
+  std::printf("--------------------------------------------------------\n");
+
+  for (Nanos latency : {Nanos{100'000}, Nanos{1'000'000}, Nanos{5'000'000},
+                        Nanos{20'000'000}}) {
+    apps::PrimesParams params;
+    params.p = 100;
+    params.width = 20;
+    params.work_mult = kPaperWorkMult / 4;
+
+    sim::SimCluster::Options options;
+    options.link.latency = latency;
+
+    SiteConfig lifo_cfg;
+    lifo_cfg.help_reply = HelpReplyPolicy::kLifo;
+    SiteConfig fifo_cfg;
+    fifo_cfg.help_reply = HelpReplyPolicy::kFifo;
+
+    auto lifo = run_primes_sim(8, params, lifo_cfg, options);
+    auto fifo = run_primes_sim(8, params, fifo_cfg, options);
+    if (!lifo.ok || !fifo.ok) {
+      std::fprintf(stderr, "run failed at latency %lld\n",
+                   static_cast<long long>(latency));
+      return 1;
+    }
+    std::printf("%9.1f ms | %11.2fs | %11.2fs | %+7.2f%%\n",
+                static_cast<double>(latency) / 1e6, lifo.seconds, fifo.seconds,
+                (fifo.seconds / lifo.seconds - 1.0) * 100.0);
+  }
+  std::printf("\nlocal queue policy (same run, FIFO vs LIFO local order):\n");
+  for (auto policy : {LocalSchedPolicy::kFifo, LocalSchedPolicy::kLifo}) {
+    apps::PrimesParams params;
+    params.p = 100;
+    params.width = 20;
+    params.work_mult = kPaperWorkMult / 4;
+    SiteConfig cfg;
+    cfg.local_sched = policy;
+    auto r = run_primes_sim(8, params, cfg);
+    std::printf("  local %-5s : %.2fs\n",
+                policy == LocalSchedPolicy::kFifo ? "FIFO" : "LIFO",
+                r.seconds);
+  }
+  return 0;
+}

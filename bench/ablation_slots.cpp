@@ -1,0 +1,91 @@
+// Experiment P5 (paper §4, processing manager): "When a microthread has to
+// wait for data due to an access to the memory, the processing manager can
+// hide the latency by switching to another microthread run in parallel ...
+// Tests showed that a number of about 5 microthreads run in (virtual)
+// parallel produce good results."
+//
+// Threads mode, two sites, 1 ms link latency. Every task performs a
+// rerouted file read from site 1 (a real blocking round trip for tasks on
+// site 2) followed by a little compute; more executor slots overlap the
+// stalls. Wall-clock makespan vs slot count.
+#include <chrono>
+#include <cstdio>
+
+#include "api/local_cluster.hpp"
+#include "api/program_builder.hpp"
+#include "runtime/context.hpp"
+
+using namespace sdvm;
+
+namespace {
+
+constexpr int kTasks = 48;
+
+ProgramSpec make_io_workload() {
+  ProgramSpec spec;
+  spec.name = "io-stall";
+  spec.entry = "entry";
+  spec.threads.push_back({"entry", "", [](Context& ctx) {
+    GlobalAddress done = ctx.spawn("done", kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+      GlobalAddress t = ctx.spawn("task", 2);
+      ctx.send_int(t, 0, static_cast<std::int64_t>(done.value));
+      ctx.send_int(t, 1, i);
+    }
+  }});
+  spec.threads.push_back({"task", "", [](Context& ctx) {
+    // Blocking remote read: ~2 ms round trip for tasks executing on site 1.
+    std::string blob = ctx.file_read("@2/shared.dat");
+    volatile std::int64_t acc = 0;
+    for (int k = 0; k < 30'000; ++k) acc += k ^ 5;
+    ctx.send_int(GlobalAddress{static_cast<std::uint64_t>(ctx.param_int(0))},
+                 static_cast<int>(ctx.param_int(1)),
+                 static_cast<std::int64_t>(blob.size()) + acc % 2);
+  }});
+  spec.threads.push_back({"done", "", [](Context& ctx) {
+    ctx.exit_program(0);
+  }});
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("P5: executor slots (latency hiding), %d file-read tasks over "
+              "2 sites, 1 ms links\n", kTasks);
+  std::printf("%6s | %10s | %s\n", "slots", "wall time", "speed vs 1 slot");
+  std::printf("---------------------------------------\n");
+
+  double base = 0;
+  for (int slots : {1, 2, 3, 5, 8, 12}) {
+    LocalCluster::Options options;
+    options.link.latency = 1'000'000;  // 1 ms each way
+    LocalCluster cluster(options);
+    SiteConfig cfg;
+    cfg.executor_slots = slots;
+    cfg.help_retry_interval = 500'000;
+    cluster.add_sites(2, cfg);
+    cluster.site(1).io().vfs_put("shared.dat", std::string(512, 'x'));
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto pid = cluster.start_program(make_io_workload());
+    if (!pid.is_ok()) {
+      std::fprintf(stderr, "start failed\n");
+      return 1;
+    }
+    auto code = cluster.wait_program(pid.value(), 300 * kNanosPerSecond);
+    if (!code.is_ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   code.status().to_string().c_str());
+      return 1;
+    }
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    if (slots == 1) base = secs;
+    std::printf("%6d | %9.3fs | %.2fx\n", slots, secs, base / secs);
+  }
+  std::printf("\npaper: ~5 slots is the sweet spot — enough to hide memory "
+              "latency,\nnot so many that switching clogs the site.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared helpers for the SDVM benchmark harness. Table benches run the
+// full daemon stack under the discrete-event simulator, so "time" is
+// virtual seconds on the modeled cluster — the quantity the paper reports.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "apps/primes.hpp"
+#include "sim/sim_cluster.hpp"
+
+namespace sdvm::bench {
+
+struct RunResult {
+  double seconds = 0;       // virtual makespan
+  std::int64_t exit_code = -1;
+  std::uint64_t executed = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t help_requests = 0;
+  bool ok = false;
+};
+
+inline RunResult run_primes_sim(int sites, const apps::PrimesParams& params,
+                                const SiteConfig& base = {},
+                                sim::SimCluster::Options options = {}) {
+  sim::SimCluster cluster(options);
+  cluster.add_sites(sites, /*speed=*/1.0, base);
+  Nanos start = cluster.now();
+  auto pid = cluster.start_program(apps::make_primes_program(params));
+  RunResult r;
+  if (!pid.is_ok()) return r;
+  auto code = cluster.run_program(pid.value(), 100'000 * kNanosPerSecond);
+  if (!code.is_ok()) return r;
+  r.ok = true;
+  r.exit_code = code.value();
+  r.seconds = static_cast<double>(cluster.now() - start) / kNanosPerSecond;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    r.executed += cluster.site(i).processing().executed_total;
+    r.messages += cluster.site(i).messages().sent_count;
+    r.help_requests += cluster.site(i).scheduling().help_requests_sent;
+  }
+  return r;
+}
+
+/// The paper's reference per-candidate cost: chosen so a 1-site run of
+/// p=100/width=10 lands near the paper's 33.9 s on the virtual
+/// "Pentium IV" (speed 1.0).
+inline constexpr std::int64_t kPaperWorkMult = 58'000'000;
+
+}  // namespace sdvm::bench

@@ -1,0 +1,80 @@
+// Experiment A4 (paper §3.4/§3.5): dynamic entry and exit at runtime. A
+// long prime job runs while sites join or sign off mid-flight; the
+// makespan is compared against static clusters of the starting and ending
+// sizes. The paper's claim: the application is "transparently
+// redistributed on the newly structured cluster".
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace sdvm;
+using bench::kPaperWorkMult;
+
+namespace {
+
+apps::PrimesParams job() {
+  apps::PrimesParams p;
+  p.p = 200;
+  p.width = 16;
+  p.work_mult = kPaperWorkMult;
+  return p;
+}
+
+double run_static(int sites) {
+  auto r = bench::run_primes_sim(sites, job());
+  return r.ok ? r.seconds : -1;
+}
+
+double run_with_joiners() {
+  sim::SimCluster cluster;
+  cluster.add_sites(2);
+  Nanos t0 = cluster.now();
+  auto pid = cluster.start_program(apps::make_primes_program(job()));
+  if (!pid.is_ok()) return -1;
+  cluster.loop().run_for(5 * kNanosPerSecond);
+  cluster.add_sites(2);  // cluster grows 2 → 4 mid-run
+  auto code = cluster.run_program(pid.value(), 100'000 * kNanosPerSecond);
+  if (!code.is_ok()) return -1;
+  return static_cast<double>(cluster.now() - t0) / kNanosPerSecond;
+}
+
+double run_with_leavers() {
+  sim::SimCluster cluster;
+  cluster.add_sites(6);
+  Nanos t0 = cluster.now();
+  auto pid = cluster.start_program(apps::make_primes_program(job()));
+  if (!pid.is_ok()) return -1;
+  cluster.loop().run_for(5 * kNanosPerSecond);
+  (void)cluster.sign_off(5);  // cluster shrinks 6 → 4 mid-run
+  (void)cluster.sign_off(4);
+  auto code = cluster.run_program(pid.value(), 100'000 * kNanosPerSecond);
+  if (!code.is_ok()) return -1;
+  return static_cast<double>(cluster.now() - t0) / kNanosPerSecond;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A4: dynamic entry/exit during a long run (primes p=200 "
+              "width=16)\n\n");
+  double s2 = run_static(2);
+  double s4 = run_static(4);
+  double s6 = run_static(6);
+  double grow = run_with_joiners();
+  double shrink = run_with_leavers();
+
+  std::printf("static 2 sites              : %7.1fs\n", s2);
+  std::printf("static 4 sites              : %7.1fs\n", s4);
+  std::printf("static 6 sites              : %7.1fs\n", s6);
+  std::printf("2 sites, +2 join at t=5s    : %7.1fs  (bounded by [4-site, "
+              "2-site])\n", grow);
+  std::printf("6 sites, -2 leave at t=5s   : %7.1fs  (bounded by [6-site, "
+              "4-site])\n", shrink);
+
+  bool grow_ok = grow > s4 * 0.95 && grow < s2 * 1.05;
+  bool shrink_ok = shrink > s6 * 0.95 && shrink < s4 * 1.10;
+  std::printf("\nadaptation works: growth %s, shrink %s\n",
+              grow_ok ? "within bounds" : "OUT OF BOUNDS",
+              shrink_ok ? "within bounds" : "OUT OF BOUNDS");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Experiment S1: scalability of the decentralized runtime (paper §2.2:
+// "the cluster is essentially scalable to any desired size" because "no
+// structure-related bottlenecks may occur"). Speedup and efficiency of the
+// prime search over 1..16 sites, for a narrow and a wide window.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using sdvm::apps::PrimesParams;
+using sdvm::bench::kPaperWorkMult;
+using sdvm::bench::run_primes_sim;
+
+int main() {
+  std::printf("S1: scaling the cluster (primes p=200, virtual seconds)\n");
+  std::printf("%6s | %12s %8s %6s | %12s %8s %6s\n", "sites", "width=10",
+              "speedup", "eff", "width=32", "speedup", "eff");
+  std::printf("---------------------------------------------------------------\n");
+
+  double base10 = 0, base32 = 0;
+  for (int sites : {1, 2, 4, 8, 12, 16}) {
+    PrimesParams narrow;
+    narrow.p = 200;
+    narrow.width = 10;
+    narrow.work_mult = kPaperWorkMult;
+    PrimesParams wide = narrow;
+    wide.width = 32;
+
+    auto r10 = run_primes_sim(sites, narrow);
+    auto r32 = run_primes_sim(sites, wide);
+    if (!r10.ok || !r32.ok) {
+      std::fprintf(stderr, "run failed at %d sites\n", sites);
+      return 1;
+    }
+    if (sites == 1) {
+      base10 = r10.seconds;
+      base32 = r32.seconds;
+    }
+    std::printf("%6d | %11.1fs %8.2f %5.0f%% | %11.1fs %8.2f %5.0f%%\n",
+                sites, r10.seconds, base10 / r10.seconds,
+                100.0 * base10 / r10.seconds / sites, r32.seconds,
+                base32 / r32.seconds, 100.0 * base32 / r32.seconds / sites);
+  }
+  std::printf("\nexpected shape: speedup saturates at ~width/ceil(width/sites)"
+              " (round barrier);\nwider windows keep more sites busy.\n");
+  return 0;
+}

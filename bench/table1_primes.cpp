@@ -1,0 +1,66 @@
+// Reproduces Table 1 of the paper: "Exemplary speedup of the SDVM".
+// Parallel search for the first p primes, width candidates in flight per
+// round, on clusters of 1/4/8 identical (speed 1.0) sites.
+//
+//   paper row format:  p  width  1site  4sites(speedup)  8sites(speedup)
+//
+// Times are virtual seconds on the simulated cluster; the per-candidate
+// compute cost is calibrated so the 1-site column lands near the paper's
+// Pentium-IV numbers (see EXPERIMENTS.md for the paper-vs-measured table).
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.hpp"
+
+using sdvm::apps::PrimesParams;
+using sdvm::bench::kPaperWorkMult;
+using sdvm::bench::run_primes_sim;
+
+int main(int argc, char** argv) {
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+  }
+
+  // --full runs the paper's exact parameter grid; the default trims the
+  // two largest rows to keep `ctest`-style sweeps quick.
+  std::vector<std::int64_t> ps =
+      full ? std::vector<std::int64_t>{100, 200, 500, 1000}
+           : std::vector<std::int64_t>{100, 200, 500};
+  std::vector<std::int64_t> widths = {10, 20};
+  std::vector<int> site_counts = {1, 4, 8};
+
+  std::printf("Table 1: exemplary speedup of the SDVM (virtual seconds)\n");
+  std::printf("%6s %6s | %9s | %9s %-7s | %9s %-7s\n", "p", "width", "1 site",
+              "4 sites", "(spdup)", "8 sites", "(spdup)");
+  std::printf("-------------------------------------------------------------\n");
+
+  for (std::int64_t width : widths) {
+    for (std::int64_t p : ps) {
+      PrimesParams params;
+      params.p = p;
+      params.width = width;
+      params.work_mult = kPaperWorkMult;
+
+      double times[3] = {0, 0, 0};
+      for (std::size_t s = 0; s < site_counts.size(); ++s) {
+        auto r = run_primes_sim(site_counts[s], params);
+        if (!r.ok) {
+          std::fprintf(stderr, "run failed (p=%lld width=%lld sites=%d)\n",
+                       static_cast<long long>(p),
+                       static_cast<long long>(width), site_counts[s]);
+          return 1;
+        }
+        times[s] = r.seconds;
+      }
+      std::printf("%6lld %6lld | %8.1fs | %8.1fs (%.1f)   | %8.1fs (%.1f)\n",
+                  static_cast<long long>(p), static_cast<long long>(width),
+                  times[0], times[1], times[0] / times[1], times[2],
+                  times[0] / times[2]);
+    }
+  }
+  std::printf("\npaper (Pentium IV 1.7 GHz): speedups 3.4-3.6 on 4 sites, "
+              "6.4-7.0 on 8 sites;\nsee EXPERIMENTS.md for the row-by-row "
+              "comparison.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Visualizes the paper's Figures 4 & 5 — the execution cycle and "the
+// career of microframes" — by tracing every frame lifecycle event of a
+// small two-site run and printing the event log per frame.
+//
+//   $ ./frame_career
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "api/program_builder.hpp"
+#include "runtime/context.hpp"
+#include "sim/sim_cluster.hpp"
+
+using namespace sdvm;
+
+int main() {
+  sim::SimCluster cluster;
+  SiteConfig cfg;
+  cfg.help_retry_interval = 100'000;
+  cluster.add_sites(2, 1.0, cfg);
+
+  struct Event {
+    Nanos at;
+    SiteId site;
+    FrameEvent what;
+    MicrothreadId thread;
+  };
+  std::map<std::uint64_t, std::vector<Event>> careers;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    Site* site = &cluster.site(i);
+    site->set_frame_trace([&careers, site, &cluster](FrameEvent e, FrameId id,
+                                                     MicrothreadId tid) {
+      careers[id.value].push_back(
+          Event{cluster.now(), site->id(), e, tid});
+    });
+  }
+
+  auto spec = ProgramBuilder("career-demo")
+                  .thread("entry", R"(
+                    var c = spawn("collect", 3);
+                    var i = 0;
+                    while (i < 3) {
+                      var w = spawn("work", 3);
+                      send(w, 0, i);
+                      send(w, 1, c);
+                      send(w, 2, i);
+                      i = i + 1;
+                    }
+                  )")
+                  .thread("work", R"(
+                    charge(5000000);
+                    send(param(1), param(2), param(0) * 100);
+                  )")
+                  .thread("collect", R"(
+                    out(param(0) + param(1) + param(2));
+                    exit(0);
+                  )")
+                  .entry("entry")
+                  .build();
+  const char* thread_names[] = {"entry", "work", "collect"};
+
+  auto pid = cluster.start_program(spec);
+  if (!pid.is_ok()) return 1;
+  if (!cluster.run_program(pid.value(), 60 * kNanosPerSecond).is_ok()) {
+    return 1;
+  }
+
+  std::printf("the career of every microframe (cf. paper Fig. 5):\n\n");
+  for (const auto& [id, events] : careers) {
+    std::printf("frame %llu (%s)\n", static_cast<unsigned long long>(id),
+                events.empty() || events[0].thread > 2
+                    ? "?"
+                    : thread_names[events[0].thread]);
+    for (const auto& e : events) {
+      std::printf("  %8.3f ms  site %u  %s\n",
+                  static_cast<double>(e.at) / 1e6, e.site, to_string(e.what));
+    }
+  }
+  std::printf("\nresult: %s\n",
+              cluster.outputs(0, pid.value()).back().c_str());
+  return 0;
+}

@@ -1,0 +1,120 @@
+// sdvm-mcc: the MicroC compiler as a standalone tool. Compiles a
+// microthread source file (or a built-in sample) to bytecode, prints the
+// disassembly, and optionally runs it with stub intrinsics — handy when
+// developing SDVM applications.
+//
+//   $ ./mcc [file.mc]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "microc/compiler.hpp"
+#include "microc/vm.hpp"
+
+using namespace sdvm;
+
+namespace {
+
+constexpr const char* kSample = R"(
+  // Sample microthread: sum of squares below param(0).
+  var n = param(0);
+  var i = 1;
+  var sum = 0;
+  while (i < n) {
+    sum = sum + i * i;
+    i = i + 1;
+  }
+  out(sum);
+)";
+
+class StubHandler : public microc::IntrinsicHandler {
+ public:
+  std::int64_t param(std::int64_t i) override {
+    std::printf("  [param(%lld) -> 10]\n", static_cast<long long>(i));
+    return 10;
+  }
+  std::int64_t num_params() override { return 1; }
+  std::int64_t spawn(const std::string& name, std::int64_t n) override {
+    std::printf("  [spawn(\"%s\", %lld) -> frame @1000]\n", name.c_str(),
+                static_cast<long long>(n));
+    return 1000;
+  }
+  void send(std::int64_t f, std::int64_t s, std::int64_t v) override {
+    std::printf("  [send(@%lld, %lld, %lld)]\n", static_cast<long long>(f),
+                static_cast<long long>(s), static_cast<long long>(v));
+  }
+  std::int64_t alloc(std::int64_t n) override {
+    heap_.emplace_back(static_cast<std::size_t>(n), 0);
+    return static_cast<std::int64_t>(heap_.size() - 1);
+  }
+  std::int64_t load(std::int64_t a, std::int64_t i) override {
+    return heap_.at(static_cast<std::size_t>(a))
+        .at(static_cast<std::size_t>(i));
+  }
+  void store(std::int64_t a, std::int64_t i, std::int64_t v) override {
+    heap_.at(static_cast<std::size_t>(a)).at(static_cast<std::size_t>(i)) = v;
+  }
+  void out(std::int64_t v) override {
+    std::printf("  [out: %lld]\n", static_cast<long long>(v));
+  }
+  void out_str(const std::string& s) override {
+    std::printf("  [out: \"%s\"]\n", s.c_str());
+  }
+  void charge(std::int64_t c) override {
+    std::printf("  [charge %lld cycles]\n", static_cast<long long>(c));
+  }
+  std::int64_t self_site() override { return 1; }
+  std::int64_t arg(std::int64_t) override { return 0; }
+  std::int64_t num_args() override { return 0; }
+  void exit_program(std::int64_t c) override {
+    std::printf("  [exit(%lld)]\n", static_cast<long long>(c));
+  }
+
+ private:
+  std::vector<std::vector<std::int64_t>> heap_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source;
+  std::string name = "sample";
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    source = ss.str();
+    name = argv[1];
+  } else {
+    source = kSample;
+    std::printf("(no input file; compiling the built-in sample)\n");
+  }
+
+  auto prog = microc::compile(source, name);
+  if (!prog.is_ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 prog.status().to_string().c_str());
+    return 1;
+  }
+
+  auto artifact = prog.value().serialize();
+  std::printf("\ncompiled '%s': %zu bytes of bytecode, %u locals, "
+              "%zu-byte artifact\n\n", name.c_str(), prog.value().code.size(),
+              prog.value().local_count, artifact.size());
+  std::printf("%s\n", microc::disassemble(prog.value()).c_str());
+
+  std::printf("running with stub intrinsics:\n");
+  StubHandler handler;
+  auto result = microc::Vm::run(prog.value(), handler);
+  if (!result.status.is_ok()) {
+    std::fprintf(stderr, "trap: %s\n", result.status.to_string().c_str());
+    return 1;
+  }
+  std::printf("done: %llu VM instructions executed\n",
+              static_cast<unsigned long long>(result.cycles));
+  return 0;
+}

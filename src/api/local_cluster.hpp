@@ -1,0 +1,74 @@
+// LocalCluster: the "threads" deployment mode. Every site is a full SDVM
+// daemon with its own engine thread and worker pool, connected over the
+// in-process message fabric (optionally with modeled latency and faults).
+// Wall-clock time; real parallelism.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "net/inproc.hpp"
+#include "runtime/site.hpp"
+
+namespace sdvm {
+
+class LocalCluster {
+ public:
+  struct Options {
+    net::LinkModel link;       // default 0 latency: a fast intranet
+    std::uint64_t seed = 1;
+
+    Options() {}  // NOLINT: out-of-class default argument needs this
+  };
+
+  explicit LocalCluster(Options options = Options{});
+  ~LocalCluster();
+
+  LocalCluster(const LocalCluster&) = delete;
+  LocalCluster& operator=(const LocalCluster&) = delete;
+
+  /// Adds a site (first bootstraps, others join) and blocks until joined.
+  Site& add_site(SiteConfig config);
+  void add_sites(int n, const SiteConfig& base = {});
+
+  [[nodiscard]] Site& site(std::size_t index) { return *entries_[index]->site; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  Result<ProgramId> start_program(const ProgramSpec& spec,
+                                  std::size_t home_index = 0);
+
+  /// Blocks until the program terminates anywhere (timeout in wall nanos,
+  /// <0 = forever). Returns the exit code.
+  Result<std::int64_t> wait_program(ProgramId pid, Nanos timeout = -1);
+
+  Result<SiteId> sign_off(std::size_t index);
+  void kill(std::size_t index);
+
+  [[nodiscard]] std::vector<std::string> outputs(std::size_t frontend_index,
+                                                 ProgramId pid);
+  [[nodiscard]] net::InProcNetwork& network() { return network_; }
+  [[nodiscard]] Site* site_by_id(SiteId id);
+
+ private:
+  class EngineDriver;
+  struct Entry {
+    std::unique_ptr<EngineDriver> driver;
+    std::unique_ptr<net::InProcEndpoint> endpoint;
+    std::unique_ptr<Site> site;
+    std::thread engine;
+    bool killed = false;
+  };
+
+  void engine_loop(Entry* e);
+
+  Options options_;
+  net::InProcNetwork network_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::mutex mu_;
+};
+
+}  // namespace sdvm

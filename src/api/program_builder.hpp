@@ -1,0 +1,57 @@
+// Fluent construction of ProgramSpecs — the public face of "the programmer
+// only has to split his application into tasks" (paper §2.1).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/program.hpp"
+
+namespace sdvm {
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name) { spec_.name = std::move(name); }
+
+  /// Microthread shipped as MicroC source: compilable on any platform the
+  /// cluster may ever contain.
+  ProgramBuilder& thread(std::string name, std::string microc_source) {
+    MicrothreadSpec t;
+    t.name = std::move(name);
+    t.source = std::move(microc_source);
+    spec_.threads.push_back(std::move(t));
+    return *this;
+  }
+
+  /// Native microthread (function registered in-process). Optionally also
+  /// carries source, so foreign-platform sites can still run it.
+  ProgramBuilder& native_thread(std::string name, NativeFn fn,
+                                std::string microc_source = {}) {
+    MicrothreadSpec t;
+    t.name = std::move(name);
+    t.native = std::move(fn);
+    t.source = std::move(microc_source);
+    spec_.threads.push_back(std::move(t));
+    return *this;
+  }
+
+  /// The microthread fired when the program starts.
+  ProgramBuilder& entry(std::string name) {
+    spec_.entry = std::move(name);
+    return *this;
+  }
+
+  /// Program start arguments, readable via ctx.arg(i) / MicroC arg(i).
+  ProgramBuilder& args(std::vector<std::int64_t> a) {
+    spec_.args = std::move(a);
+    return *this;
+  }
+
+  [[nodiscard]] ProgramSpec build() const { return spec_; }
+
+ private:
+  ProgramSpec spec_;
+};
+
+}  // namespace sdvm

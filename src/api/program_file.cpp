@@ -1,0 +1,118 @@
+#include "api/program_file.hpp"
+
+#include <sstream>
+
+#include "microc/compiler.hpp"
+
+namespace sdvm {
+
+namespace {
+
+Status fail(int line, const std::string& msg) {
+  return Status::error(ErrorCode::kInvalidArgument,
+                       "line " + std::to_string(line) + ": " + msg);
+}
+
+}  // namespace
+
+Result<ProgramSpec> parse_program_file(std::string_view text) {
+  ProgramSpec spec;
+  std::string current_thread;
+  std::string current_source;
+  int line_no = 0;
+
+  auto flush_thread = [&]() -> Status {
+    if (current_thread.empty()) return Status::ok();
+    // Validate eagerly: a submit tool should reject broken code locally,
+    // not ship it to the cluster.
+    auto compiled = microc::compile(current_source, current_thread);
+    if (!compiled.is_ok()) {
+      return Status::error(ErrorCode::kInvalidArgument,
+                           "microthread '" + current_thread +
+                               "': " + compiled.status().message());
+    }
+    MicrothreadSpec t;
+    t.name = current_thread;
+    t.source = current_source;
+    spec.threads.push_back(std::move(t));
+    current_thread.clear();
+    current_source.clear();
+    return Status::ok();
+  };
+
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line[0] == '#') {
+      std::istringstream ls(line.substr(1));
+      std::string directive;
+      ls >> directive;
+      if (directive == "program") {
+        ls >> std::ws;
+        std::getline(ls, spec.name);
+        if (spec.name.empty()) return fail(line_no, "#program needs a name");
+      } else if (directive == "entry") {
+        ls >> spec.entry;
+        if (spec.entry.empty()) return fail(line_no, "#entry needs a name");
+      } else if (directive == "args") {
+        std::int64_t v;
+        while (ls >> v) spec.args.push_back(v);
+      } else if (directive == "thread") {
+        Status st = flush_thread();
+        if (!st.is_ok()) return st;
+        ls >> current_thread;
+        if (current_thread.empty()) {
+          return fail(line_no, "#thread needs a name");
+        }
+      } else {
+        return fail(line_no, "unknown directive '#" + directive + "'");
+      }
+      continue;
+    }
+    if (!current_thread.empty()) {
+      current_source += line;
+      current_source += '\n';
+    } else if (line.find_first_not_of(" \t\r") != std::string::npos) {
+      return fail(line_no, "source outside any #thread section");
+    }
+  }
+  Status st = flush_thread();
+  if (!st.is_ok()) return st;
+
+  if (spec.name.empty()) spec.name = "unnamed";
+  if (spec.threads.empty()) {
+    return Status::error(ErrorCode::kInvalidArgument, "no #thread sections");
+  }
+  if (spec.entry.empty()) spec.entry = spec.threads.front().name;
+  bool entry_found = false;
+  for (const auto& t : spec.threads) entry_found |= (t.name == spec.entry);
+  if (!entry_found) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "entry '" + spec.entry + "' is not a #thread");
+  }
+  return spec;
+}
+
+Result<std::string> format_program_file(const ProgramSpec& spec) {
+  std::ostringstream out;
+  out << "#program " << spec.name << "\n";
+  out << "#entry " << spec.entry << "\n";
+  if (!spec.args.empty()) {
+    out << "#args";
+    for (auto a : spec.args) out << ' ' << a;
+    out << "\n";
+  }
+  for (const auto& t : spec.threads) {
+    if (t.source.empty()) {
+      return Status::error(ErrorCode::kUnsupported,
+                           "microthread '" + t.name +
+                               "' is native-only and cannot be serialized");
+    }
+    out << "#thread " << t.name << "\n" << t.source;
+    if (t.source.back() != '\n') out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace sdvm

@@ -1,0 +1,35 @@
+// Textual program container for the SDVM tools: one file holds all
+// microthreads of an application plus its metadata, so a frontend can
+// submit work to a running cluster from the command line.
+//
+// Format — directives start with '#' at column 0; everything between
+// `#thread NAME` directives is MicroC source:
+//
+//     #program my-app
+//     #entry main
+//     #args 100 10
+//     #thread main
+//     var w = spawn("worker", 1);
+//     send(w, 0, arg(0));
+//     #thread worker
+//     out(param(0) * 2);
+//     exit(0);
+#pragma once
+
+#include <string_view>
+
+#include "common/status.hpp"
+#include "runtime/program.hpp"
+
+namespace sdvm {
+
+/// Parses the .sdvm program format. Fails with kInvalidArgument and a
+/// line-numbered message on malformed input; microthread sources are
+/// validated by compiling them.
+[[nodiscard]] Result<ProgramSpec> parse_program_file(std::string_view text);
+
+/// Renders a spec back to the file format (sources only — native threads
+/// are rejected, they cannot be serialized).
+[[nodiscard]] Result<std::string> format_program_file(const ProgramSpec& spec);
+
+}  // namespace sdvm

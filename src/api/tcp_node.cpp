@@ -1,0 +1,107 @@
+#include "api/tcp_node.hpp"
+
+#include <chrono>
+#include <condition_variable>
+
+namespace sdvm {
+
+class TcpNode::EngineDriver final : public Driver {
+ public:
+  void request_wakeup(Nanos) override { cv_.notify_all(); }
+  void notify_work() override { cv_.notify_all(); }
+
+  void wait(Nanos max_ns) {
+    std::unique_lock lk(m_);
+    cv_.wait_for(lk, std::chrono::nanoseconds(max_ns));
+  }
+  void stop() {
+    stopping_.store(true);
+    cv_.notify_all();
+  }
+  [[nodiscard]] bool stopping() const { return stopping_.load(); }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::atomic<bool> stopping_{false};
+};
+
+TcpNode::TcpNode() = default;
+
+Result<std::unique_ptr<TcpNode>> TcpNode::create(Options options) {
+  auto node = std::unique_ptr<TcpNode>(new TcpNode());
+  node->driver_ = std::make_unique<EngineDriver>();
+  node->site_ = std::make_unique<Site>(options.site, WallClock::instance(),
+                                       *node->driver_);
+  Site* site = node->site_.get();
+  auto transport = net::TcpTransport::listen(
+      options.port, [site](std::vector<std::byte> bytes) {
+        site->on_network_data(std::move(bytes));
+      });
+  if (!transport.is_ok()) return transport.status();
+  node->site_->attach_transport(std::move(transport).value());
+
+  node->engine_ = std::thread([n = node.get()] {
+    while (!n->driver_->stopping()) {
+      Nanos next = n->site_->pump();
+      Nanos sleep = next < 0 ? 2'000'000 : std::min<Nanos>(next, 2'000'000);
+      n->driver_->wait(std::max<Nanos>(sleep, 10'000));
+    }
+  });
+  return node;
+}
+
+TcpNode::~TcpNode() { shutdown(); }
+
+void TcpNode::bootstrap() { site_->bootstrap(); }
+
+Status TcpNode::join_cluster(const std::string& contact, Nanos timeout) {
+  site_->join(contact);
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout);
+  while (!site_->joined()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::error(ErrorCode::kUnavailable,
+                           "join via " + contact + " timed out");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return Status::ok();
+}
+
+std::string TcpNode::address() const {
+  return site_->transport()->local_address();
+}
+
+Result<ProgramId> TcpNode::start_program(const ProgramSpec& spec) {
+  return site_->start_program(spec);
+}
+
+Result<std::int64_t> TcpNode::wait_program(ProgramId pid, Nanos timeout) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::nanoseconds(timeout < 0 ? INT64_MAX : timeout);
+  while (true) {
+    {
+      std::lock_guard lk(site_->lock());
+      if (site_->programs().is_terminated(pid)) {
+        return site_->programs().exit_code(pid).value_or(0);
+      }
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::error(ErrorCode::kUnavailable,
+                           "program did not terminate in time");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+  }
+}
+
+void TcpNode::shutdown() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) return;
+  driver_->stop();
+  if (engine_.joinable()) engine_.join();
+  site_->processing().stop();
+  if (site_->transport() != nullptr) site_->transport()->close();
+}
+
+}  // namespace sdvm

@@ -1,0 +1,53 @@
+// TcpNode: one SDVM daemon on a real TCP socket — the paper's deployment
+// unit. Start one per machine (or per process for local experiments), give
+// later ones the address of any running node, and they form a cluster.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/tcp.hpp"
+#include "runtime/site.hpp"
+
+namespace sdvm {
+
+class TcpNode {
+ public:
+  struct Options {
+    SiteConfig site;
+    std::uint16_t port = 0;  // 0 = ephemeral
+  };
+
+  /// Creates the daemon and starts listening. Call bootstrap() or
+  /// join_cluster() next.
+  static Result<std::unique_ptr<TcpNode>> create(Options options);
+
+  ~TcpNode();
+  TcpNode(const TcpNode&) = delete;
+  TcpNode& operator=(const TcpNode&) = delete;
+
+  void bootstrap();
+  /// Joins via "host:port" of a running node; blocks until joined or the
+  /// timeout (wall nanos) expires.
+  Status join_cluster(const std::string& contact, Nanos timeout);
+
+  [[nodiscard]] Site& site() { return *site_; }
+  [[nodiscard]] std::string address() const;
+
+  Result<ProgramId> start_program(const ProgramSpec& spec);
+  Result<std::int64_t> wait_program(ProgramId pid, Nanos timeout = -1);
+
+  /// Graceful leave + engine shutdown.
+  void shutdown();
+
+ private:
+  class EngineDriver;
+  TcpNode();
+
+  std::unique_ptr<EngineDriver> driver_;
+  std::unique_ptr<Site> site_;
+  std::thread engine_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace sdvm

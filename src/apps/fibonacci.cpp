@@ -1,0 +1,82 @@
+#include "apps/fibonacci.hpp"
+
+namespace sdvm::apps {
+
+namespace {
+
+constexpr const char* kEntrySource = R"(
+  // fib frames take (n, target frame, target slot); the root reports into
+  // "report", which outputs the result and terminates the program.
+  var r = spawn("report", 1);
+  var f = spawn("fib", 3);
+  send(f, 0, arg(0));
+  send(f, 1, r);
+  send(f, 2, 0);
+)";
+
+constexpr const char* kFibSource = R"(
+  var n = param(0);
+  var target = param(1);
+  var slot = param(2);
+  if (n < 2) {
+    charge(arg(1));
+    send(target, slot, n);
+  } else {
+    // join(4): two sub-results plus the continuation (target, slot),
+    // which we can fill immediately — it is "certain that it will receive
+    // all its parameters in the future" (§3.2).
+    var j = spawn("join", 4);
+    send(j, 2, target);
+    send(j, 3, slot);
+    var a = spawn("fib", 3);
+    send(a, 0, n - 1);
+    send(a, 1, j);
+    send(a, 2, 0);
+    var b = spawn("fib", 3);
+    send(b, 0, n - 2);
+    send(b, 1, j);
+    send(b, 2, 1);
+  }
+)";
+
+constexpr const char* kJoinSource = R"(
+  var a = param(0);
+  var b = param(1);
+  var target = param(2);
+  var slot = param(3);
+  send(target, slot, a + b);
+)";
+
+constexpr const char* kReportSource = R"(
+  out(param(0));
+  exit(0);
+)";
+
+}  // namespace
+
+ProgramSpec make_fib_program(const FibParams& params) {
+  ProgramSpec spec;
+  spec.name = "fib";
+  spec.entry = "entry";
+  spec.args = {params.n, params.leaf_work};
+  spec.threads = {
+      {"entry", kEntrySource, nullptr},
+      {"fib", kFibSource, nullptr},
+      {"join", kJoinSource, nullptr},
+      {"report", kReportSource, nullptr},
+  };
+  return spec;
+}
+
+std::int64_t fib_reference(std::int64_t n) {
+  std::int64_t a = 0;
+  std::int64_t b = 1;
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::int64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  return a;
+}
+
+}  // namespace sdvm::apps

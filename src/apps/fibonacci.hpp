@@ -1,0 +1,23 @@
+// Recursive fork/join Fibonacci: the classic irregular dataflow benchmark.
+// Each fib(n) frame spawns fib(n-1), fib(n-2) and a join frame; results
+// propagate up through parameter sends. Exercises deep, unbalanced frame
+// graphs and heavy help-request traffic — the opposite profile of the
+// prime rounds.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/program.hpp"
+
+namespace sdvm::apps {
+
+struct FibParams {
+  std::int64_t n = 16;
+  std::int64_t leaf_work = 100'000;  // virtual cycles charged at the leaves
+};
+
+[[nodiscard]] ProgramSpec make_fib_program(const FibParams& params);
+
+[[nodiscard]] std::int64_t fib_reference(std::int64_t n);
+
+}  // namespace sdvm::apps

@@ -1,0 +1,120 @@
+#include "apps/matmul.hpp"
+
+namespace sdvm::apps {
+
+ProgramSpec make_matmul_program(const MatmulParams& params) {
+  // entry: allocates and fills A and B in global memory, then spawns one
+  // "block" microthread per row block plus the final "check" collector.
+  // block(6 params): row0, A, B, C, check frame, completion slot.
+  constexpr const char* kEntry = R"(
+    var n = arg(0);
+    var rows = arg(1);
+    var a = alloc(n * n);
+    var b = alloc(n * n);
+    var c = alloc(n * n);
+    var i = 0;
+    while (i < n) {
+      var j = 0;
+      while (j < n) {
+        store(a, i * n + j, (i + 2 * j) % 7);
+        store(b, i * n + j, (3 * i + j) % 5);
+        j = j + 1;
+      }
+      i = i + 1;
+    }
+    var nblocks = (n + rows - 1) / rows;
+    var done = spawn("check", nblocks + 1);
+    send(done, nblocks, c);
+    var blk = 0;
+    while (blk < nblocks) {
+      var t = spawn("block", 6);
+      send(t, 0, blk * rows);
+      send(t, 1, a);
+      send(t, 2, b);
+      send(t, 3, c);
+      send(t, 4, done);
+      send(t, 5, blk);
+      blk = blk + 1;
+    }
+  )";
+
+  constexpr const char* kBlock = R"(
+    var row0 = param(0);
+    var a = param(1);
+    var b = param(2);
+    var c = param(3);
+    var done = param(4);
+    var myslot = param(5);
+    var n = arg(0);
+    var rows = arg(1);
+    var last = row0 + rows;
+    if (last > n) { last = n; }
+    var i = row0;
+    while (i < last) {
+      var j = 0;
+      while (j < n) {
+        var sum = 0;
+        var k = 0;
+        while (k < n) {
+          sum = sum + load(a, i * n + k) * load(b, k * n + j);
+          k = k + 1;
+        }
+        store(c, i * n + j, sum);
+        j = j + 1;
+      }
+      i = i + 1;
+    }
+    send(done, myslot, 1);
+  )";
+
+  // check: all blocks done → checksum C, output it, exit.
+  constexpr const char* kCheck = R"(
+    var n = arg(0);
+    var nblocks = (n + arg(1) - 1) / arg(1);
+    var c = param(nblocks);
+    var sum = 0;
+    var i = 0;
+    while (i < n * n) {
+      sum = sum + load(c, i) * (i % 13 + 1);
+      i = i + 1;
+    }
+    out(sum);
+    exit(0);
+  )";
+
+  ProgramSpec spec;
+  spec.name = "matmul";
+  spec.entry = "entry";
+  spec.args = {params.n, params.block_rows};
+  spec.threads = {
+      {"entry", kEntry, nullptr},
+      {"block", kBlock, nullptr},
+      {"check", kCheck, nullptr},
+  };
+  return spec;
+}
+
+std::vector<std::int64_t> matmul_reference(std::int64_t n) {
+  std::vector<std::int64_t> a(static_cast<std::size_t>(n * n));
+  std::vector<std::int64_t> b(static_cast<std::size_t>(n * n));
+  std::vector<std::int64_t> c(static_cast<std::size_t>(n * n), 0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      a[static_cast<std::size_t>(i * n + j)] = (i + 2 * j) % 7;
+      b[static_cast<std::size_t>(i * n + j)] = (3 * i + j) % 5;
+    }
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int64_t sum = 0;
+      for (std::int64_t k = 0; k < n; ++k) {
+        sum += a[static_cast<std::size_t>(i * n + k)] *
+               b[static_cast<std::size_t>(k * n + j)];
+      }
+      c[static_cast<std::size_t>(i * n + j)] = sum;
+    }
+  }
+  return c;
+}
+
+}  // namespace sdvm::apps

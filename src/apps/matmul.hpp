@@ -1,0 +1,25 @@
+// Blocked matrix multiply over the attraction memory: matrices A, B and C
+// live as global memory objects; one microthread computes one row-block of
+// C. Exercises the COMA migration path (objects attracted to whichever
+// site computes with them), unlike primes/fib which move data in frames.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/program.hpp"
+
+namespace sdvm::apps {
+
+struct MatmulParams {
+  std::int64_t n = 16;         // matrix dimension (n x n)
+  std::int64_t block_rows = 4; // rows of C per microthread
+};
+
+[[nodiscard]] ProgramSpec make_matmul_program(const MatmulParams& params);
+
+/// Reference product of the same deterministic input matrices
+/// (A[i][j] = (i + 2j) % 7, B[i][j] = (3i + j) % 5).
+[[nodiscard]] std::vector<std::int64_t> matmul_reference(std::int64_t n);
+
+}  // namespace sdvm::apps

@@ -1,0 +1,120 @@
+#include "apps/nqueens.hpp"
+
+namespace sdvm::apps {
+
+namespace {
+
+constexpr const char* kEntrySource = R"(
+  var r = spawn("report", 1);
+  var root = spawn("node", 6);
+  send(root, 0, 0);   // row
+  send(root, 1, 0);   // columns mask
+  send(root, 2, 0);   // "/" diagonals mask
+  send(root, 3, 0);   // "\" diagonals mask
+  send(root, 4, r);
+  send(root, 5, 0);
+)";
+
+// One search node: params row, cols, d1, d2, continuation target, slot.
+constexpr const char* kNodeSource = R"(
+  var n = arg(0);
+  var row = param(0);
+  var cols = param(1);
+  var d1 = param(2);
+  var d2 = param(3);
+  var target = param(4);
+  var slot = param(5);
+  charge(arg(1));
+
+  if (row == n) {
+    send(target, slot, 1);
+    return;
+  }
+  var full = (1 << n) - 1;
+  var free = ~(cols | d1 | d2) & full;
+  if (free == 0) {
+    send(target, slot, 0);
+    return;
+  }
+
+  // Fan-out: one child per free square, joined by a variable-arity frame.
+  var k = 0;
+  var f = free;
+  while (f != 0) {
+    f = f & (f - 1);
+    k = k + 1;
+  }
+  var j = spawn("join", k + 2);
+  send(j, k, target);
+  send(j, k + 1, slot);
+
+  var idx = 0;
+  f = free;
+  while (f != 0) {
+    var bit = f & (-f);
+    f = f ^ bit;
+    var c = spawn("node", 6);
+    send(c, 0, row + 1);
+    send(c, 1, cols | bit);
+    send(c, 2, ((d1 | bit) << 1) & full);
+    send(c, 3, (d2 | bit) >> 1);
+    send(c, 4, j);
+    send(c, 5, idx);
+    idx = idx + 1;
+  }
+)";
+
+constexpr const char* kJoinSource = R"(
+  var k = nparams() - 2;
+  var target = param(k);
+  var slot = param(k + 1);
+  var sum = 0;
+  var i = 0;
+  while (i < k) {
+    sum = sum + param(i);
+    i = i + 1;
+  }
+  send(target, slot, sum);
+)";
+
+constexpr const char* kReportSource = R"(
+  out(param(0));
+  exit(0);
+)";
+
+}  // namespace
+
+ProgramSpec make_nqueens_program(const NQueensParams& params) {
+  ProgramSpec spec;
+  spec.name = "nqueens";
+  spec.entry = "entry";
+  spec.args = {params.n, params.node_work};
+  spec.threads = {
+      {"entry", kEntrySource, nullptr},
+      {"node", kNodeSource, nullptr},
+      {"join", kJoinSource, nullptr},
+      {"report", kReportSource, nullptr},
+  };
+  return spec;
+}
+
+namespace {
+std::int64_t solve(int n, std::uint32_t row, std::uint32_t cols,
+                   std::uint32_t d1, std::uint32_t d2) {
+  if (row == static_cast<std::uint32_t>(n)) return 1;
+  std::uint32_t full = (1u << n) - 1;
+  std::uint32_t free = ~(cols | d1 | d2) & full;
+  std::int64_t total = 0;
+  while (free != 0) {
+    std::uint32_t bit = free & (~free + 1);
+    free ^= bit;
+    total += solve(n, row + 1, cols | bit, ((d1 | bit) << 1) & full,
+                   (d2 | bit) >> 1);
+  }
+  return total;
+}
+}  // namespace
+
+std::int64_t nqueens_reference(int n) { return solve(n, 0, 0, 0, 0); }
+
+}  // namespace sdvm::apps

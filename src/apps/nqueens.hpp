@@ -1,0 +1,24 @@
+// N-Queens solution counting as irregular recursive dataflow: each board
+// node spawns one child per legal queen placement and a variable-arity
+// join frame (nparams() lets the join adapt to its fan-in). The hardest
+// distribution profile of the bundled apps: unpredictable fan-out, deep
+// dependence chains, tiny leaves.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/program.hpp"
+
+namespace sdvm::apps {
+
+struct NQueensParams {
+  std::int64_t n = 7;            // board size
+  std::int64_t node_work = 100'000;  // virtual cycles charged per node
+};
+
+[[nodiscard]] ProgramSpec make_nqueens_program(const NQueensParams& params);
+
+/// Reference count of solutions for an n×n board.
+[[nodiscard]] std::int64_t nqueens_reference(int n);
+
+}  // namespace sdvm::apps

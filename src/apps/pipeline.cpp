@@ -1,0 +1,81 @@
+#include "apps/pipeline.hpp"
+
+namespace sdvm::apps {
+
+namespace {
+
+constexpr const char* kEntrySource = R"(
+  var items = arg(0);
+  var sink = spawn("sink", items);
+  var i = 0;
+  while (i < items) {
+    var s = spawn("stage", 4);
+    send(s, 0, i);        // item value (stage 0 input = item index)
+    send(s, 1, 0);        // stage index
+    send(s, 2, sink);
+    send(s, 3, i);        // sink slot
+    i = i + 1;
+  }
+)";
+
+// Per-stage transform: value' = value * 3 + stage + 1 (mod a prime to stay
+// bounded). The same arithmetic is mirrored in pipeline_reference.
+constexpr const char* kStageSource = R"(
+  var stages = arg(1);
+  var value = param(0);
+  var stage = param(1);
+  var sink = param(2);
+  var slot = param(3);
+  charge(arg(2));
+  value = (value * 3 + stage + 1) % 1000003;
+  if (stage + 1 == stages) {
+    send(sink, slot, value);
+  } else {
+    var s = spawn("stage", 4);
+    send(s, 0, value);
+    send(s, 1, stage + 1);
+    send(s, 2, sink);
+    send(s, 3, slot);
+  }
+)";
+
+constexpr const char* kSinkSource = R"(
+  var items = nparams();
+  var sum = 0;
+  var i = 0;
+  while (i < items) {
+    sum = sum + param(i) * (i + 1);
+    i = i + 1;
+  }
+  out(sum);
+  exit(0);
+)";
+
+}  // namespace
+
+ProgramSpec make_pipeline_program(const PipelineParams& params) {
+  ProgramSpec spec;
+  spec.name = "pipeline";
+  spec.entry = "entry";
+  spec.args = {params.items, params.stages, params.stage_work};
+  spec.threads = {
+      {"entry", kEntrySource, nullptr},
+      {"stage", kStageSource, nullptr},
+      {"sink", kSinkSource, nullptr},
+  };
+  return spec;
+}
+
+std::int64_t pipeline_reference(const PipelineParams& params) {
+  std::int64_t sum = 0;
+  for (std::int64_t i = 0; i < params.items; ++i) {
+    std::int64_t value = i;
+    for (std::int64_t s = 0; s < params.stages; ++s) {
+      value = (value * 3 + s + 1) % 1000003;
+    }
+    sum += value * (i + 1);
+  }
+  return sum;
+}
+
+}  // namespace sdvm::apps

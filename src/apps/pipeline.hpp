@@ -1,0 +1,25 @@
+// Streaming pipeline: `items` values flow through `stages` transform
+// stages; every (item, stage) pair is one microframe, so consecutive
+// items overlap across stages — classic software pipelining expressed as
+// pure dataflow. Sustained many-small-frames traffic, the opposite
+// profile of the bulky prime rounds.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/program.hpp"
+
+namespace sdvm::apps {
+
+struct PipelineParams {
+  std::int64_t items = 24;
+  std::int64_t stages = 4;
+  std::int64_t stage_work = 1'000'000;  // virtual cycles per stage
+};
+
+[[nodiscard]] ProgramSpec make_pipeline_program(const PipelineParams& params);
+
+/// Reference: the checksum the sink prints for these parameters.
+[[nodiscard]] std::int64_t pipeline_reference(const PipelineParams& params);
+
+}  // namespace sdvm::apps

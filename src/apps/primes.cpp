@@ -1,0 +1,111 @@
+#include "apps/primes.hpp"
+
+namespace sdvm::apps {
+
+namespace {
+
+constexpr const char* kEntrySource = R"(
+  // Kick off the first round at candidate 2 with zero primes found.
+  var r = spawn("round", 2);
+  send(r, 0, 2);
+  send(r, 1, 0);
+)";
+
+constexpr const char* kRoundSource = R"(
+  // params: 0 = first candidate of this round, 1 = primes found so far.
+  var start = param(0);
+  var found = param(1);
+  var width = arg(1);
+  var m = spawn("merge", width + 2);
+  send(m, width, start);
+  send(m, width + 1, found);
+  var i = 0;
+  while (i < width) {
+    var t = spawn("test", 3);
+    send(t, 0, start + i);
+    send(t, 1, m);
+    send(t, 2, i);
+    i = i + 1;
+  }
+)";
+
+constexpr const char* kTestSource = R"(
+  // params: 0 = candidate, 1 = merge frame address, 2 = result slot.
+  var n = param(0);
+  var target = param(1);
+  var slot = param(2);
+  var isp = 1;
+  if (n < 2) { isp = 0; }
+  var d = 2;
+  while (d * d <= n) {
+    if (n % d == 0) { isp = 0; d = n; }
+    d = d + 1;
+  }
+  charge(arg(2));   // the paper's per-candidate heavy computation (sim time)
+  var spin = arg(3);  // real interpreted work (wall-clock benches)
+  var k = 0;
+  var acc = 0;
+  while (k < spin) {
+    acc = acc + (k ^ 5);
+    k = k + 1;
+  }
+  if (acc < 0) { out(acc); }  // defeat dead-code removal, never taken
+  send(target, slot, isp);
+)";
+
+constexpr const char* kMergeSource = R"(
+  // params: 0..width-1 = per-candidate verdicts, width = round start,
+  // width+1 = primes found before this round.
+  var p = arg(0);
+  var width = arg(1);
+  var start = param(width);
+  var found = param(width + 1);
+  var i = 0;
+  while (i < width) {
+    found = found + param(i);
+    i = i + 1;
+  }
+  if (found >= p) {
+    out(found);
+    exit(0);
+  } else {
+    var r = spawn("round", 2);
+    send(r, 0, start + width);
+    send(r, 1, found);
+  }
+)";
+
+}  // namespace
+
+ProgramSpec make_primes_program(const PrimesParams& params) {
+  ProgramSpec spec;
+  spec.name = "primes";
+  spec.entry = "entry";
+  spec.args = {params.p, params.width, params.work_mult, params.spin};
+  spec.threads = {
+      {"entry", kEntrySource, nullptr},
+      {"round", kRoundSource, nullptr},
+      {"test", kTestSource, nullptr},
+      {"merge", kMergeSource, nullptr},
+  };
+  return spec;
+}
+
+std::int64_t nth_prime(int n) {
+  int count = 0;
+  std::int64_t candidate = 1;
+  while (count < n) {
+    ++candidate;
+    bool prime = candidate >= 2;
+    for (std::int64_t d = 2; d * d <= candidate; ++d) {
+      if (candidate % d == 0) {
+        prime = false;
+        break;
+      }
+    }
+    if (prime) ++count;
+  }
+  return candidate;
+}
+
+}  // namespace sdvm::apps

@@ -1,0 +1,39 @@
+// The paper's evaluation application (§5, Table 1): "parallel computation
+// of the first p prime numbers, working on width numbers in parallel
+// each". Expressed in MicroC so any site — any platform — can run it, with
+// the round/test/merge dataflow:
+//
+//   entry ──► round(start, found)
+//                 │  spawns `width` test frames + one merge frame
+//     test(i) ────┤  primality by trial division, result → merge slot i
+//                 ▼
+//              merge ──► next round … until `p` primes found ──► exit
+//
+// `work_mult` adds per-candidate virtual cost (charge), mirroring the
+// paper's heavyweight per-number test (≈0.3 s per candidate on the
+// reference Pentium IV).
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/program.hpp"
+
+namespace sdvm::apps {
+
+struct PrimesParams {
+  std::int64_t p = 100;          // primes to find
+  std::int64_t width = 10;       // candidates tested in parallel per round
+  std::int64_t work_mult = 20'000'000;  // extra virtual cycles per test
+  /// Real busy-loop iterations per test (interpreted work). Virtual-time
+  /// benches use work_mult; wall-clock benches use spin.
+  std::int64_t spin = 0;
+};
+
+[[nodiscard]] ProgramSpec make_primes_program(const PrimesParams& params);
+
+/// Reference result: the number of primes in [2, 2+k) style rounds is
+/// awkward to express; instead this returns π-ish ground truth — the
+/// `n`-th prime (1-based) for validating outputs.
+[[nodiscard]] std::int64_t nth_prime(int n);
+
+}  // namespace sdvm::apps

@@ -1,0 +1,51 @@
+// Clock abstraction. The same manager code runs against the wall clock
+// (threads/tcp modes) and a virtual clock advanced by the discrete-event
+// simulator (sim mode) — this seam is what makes Table 1 reproducible on a
+// machine with fewer cores than the paper's cluster had sites.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "common/types.hpp"
+
+namespace sdvm {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Monotonic "now" in nanoseconds since an arbitrary epoch.
+  [[nodiscard]] virtual Nanos now() const = 0;
+};
+
+/// Real monotonic clock.
+class WallClock final : public Clock {
+ public:
+  [[nodiscard]] Nanos now() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  static WallClock& instance() {
+    static WallClock c;
+    return c;
+  }
+};
+
+/// Manually advanced clock owned by the simulator.
+class VirtualClock final : public Clock {
+ public:
+  [[nodiscard]] Nanos now() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void advance_to(Nanos t) {
+    // Time never runs backwards; the event loop guarantees ordering.
+    now_.store(t, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<Nanos> now_{0};
+};
+
+}  // namespace sdvm

@@ -1,0 +1,85 @@
+// Per-site configuration. Plain data so every layer can consume it without
+// depending on the runtime. Mirrors what the paper's daemon reads from "a
+// configuration file or direct input when the local site is started".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace sdvm {
+
+/// Local scheduling order for the executable/ready queues (§3.3: "a
+/// FIFO-strategy is used momentarily for the local scheduling").
+enum class LocalSchedPolicy : std::uint8_t { kFifo = 0, kLifo, kPriority };
+
+/// Which end of the queue a site gives away when answering a help request
+/// (§3.3: "a LIFO-strategy is used for the replying to help requests to
+/// hide the communication latencies").
+enum class HelpReplyPolicy : std::uint8_t { kLifo = 0, kFifo };
+
+/// Logical-id allocation concepts sketched in §4 (cluster manager).
+enum class IdAllocStrategy : std::uint8_t {
+  kCentralContact = 0,  // single contact site hands out ids (central PoF)
+  kContingent,          // id servers receive contingents of free ids
+  kModulo,              // fixed number k of servers; server i emits i, i+k, ...
+};
+
+struct SiteConfig {
+  /// Human-readable site name for logs and the frontend.
+  std::string name = "site";
+
+  /// Platform id; a joining site with a platform no artifact was compiled
+  /// for exercises the source-transfer + on-the-fly compile path.
+  PlatformId platform = "linux-x86";
+
+  /// Relative computing speed (1.0 = paper's reference Pentium IV). Only
+  /// meaningful in sim mode, where execution cost = cycles / speed.
+  double speed = 1.0;
+
+  /// Max microthreads in flight on the processing manager. The paper found
+  /// "a number of about 5 microthreads run in (virtual) parallel produce
+  /// good results".
+  int executor_slots = 5;
+
+  LocalSchedPolicy local_sched = LocalSchedPolicy::kFifo;
+  HelpReplyPolicy help_reply = HelpReplyPolicy::kLifo;
+  IdAllocStrategy id_alloc = IdAllocStrategy::kCentralContact;
+
+  /// Encrypt inter-site traffic (security manager). Disabled for "insular"
+  /// clusters in favour of a performance gain, as §4 suggests.
+  bool encrypt = false;
+  /// Pre-shared cluster password for key derivation ("a first contact must
+  /// be made in a secure way, e.g. by supplying a start password by hand").
+  std::string cluster_password = "sdvm";
+
+  /// This site stores every microthread artifact (a "code distribution
+  /// site"). The program's start site is implicitly one regardless.
+  bool code_distribution_site = false;
+
+  /// Crash management.
+  bool checkpoints_enabled = false;
+  Nanos checkpoint_interval = 2 * kNanosPerSecond;
+  Nanos heartbeat_interval = 200'000'000;   // 200 ms
+  Nanos failure_timeout = 1 * kNanosPerSecond;
+
+  /// Message drain wait before a frozen site snapshots its checkpoint
+  /// shard (bounded-channel-delay assumption of coordinated checkpointing).
+  Nanos checkpoint_drain = 5'000'000;  // 5 ms
+
+  /// Help-request pacing: an idle site re-asks after this long without work.
+  Nanos help_retry_interval = 2'000'000;  // 2 ms
+
+  /// Sim mode: virtual cost of one interpreted bytecode instruction at
+  /// speed 1.0, and of compiling one source byte on the fly.
+  Nanos sim_nanos_per_instr = 10;
+  Nanos sim_nanos_per_compiled_byte = 2'000;
+
+  /// Sim mode: base one-way message latency and per-byte cost applied by
+  /// the in-process network model (overridable per link).
+  Nanos net_latency = 100'000;        // 100 us, intranet-class
+  Nanos net_per_byte = 10;            // ~100 MB/s
+};
+
+}  // namespace sdvm

@@ -1,0 +1,53 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <mutex>
+
+namespace sdvm {
+
+namespace {
+LogLevel initial_level() {
+  const char* env = std::getenv("SDVM_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  std::string v(env);
+  if (v == "trace") return LogLevel::kTrace;
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+}  // namespace
+
+std::atomic<LogLevel> Logger::global_level_{initial_level()};
+
+namespace {
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO";
+    case LogLevel::kWarn:  return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF";
+  }
+  return "?";
+}
+
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
+
+void Logger::write(LogLevel lvl, const std::string& tag,
+                   const std::string& message) {
+  std::lock_guard lock(log_mutex());
+  std::fprintf(stderr, "[%s] %s: %s\n", level_name(lvl), tag.c_str(),
+               message.c_str());
+}
+
+}  // namespace sdvm

@@ -1,0 +1,64 @@
+// Minimal leveled logger. Sites are concurrent; log lines are assembled
+// off-lock and emitted with a single synchronized write so interleaved
+// output stays line-atomic.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace sdvm {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static LogLevel level() {
+    return global_level_.load(std::memory_order_relaxed);
+  }
+  static void set_level(LogLevel lvl) {
+    global_level_.store(lvl, std::memory_order_relaxed);
+  }
+  static bool enabled(LogLevel lvl) { return lvl >= level(); }
+
+  /// Emits one line "[LVL] tag: message" to stderr, thread-safely.
+  static void write(LogLevel lvl, const std::string& tag,
+                    const std::string& message);
+
+ private:
+  static std::atomic<LogLevel> global_level_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel lvl, std::string tag) : lvl_(lvl), tag_(std::move(tag)) {}
+  ~LogLine() { Logger::write(lvl_, tag_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::string tag_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace sdvm
+
+#define SDVM_LOG(lvl, tag)                      \
+  if (!::sdvm::Logger::enabled(lvl)) {          \
+  } else                                        \
+    ::sdvm::detail::LogLine(lvl, tag)
+
+#define SDVM_TRACE(tag) SDVM_LOG(::sdvm::LogLevel::kTrace, tag)
+#define SDVM_DEBUG(tag) SDVM_LOG(::sdvm::LogLevel::kDebug, tag)
+#define SDVM_INFO(tag) SDVM_LOG(::sdvm::LogLevel::kInfo, tag)
+#define SDVM_WARN(tag) SDVM_LOG(::sdvm::LogLevel::kWarn, tag)
+#define SDVM_ERROR(tag) SDVM_LOG(::sdvm::LogLevel::kError, tag)

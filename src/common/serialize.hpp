@@ -1,0 +1,195 @@
+// Byte-level serialization used for SDMessages, checkpoints and code
+// artifacts. Little-endian fixed-width integers; length-prefixed strings
+// and blobs. The reader is bounds-checked and never reads past the end —
+// malformed network input must fail loudly, not corrupt a site.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sdvm {
+
+/// Error thrown when deserializing malformed input.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only byte sink.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(std::byte{v}); }
+
+  template <typename T>
+    requires std::is_integral_v<T>
+  void fixed(T v) {
+    auto u = static_cast<std::make_unsigned_t<T>>(v);
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(std::byte{static_cast<std::uint8_t>(u >> (8 * i))});
+    }
+  }
+
+  void u16(std::uint16_t v) { fixed(v); }
+  void u32(std::uint32_t v) { fixed(v); }
+  void u64(std::uint64_t v) { fixed(v); }
+  void i32(std::int32_t v) { fixed(v); }
+  void i64(std::int64_t v) { fixed(v); }
+
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+
+  void blob(std::span<const std::byte> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  void raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  void site(SiteId s) { u32(s); }
+  void program(ProgramId p) { u64(p.value); }
+  void address(GlobalAddress a) { u64(a.value); }
+
+  [[nodiscard]] const std::vector<std::byte>& bytes() const { return buf_; }
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Bounds-checked byte source.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  template <typename T>
+    requires std::is_integral_v<T>
+  [[nodiscard]] T fixed() {
+    need(sizeof(T));
+    std::make_unsigned_t<T> u = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      u |= static_cast<std::make_unsigned_t<T>>(
+               static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return static_cast<T>(u);
+  }
+
+  [[nodiscard]] std::uint16_t u16() { return fixed<std::uint16_t>(); }
+  [[nodiscard]] std::uint32_t u32() { return fixed<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t u64() { return fixed<std::uint64_t>(); }
+  [[nodiscard]] std::int32_t i32() { return fixed<std::int32_t>(); }
+  [[nodiscard]] std::int64_t i64() { return fixed<std::int64_t>(); }
+
+  [[nodiscard]] double f64() {
+    std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  [[nodiscard]] bool boolean() { return u8() != 0; }
+
+  [[nodiscard]] std::string str() {
+    std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  [[nodiscard]] std::vector<std::byte> blob() {
+    std::uint32_t n = u32();
+    need(n);
+    std::vector<std::byte> b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                             data_.begin() +
+                                 static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+
+  /// Reads an element count and validates it against the bytes actually
+  /// remaining (each element needs at least `min_bytes_each`). Stops a
+  /// malicious count field from driving a multi-gigabyte allocation.
+  [[nodiscard]] std::uint32_t count(std::size_t min_bytes_each = 1) {
+    std::uint32_t n = u32();
+    if (min_bytes_each > 0 &&
+        static_cast<std::size_t>(n) > remaining() / min_bytes_each) {
+      throw DecodeError("count " + std::to_string(n) +
+                        " exceeds remaining input");
+    }
+    return n;
+  }
+
+  [[nodiscard]] SiteId site() { return u32(); }
+  [[nodiscard]] ProgramId program() { return ProgramId{u64()}; }
+  [[nodiscard]] GlobalAddress address() { return GlobalAddress{u64()}; }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) {
+      throw DecodeError("truncated input: need " + std::to_string(n) +
+                        " bytes, have " + std::to_string(data_.size() - pos_));
+    }
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience: copy a POD-ish value into a byte vector (used for
+/// microframe parameter slots, which are opaque byte strings).
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+[[nodiscard]] std::vector<std::byte> to_bytes(const T& v) {
+  std::vector<std::byte> out(sizeof(T));
+  std::memcpy(out.data(), &v, sizeof(T));
+  return out;
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+[[nodiscard]] T from_bytes(std::span<const std::byte> b) {
+  if (b.size() != sizeof(T)) {
+    throw DecodeError("value size mismatch: have " + std::to_string(b.size()) +
+                      ", want " + std::to_string(sizeof(T)));
+  }
+  T v;
+  std::memcpy(&v, b.data(), sizeof(T));
+  return v;
+}
+
+}  // namespace sdvm

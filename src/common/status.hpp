@@ -1,0 +1,100 @@
+// Lightweight Status / Result<T> types. SDVM is a long-running daemon:
+// remote failures (unknown site, missing code, decode errors) are expected
+// events and must be values, not exceptions, on manager boundaries.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sdvm {
+
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kUnavailable,       // site unreachable / signed off
+  kCorrupt,           // decode or integrity failure
+  kUnsupported,       // e.g. no binary and no source for a platform
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+};
+
+[[nodiscard]] inline const char* to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk:                 return "ok";
+    case ErrorCode::kNotFound:           return "not-found";
+    case ErrorCode::kAlreadyExists:      return "already-exists";
+    case ErrorCode::kInvalidArgument:    return "invalid-argument";
+    case ErrorCode::kUnavailable:        return "unavailable";
+    case ErrorCode::kCorrupt:            return "corrupt";
+    case ErrorCode::kUnsupported:        return "unsupported";
+    case ErrorCode::kResourceExhausted:  return "resource-exhausted";
+    case ErrorCode::kFailedPrecondition: return "failed-precondition";
+    case ErrorCode::kInternal:           return "internal";
+  }
+  return "unknown";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+  static Status error(ErrorCode code, std::string msg) {
+    return Status{code, std::move(msg)};
+  }
+
+  [[nodiscard]] bool is_ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    return is_ok() ? "ok"
+                   : std::string(sdvm::to_string(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.is_ok() && "ok Status carries no value");
+  }
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return value_.value_or(std::move(fallback));
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::error(ErrorCode::kInternal, "empty result");
+};
+
+}  // namespace sdvm

@@ -1,0 +1,23 @@
+#include "common/types.hpp"
+
+namespace sdvm {
+
+const char* to_string(ManagerId id) {
+  switch (id) {
+    case ManagerId::kProcessing:       return "processing";
+    case ManagerId::kScheduling:       return "scheduling";
+    case ManagerId::kCode:             return "code";
+    case ManagerId::kAttractionMemory: return "attraction-memory";
+    case ManagerId::kIo:               return "io";
+    case ManagerId::kCluster:          return "cluster";
+    case ManagerId::kProgram:          return "program";
+    case ManagerId::kSite:             return "site";
+    case ManagerId::kMessage:          return "message";
+    case ManagerId::kSecurity:         return "security";
+    case ManagerId::kNetwork:          return "network";
+    case ManagerId::kCrash:            return "crash";
+  }
+  return "unknown";
+}
+
+}  // namespace sdvm

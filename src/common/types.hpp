@@ -1,0 +1,121 @@
+// Fundamental identifier types shared by every SDVM module.
+//
+// Terminology follows the paper (Haase/Eschmann/Waldschmidt, IPPS 2005):
+// a *site* is one machine running the SDVM daemon; *microthreads* are
+// run-to-completion code fragments; *microframes* hold their start
+// arguments and live in the attraction memory under a global address.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sdvm {
+
+/// Logical site identifier, assigned by the cluster manager at sign-on.
+/// Site ids are cluster-unique and never reused within a cluster lifetime.
+using SiteId = std::uint32_t;
+
+/// Sentinel for "no site".
+inline constexpr SiteId kInvalidSite = 0xFFFFFFFFu;
+
+/// Platform identifier ("linux-x86", "hpux-parisc", ...). Microthread
+/// binaries are only runnable on the platform they were compiled for;
+/// mismatches trigger the source-transfer + on-the-fly-compile path.
+using PlatformId = std::string;
+
+/// Program identifier: the starting site's id in the high 32 bits plus a
+/// per-site counter, so ids are cluster-unique without coordination.
+struct ProgramId {
+  std::uint64_t value = 0;
+
+  constexpr ProgramId() = default;
+  constexpr explicit ProgramId(std::uint64_t v) : value(v) {}
+  constexpr ProgramId(SiteId home, std::uint32_t counter)
+      : value((std::uint64_t{home} << 32) | counter) {}
+
+  [[nodiscard]] constexpr SiteId home_site() const {
+    return static_cast<SiteId>(value >> 32);
+  }
+  [[nodiscard]] constexpr std::uint32_t counter() const {
+    return static_cast<std::uint32_t>(value);
+  }
+  [[nodiscard]] constexpr bool valid() const { return value != 0; }
+
+  friend constexpr bool operator==(ProgramId, ProgramId) = default;
+  friend constexpr auto operator<=>(ProgramId, ProgramId) = default;
+};
+
+/// Index of a microthread within its program's microthread table.
+using MicrothreadId = std::uint32_t;
+
+inline constexpr MicrothreadId kInvalidMicrothread = 0xFFFFFFFFu;
+
+/// Global memory address in the attraction memory. The paper requires the
+/// address to contain "the id of the site it is created on" (the homesite),
+/// so any site can locate the homesite directory responsible for the object.
+struct GlobalAddress {
+  std::uint64_t value = 0;
+
+  constexpr GlobalAddress() = default;
+  constexpr explicit GlobalAddress(std::uint64_t v) : value(v) {}
+  constexpr GlobalAddress(SiteId home, std::uint64_t local_counter)
+      : value((std::uint64_t{home} << 40) | (local_counter & kLocalMask)) {}
+
+  static constexpr std::uint64_t kLocalMask = (std::uint64_t{1} << 40) - 1;
+
+  [[nodiscard]] constexpr SiteId home_site() const {
+    return static_cast<SiteId>(value >> 40);
+  }
+  [[nodiscard]] constexpr std::uint64_t local_id() const {
+    return value & kLocalMask;
+  }
+  [[nodiscard]] constexpr bool valid() const { return value != 0; }
+
+  friend constexpr bool operator==(GlobalAddress, GlobalAddress) = default;
+  friend constexpr auto operator<=>(GlobalAddress, GlobalAddress) = default;
+};
+
+/// Microframes are global memory objects; their id is their address.
+using FrameId = GlobalAddress;
+
+/// The managers an SDVM daemon consists of (Figure 3 of the paper).
+/// Every SDMessage is addressed to one manager on one site.
+enum class ManagerId : std::uint8_t {
+  kProcessing = 0,
+  kScheduling = 1,
+  kCode = 2,
+  kAttractionMemory = 3,
+  kIo = 4,
+  kCluster = 5,
+  kProgram = 6,
+  kSite = 7,
+  kMessage = 8,
+  kSecurity = 9,
+  kNetwork = 10,
+  kCrash = 11,
+};
+
+[[nodiscard]] const char* to_string(ManagerId id);
+
+/// Monotonic time in nanoseconds. Both the wall clock (threads/tcp modes)
+/// and the virtual clock (sim mode) report in this unit.
+using Nanos = std::int64_t;
+
+inline constexpr Nanos kNanosPerSecond = 1'000'000'000;
+
+}  // namespace sdvm
+
+template <>
+struct std::hash<sdvm::ProgramId> {
+  std::size_t operator()(const sdvm::ProgramId& p) const noexcept {
+    return std::hash<std::uint64_t>{}(p.value);
+  }
+};
+
+template <>
+struct std::hash<sdvm::GlobalAddress> {
+  std::size_t operator()(const sdvm::GlobalAddress& a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.value);
+  }
+};

@@ -1,0 +1,32 @@
+// ChaCha20 stream cipher (RFC 8439) for the security manager's link
+// encryption. Encryption and decryption are the same XOR-keystream
+// operation. Validated against the RFC test vectors.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sdvm::crypto {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+  using Key = std::array<std::uint8_t, kKeySize>;
+  using Nonce = std::array<std::uint8_t, kNonceSize>;
+
+  /// XORs the keystream (key, nonce, starting at block `counter`) into
+  /// `data` in place.
+  static void apply(const Key& key, const Nonce& nonce, std::uint32_t counter,
+                    std::span<std::byte> data);
+
+  /// Raw block function, exposed for the RFC 8439 block test vector.
+  static std::array<std::uint8_t, 64> block(const Key& key,
+                                            const Nonce& nonce,
+                                            std::uint32_t counter);
+};
+
+}  // namespace sdvm::crypto

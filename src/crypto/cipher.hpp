@@ -1,0 +1,39 @@
+// Authenticated link cipher used by the security manager.
+//
+// Scheme: per-cluster master key = HMAC(password, "sdvm-master"); per-pair
+// session keys = HMAC(master, min(a,b) || max(a,b)). Each sealed message
+// carries a fresh 96-bit nonce; payload is ChaCha20-encrypted and
+// authenticated with truncated HMAC-SHA256 (encrypt-then-MAC). This mirrors
+// the paper's security manager, where a start password supplied by hand
+// bootstraps the encrypted channel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sdvm::crypto {
+
+/// Derives the cluster master key from the shared start password.
+[[nodiscard]] ChaCha20::Key derive_master_key(std::string_view password);
+
+/// Derives the symmetric session key for the (unordered) site pair {a, b}.
+[[nodiscard]] ChaCha20::Key derive_pair_key(const ChaCha20::Key& master,
+                                            SiteId a, SiteId b);
+
+/// Seals plaintext: [nonce(12) | ciphertext | mac(16)].
+[[nodiscard]] std::vector<std::byte> seal(const ChaCha20::Key& key,
+                                          std::uint64_t nonce_seed,
+                                          std::span<const std::byte> plain);
+
+/// Opens a sealed blob; fails with kCorrupt on MAC mismatch or truncation.
+[[nodiscard]] Result<std::vector<std::byte>> open(
+    const ChaCha20::Key& key, std::span<const std::byte> sealed);
+
+}  // namespace sdvm::crypto

@@ -1,0 +1,71 @@
+// MicroC abstract syntax tree. One source unit is the body of one
+// microthread: a statement list over int64 locals plus SDVM intrinsics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "microc/token.hpp"
+
+namespace sdvm::microc {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : std::uint8_t {
+  kIntLiteral,
+  kStringLiteral,
+  kVariable,
+  kUnary,    // -, !, ~
+  kBinary,   // arithmetic / comparison / bitwise / logical
+  kCall,     // intrinsic call
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  // kIntLiteral
+  std::int64_t int_value = 0;
+  // kStringLiteral / kVariable / kCall (name)
+  std::string name;
+  // kUnary / kBinary operator
+  Tok op = Tok::kEof;
+  // operands / call arguments
+  std::vector<ExprPtr> children;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : std::uint8_t {
+  kVarDecl,   // var x = expr;
+  kAssign,    // x = expr;
+  kIf,        // if (cond) then [else]
+  kWhile,     // while (cond) body
+  kFor,       // for (init; cond; step) body — desugared while with a step
+  kBreak,     // break;
+  kContinue,  // continue;
+  kReturn,    // return;
+  kExpr,      // expr; (result discarded)
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  std::string name;               // kVarDecl / kAssign target
+  ExprPtr expr;                   // initializer / rhs / condition / call
+  std::vector<StmtPtr> body;      // then-branch or loop body
+  std::vector<StmtPtr> else_body; // kIf only
+  StmtPtr init;                   // kFor only
+  StmtPtr step;                   // kFor only
+};
+
+struct Unit {
+  std::vector<StmtPtr> statements;
+};
+
+}  // namespace sdvm::microc

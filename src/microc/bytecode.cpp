@@ -1,0 +1,122 @@
+#include "microc/bytecode.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace sdvm::microc {
+
+namespace {
+constexpr std::array<IntrinsicInfo, 15> kIntrinsics = {{
+    {Intrinsic::kParam, "param", 1, true},
+    {Intrinsic::kNumParams, "nparams", 0, true},
+    {Intrinsic::kSpawn, "spawn", 2, true},
+    {Intrinsic::kSend, "send", 3, false},
+    {Intrinsic::kAlloc, "alloc", 1, true},
+    {Intrinsic::kLoad, "load", 2, true},
+    {Intrinsic::kStore, "store", 3, false},
+    {Intrinsic::kOut, "out", 1, false},
+    {Intrinsic::kOutStr, "outs", 1, false},
+    {Intrinsic::kCharge, "charge", 1, false},
+    {Intrinsic::kSelfSite, "selfsite", 0, true},
+    {Intrinsic::kArg, "arg", 1, true},
+    {Intrinsic::kNumArgs, "nargs", 0, true},
+    {Intrinsic::kExit, "exit", 1, false},
+    {Intrinsic::kSpawnP, "spawnp", 3, true},
+}};
+}  // namespace
+
+const IntrinsicInfo* find_intrinsic(const std::string& name) {
+  for (const auto& info : kIntrinsics) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
+const IntrinsicInfo& intrinsic_info(Intrinsic id) {
+  return kIntrinsics[static_cast<std::size_t>(id)];
+}
+
+std::vector<std::byte> Program::serialize() const {
+  ByteWriter w;
+  w.str(name);
+  w.blob(code);
+  w.u32(static_cast<std::uint32_t>(string_pool.size()));
+  for (const auto& s : string_pool) w.str(s);
+  w.u16(local_count);
+  return w.take();
+}
+
+Result<Program> Program::deserialize(std::span<const std::byte> bytes) {
+  try {
+    ByteReader r(bytes);
+    Program p;
+    p.name = r.str();
+    p.code = r.blob();
+    std::uint32_t n = r.count(/*min_bytes_each=*/4);
+    p.string_pool.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) p.string_pool.push_back(r.str());
+    p.local_count = r.u16();
+    return p;
+  } catch (const DecodeError& e) {
+    return Status::error(ErrorCode::kCorrupt,
+                         std::string("bad bytecode artifact: ") + e.what());
+  }
+}
+
+std::string disassemble(const Program& p) {
+  std::ostringstream os;
+  os << "; microthread '" << p.name << "', " << p.local_count << " locals\n";
+  ByteReader r(p.code);
+  std::size_t total = p.code.size();
+  while (!r.done()) {
+    std::size_t pc = total - r.remaining();
+    Op op = static_cast<Op>(r.u8());
+    os << pc << "\t";
+    switch (op) {
+      case Op::kPushInt: os << "push " << r.i64(); break;
+      case Op::kPushStr: {
+        std::uint32_t idx = r.u32();
+        os << "pushs #" << idx;
+        if (idx < p.string_pool.size()) os << " \"" << p.string_pool[idx] << '"';
+        break;
+      }
+      case Op::kLoadLocal: os << "load_local " << r.u16(); break;
+      case Op::kStoreLocal: os << "store_local " << r.u16(); break;
+      case Op::kAdd: os << "add"; break;
+      case Op::kSub: os << "sub"; break;
+      case Op::kMul: os << "mul"; break;
+      case Op::kDiv: os << "div"; break;
+      case Op::kMod: os << "mod"; break;
+      case Op::kNeg: os << "neg"; break;
+      case Op::kEq: os << "eq"; break;
+      case Op::kNe: os << "ne"; break;
+      case Op::kLt: os << "lt"; break;
+      case Op::kLe: os << "le"; break;
+      case Op::kGt: os << "gt"; break;
+      case Op::kGe: os << "ge"; break;
+      case Op::kBitAnd: os << "and"; break;
+      case Op::kBitOr: os << "or"; break;
+      case Op::kBitXor: os << "xor"; break;
+      case Op::kShl: os << "shl"; break;
+      case Op::kShr: os << "shr"; break;
+      case Op::kBitNot: os << "not"; break;
+      case Op::kLogicalNot: os << "lnot"; break;
+      case Op::kJmp: os << "jmp " << r.i32(); break;
+      case Op::kJz: os << "jz " << r.i32(); break;
+      case Op::kJnz: os << "jnz " << r.i32(); break;
+      case Op::kDup: os << "dup"; break;
+      case Op::kPop: os << "pop"; break;
+      case Op::kIntrinsic: {
+        auto id = static_cast<Intrinsic>(r.u8());
+        std::uint8_t argc = r.u8();
+        os << "intrinsic " << intrinsic_info(id).name << "/" << int{argc};
+        break;
+      }
+      case Op::kReturn: os << "ret"; break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sdvm::microc

@@ -1,0 +1,84 @@
+// Bytecode for the MicroC stack machine. A compiled Program is the
+// "platform-specific binary" of the SDVM code manager: it is what travels
+// between sites, tagged with the compiling site's platform id.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "common/status.hpp"
+
+namespace sdvm::microc {
+
+enum class Op : std::uint8_t {
+  kPushInt = 0,   // imm64: push constant
+  kPushStr,       // u32: push string-pool index
+  kLoadLocal,     // u16: push local slot
+  kStoreLocal,    // u16: pop into local slot
+  kAdd, kSub, kMul, kDiv, kMod, kNeg,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kBitAnd, kBitOr, kBitXor, kShl, kShr, kBitNot,
+  kLogicalNot,
+  kJmp,           // i32: relative jump (from next instruction)
+  kJz,            // i32: pop; jump if zero
+  kJnz,           // i32: pop; jump if nonzero
+  kDup,           // duplicate top of stack (short-circuit &&/||)
+  kPop,
+  kIntrinsic,     // u8 intrinsic id, u8 argc: pops argc args, may push result
+  kReturn,
+};
+
+/// SDVM intrinsics callable from MicroC. These are "the specific commands
+/// extending the used programming language" of paper §3.1 — the only
+/// interface between an application and the SDVM.
+enum class Intrinsic : std::uint8_t {
+  kParam = 0,   // param(i) -> int64 parameter i of the current microframe
+  kNumParams,   // nparams() -> int64
+  kSpawn,       // spawn("thread-name", nparams) -> frame global address
+  kSend,        // send(frame_addr, slot, value)
+  kAlloc,       // alloc(nwords) -> global address of int64[nwords]
+  kLoad,        // load(addr, index) -> int64
+  kStore,       // store(addr, index, value)
+  kOut,         // out(value): integer to the I/O manager / frontend
+  kOutStr,      // outs("text")
+  kCharge,      // charge(cycles): sim-mode cost accounting
+  kSelfSite,    // selfsite() -> the executing site's logical id
+  kArg,         // arg(i) -> int64 program argument i (start parameters)
+  kNumArgs,     // nargs() -> int64
+  kExit,        // exit(code): terminate the whole program, cluster-wide
+  kSpawnP,      // spawnp("name", nparams, priority) -> frame address
+                // (scheduling hint attached to the microframe, §3.3)
+};
+
+struct IntrinsicInfo {
+  Intrinsic id;
+  const char* name;
+  int arity;
+  bool returns_value;
+};
+
+/// Table of all intrinsics; nullptr-name terminated lookup by name.
+[[nodiscard]] const IntrinsicInfo* find_intrinsic(const std::string& name);
+[[nodiscard]] const IntrinsicInfo& intrinsic_info(Intrinsic id);
+
+/// A compiled microthread body.
+struct Program {
+  std::string name;                     // microthread name (diagnostics)
+  std::vector<std::byte> code;          // linear bytecode
+  std::vector<std::string> string_pool; // string literals
+  std::uint16_t local_count = 0;
+
+  [[nodiscard]] std::vector<std::byte> serialize() const;
+  [[nodiscard]] static Result<Program> deserialize(
+      std::span<const std::byte> bytes);
+
+  friend bool operator==(const Program&, const Program&) = default;
+};
+
+/// Human-readable listing, for tests and the `sdvm-mcc` tool.
+[[nodiscard]] std::string disassemble(const Program& p);
+
+}  // namespace sdvm::microc

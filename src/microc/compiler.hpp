@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string_view>
+
+#include "common/status.hpp"
+#include "microc/bytecode.hpp"
+
+namespace sdvm::microc {
+
+/// Compiles one MicroC source unit to bytecode. This is the "compile on the
+/// fly" operation a site performs when it receives microthread source for a
+/// platform it has no binary for. Returns kInvalidArgument with a
+/// line:column diagnostic on any lex/parse/semantic error.
+[[nodiscard]] Result<Program> compile(std::string_view source,
+                                      std::string name);
+
+}  // namespace sdvm::microc

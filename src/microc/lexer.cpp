@@ -1,0 +1,240 @@
+#include "microc/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace sdvm::microc {
+
+const char* to_string(Tok t) {
+  switch (t) {
+    case Tok::kEof:      return "<eof>";
+    case Tok::kInt:      return "<int>";
+    case Tok::kString:   return "<string>";
+    case Tok::kIdent:    return "<ident>";
+    case Tok::kVar:      return "var";
+    case Tok::kIf:       return "if";
+    case Tok::kElse:     return "else";
+    case Tok::kWhile:    return "while";
+    case Tok::kFor:      return "for";
+    case Tok::kBreak:    return "break";
+    case Tok::kContinue: return "continue";
+    case Tok::kReturn:   return "return";
+    case Tok::kLParen:   return "(";
+    case Tok::kRParen:   return ")";
+    case Tok::kLBrace:   return "{";
+    case Tok::kRBrace:   return "}";
+    case Tok::kComma:    return ",";
+    case Tok::kSemi:     return ";";
+    case Tok::kAssign:   return "=";
+    case Tok::kPlus:     return "+";
+    case Tok::kMinus:    return "-";
+    case Tok::kStar:     return "*";
+    case Tok::kSlash:    return "/";
+    case Tok::kPercent:  return "%";
+    case Tok::kEq:       return "==";
+    case Tok::kNe:       return "!=";
+    case Tok::kLt:       return "<";
+    case Tok::kLe:       return "<=";
+    case Tok::kGt:       return ">";
+    case Tok::kGe:       return ">=";
+    case Tok::kAmpAmp:   return "&&";
+    case Tok::kPipePipe: return "||";
+    case Tok::kBang:     return "!";
+    case Tok::kAmp:      return "&";
+    case Tok::kPipe:     return "|";
+    case Tok::kCaret:    return "^";
+    case Tok::kShl:      return "<<";
+    case Tok::kShr:      return ">>";
+    case Tok::kTilde:    return "~";
+  }
+  return "?";
+}
+
+namespace {
+const std::unordered_map<std::string_view, Tok>& keywords() {
+  static const std::unordered_map<std::string_view, Tok> kw = {
+      {"var", Tok::kVar},
+      {"if", Tok::kIf},
+      {"else", Tok::kElse},
+      {"while", Tok::kWhile},
+      {"for", Tok::kFor},
+      {"break", Tok::kBreak},
+      {"continue", Tok::kContinue},
+      {"return", Tok::kReturn},
+  };
+  return kw;
+}
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+
+  auto peek = [&](std::size_t k = 0) -> char {
+    return i + k < src.size() ? src[i + k] : '\0';
+  };
+  auto advance = [&]() -> char {
+    char c = src[i++];
+    if (c == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    return c;
+  };
+  auto fail = [&](std::string msg) -> void {
+    throw LexError(CompileError{std::move(msg), line, col});
+  };
+  auto push = [&](Tok kind, int l, int c) {
+    Token t;
+    t.kind = kind;
+    t.line = l;
+    t.column = c;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    char c = peek();
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    // Comments: // to end of line, /* ... */.
+    if (c == '/' && peek(1) == '/') {
+      while (i < src.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (i < src.size() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (i >= src.size()) fail("unterminated block comment");
+      advance();
+      advance();
+      continue;
+    }
+
+    int tl = line, tc = col;
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::int64_t v = 0;
+      bool overflow = false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        int digit = advance() - '0';
+        if (v > (INT64_MAX - digit) / 10) overflow = true;
+        if (!overflow) v = v * 10 + digit;
+      }
+      if (overflow) fail("integer literal overflows int64");
+      Token t;
+      t.kind = Tok::kInt;
+      t.int_value = v;
+      t.line = tl;
+      t.column = tc;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_') {
+        ident.push_back(advance());
+      }
+      Token t;
+      auto it = keywords().find(ident);
+      t.kind = it != keywords().end() ? it->second : Tok::kIdent;
+      if (t.kind == Tok::kIdent) t.text = std::move(ident);
+      t.line = tl;
+      t.column = tc;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    if (c == '"') {
+      advance();
+      std::string s;
+      while (peek() != '"') {
+        if (i >= src.size()) fail("unterminated string literal");
+        char ch = advance();
+        if (ch == '\\') {
+          char esc = advance();
+          switch (esc) {
+            case 'n': s.push_back('\n'); break;
+            case 't': s.push_back('\t'); break;
+            case '"': s.push_back('"'); break;
+            case '\\': s.push_back('\\'); break;
+            default: fail("unknown escape sequence");
+          }
+        } else {
+          s.push_back(ch);
+        }
+      }
+      advance();
+      Token t;
+      t.kind = Tok::kString;
+      t.text = std::move(s);
+      t.line = tl;
+      t.column = tc;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    advance();
+    switch (c) {
+      case '(': push(Tok::kLParen, tl, tc); break;
+      case ')': push(Tok::kRParen, tl, tc); break;
+      case '{': push(Tok::kLBrace, tl, tc); break;
+      case '}': push(Tok::kRBrace, tl, tc); break;
+      case ',': push(Tok::kComma, tl, tc); break;
+      case ';': push(Tok::kSemi, tl, tc); break;
+      case '+': push(Tok::kPlus, tl, tc); break;
+      case '-': push(Tok::kMinus, tl, tc); break;
+      case '*': push(Tok::kStar, tl, tc); break;
+      case '/': push(Tok::kSlash, tl, tc); break;
+      case '%': push(Tok::kPercent, tl, tc); break;
+      case '^': push(Tok::kCaret, tl, tc); break;
+      case '~': push(Tok::kTilde, tl, tc); break;
+      case '=':
+        if (peek() == '=') { advance(); push(Tok::kEq, tl, tc); }
+        else push(Tok::kAssign, tl, tc);
+        break;
+      case '!':
+        if (peek() == '=') { advance(); push(Tok::kNe, tl, tc); }
+        else push(Tok::kBang, tl, tc);
+        break;
+      case '<':
+        if (peek() == '=') { advance(); push(Tok::kLe, tl, tc); }
+        else if (peek() == '<') { advance(); push(Tok::kShl, tl, tc); }
+        else push(Tok::kLt, tl, tc);
+        break;
+      case '>':
+        if (peek() == '=') { advance(); push(Tok::kGe, tl, tc); }
+        else if (peek() == '>') { advance(); push(Tok::kShr, tl, tc); }
+        else push(Tok::kGt, tl, tc);
+        break;
+      case '&':
+        if (peek() == '&') { advance(); push(Tok::kAmpAmp, tl, tc); }
+        else push(Tok::kAmp, tl, tc);
+        break;
+      case '|':
+        if (peek() == '|') { advance(); push(Tok::kPipePipe, tl, tc); }
+        else push(Tok::kPipe, tl, tc);
+        break;
+      default:
+        fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Token eof;
+  eof.kind = Tok::kEof;
+  eof.line = line;
+  eof.column = col;
+  out.push_back(std::move(eof));
+  return out;
+}
+
+}  // namespace sdvm::microc

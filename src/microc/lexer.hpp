@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "microc/token.hpp"
+
+namespace sdvm::microc {
+
+/// Compile-time diagnostics carry a position; the code manager reports them
+/// back to the site that shipped the source.
+struct CompileError {
+  std::string message;
+  int line = 0;
+  int column = 0;
+
+  [[nodiscard]] std::string to_string() const {
+    return "line " + std::to_string(line) + ":" + std::to_string(column) +
+           ": " + message;
+  }
+};
+
+class LexError : public std::exception {
+ public:
+  explicit LexError(CompileError e) : error(std::move(e)) {}
+  const char* what() const noexcept override { return error.message.c_str(); }
+  CompileError error;
+};
+
+/// Tokenizes a full source unit. Throws LexError on malformed input.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace sdvm::microc

@@ -1,0 +1,261 @@
+#include "microc/parser.hpp"
+
+namespace sdvm::microc {
+
+namespace {
+
+/// Recursive-descent parser with precedence climbing for binary operators.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Unit parse_unit() {
+    Unit u;
+    while (!at(Tok::kEof)) {
+      u.statements.push_back(statement());
+    }
+    return u;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  bool at(Tok t) const { return cur().kind == t; }
+
+  Token eat() { return toks_[pos_++]; }
+
+  Token expect(Tok t, const char* context) {
+    if (!at(t)) {
+      fail(std::string("expected '") + to_string(t) + "' " + context +
+           ", found '" + to_string(cur().kind) + "'");
+    }
+    return eat();
+  }
+
+  [[noreturn]] void fail(std::string msg) const {
+    throw ParseError(CompileError{std::move(msg), cur().line, cur().column});
+  }
+
+  StmtPtr statement() {
+    auto s = std::make_unique<Stmt>();
+    s->line = cur().line;
+
+    if (at(Tok::kVar)) {
+      eat();
+      s->kind = StmtKind::kVarDecl;
+      s->name = expect(Tok::kIdent, "after 'var'").text;
+      expect(Tok::kAssign, "in variable declaration");
+      s->expr = expression();
+      expect(Tok::kSemi, "after declaration");
+      return s;
+    }
+    if (at(Tok::kIf)) {
+      eat();
+      s->kind = StmtKind::kIf;
+      expect(Tok::kLParen, "after 'if'");
+      s->expr = expression();
+      expect(Tok::kRParen, "after condition");
+      s->body = block();
+      if (at(Tok::kElse)) {
+        eat();
+        if (at(Tok::kIf)) {
+          s->else_body.push_back(statement());  // else-if chains
+        } else {
+          s->else_body = block();
+        }
+      }
+      return s;
+    }
+    if (at(Tok::kWhile)) {
+      eat();
+      s->kind = StmtKind::kWhile;
+      expect(Tok::kLParen, "after 'while'");
+      s->expr = expression();
+      expect(Tok::kRParen, "after condition");
+      s->body = block();
+      return s;
+    }
+    if (at(Tok::kFor)) {
+      eat();
+      s->kind = StmtKind::kFor;
+      expect(Tok::kLParen, "after 'for'");
+      if (!at(Tok::kSemi)) s->init = simple_statement_no_semi();
+      expect(Tok::kSemi, "after for-initializer");
+      if (!at(Tok::kSemi)) s->expr = expression();
+      expect(Tok::kSemi, "after for-condition");
+      if (!at(Tok::kRParen)) s->step = simple_statement_no_semi();
+      expect(Tok::kRParen, "after for-step");
+      s->body = block();
+      return s;
+    }
+    if (at(Tok::kBreak)) {
+      eat();
+      s->kind = StmtKind::kBreak;
+      expect(Tok::kSemi, "after 'break'");
+      return s;
+    }
+    if (at(Tok::kContinue)) {
+      eat();
+      s->kind = StmtKind::kContinue;
+      expect(Tok::kSemi, "after 'continue'");
+      return s;
+    }
+    if (at(Tok::kReturn)) {
+      eat();
+      s->kind = StmtKind::kReturn;
+      expect(Tok::kSemi, "after 'return'");
+      return s;
+    }
+    // Assignment or expression statement: disambiguate on IDENT '='.
+    if (at(Tok::kIdent) && toks_[pos_ + 1].kind == Tok::kAssign) {
+      s->kind = StmtKind::kAssign;
+      s->name = eat().text;
+      eat();  // '='
+      s->expr = expression();
+      expect(Tok::kSemi, "after assignment");
+      return s;
+    }
+    s->kind = StmtKind::kExpr;
+    s->expr = expression();
+    expect(Tok::kSemi, "after expression");
+    return s;
+  }
+
+  /// A declaration, assignment, or expression — without the trailing ';'.
+  /// Used by for-headers.
+  StmtPtr simple_statement_no_semi() {
+    auto s = std::make_unique<Stmt>();
+    s->line = cur().line;
+    if (at(Tok::kVar)) {
+      eat();
+      s->kind = StmtKind::kVarDecl;
+      s->name = expect(Tok::kIdent, "after 'var'").text;
+      expect(Tok::kAssign, "in variable declaration");
+      s->expr = expression();
+      return s;
+    }
+    if (at(Tok::kIdent) && toks_[pos_ + 1].kind == Tok::kAssign) {
+      s->kind = StmtKind::kAssign;
+      s->name = eat().text;
+      eat();  // '='
+      s->expr = expression();
+      return s;
+    }
+    s->kind = StmtKind::kExpr;
+    s->expr = expression();
+    return s;
+  }
+
+  std::vector<StmtPtr> block() {
+    expect(Tok::kLBrace, "to open block");
+    std::vector<StmtPtr> body;
+    while (!at(Tok::kRBrace)) {
+      if (at(Tok::kEof)) fail("unterminated block");
+      body.push_back(statement());
+    }
+    eat();
+    return body;
+  }
+
+  static int precedence(Tok t) {
+    switch (t) {
+      case Tok::kPipePipe: return 1;
+      case Tok::kAmpAmp:   return 2;
+      case Tok::kPipe:     return 3;
+      case Tok::kCaret:    return 4;
+      case Tok::kAmp:      return 5;
+      case Tok::kEq: case Tok::kNe: return 6;
+      case Tok::kLt: case Tok::kLe: case Tok::kGt: case Tok::kGe: return 7;
+      case Tok::kShl: case Tok::kShr: return 8;
+      case Tok::kPlus: case Tok::kMinus: return 9;
+      case Tok::kStar: case Tok::kSlash: case Tok::kPercent: return 10;
+      default: return -1;
+    }
+  }
+
+  ExprPtr expression() { return binary(0); }
+
+  ExprPtr binary(int min_prec) {
+    ExprPtr lhs = unary();
+    while (true) {
+      int prec = precedence(cur().kind);
+      if (prec < min_prec || prec < 0) break;
+      Tok op = eat().kind;
+      ExprPtr rhs = binary(prec + 1);  // left-associative
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->op = op;
+      node->line = lhs->line;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr unary() {
+    if (at(Tok::kMinus) || at(Tok::kBang) || at(Tok::kTilde)) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kUnary;
+      node->line = cur().line;
+      node->op = eat().kind;
+      node->children.push_back(unary());
+      return node;
+    }
+    return primary();
+  }
+
+  ExprPtr primary() {
+    auto node = std::make_unique<Expr>();
+    node->line = cur().line;
+
+    if (at(Tok::kInt)) {
+      node->kind = ExprKind::kIntLiteral;
+      node->int_value = eat().int_value;
+      return node;
+    }
+    if (at(Tok::kString)) {
+      node->kind = ExprKind::kStringLiteral;
+      node->name = eat().text;
+      return node;
+    }
+    if (at(Tok::kLParen)) {
+      eat();
+      node = expression();
+      expect(Tok::kRParen, "to close parenthesized expression");
+      return node;
+    }
+    if (at(Tok::kIdent)) {
+      std::string name = eat().text;
+      if (at(Tok::kLParen)) {
+        eat();
+        node->kind = ExprKind::kCall;
+        node->name = std::move(name);
+        if (!at(Tok::kRParen)) {
+          node->children.push_back(expression());
+          while (at(Tok::kComma)) {
+            eat();
+            node->children.push_back(expression());
+          }
+        }
+        expect(Tok::kRParen, "to close call");
+        return node;
+      }
+      node->kind = ExprKind::kVariable;
+      node->name = std::move(name);
+      return node;
+    }
+    fail(std::string("expected expression, found '") +
+         to_string(cur().kind) + "'");
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Unit parse(std::string_view source) {
+  return Parser(lex(source)).parse_unit();
+}
+
+}  // namespace sdvm::microc

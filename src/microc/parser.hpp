@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string_view>
+
+#include "microc/ast.hpp"
+#include "microc/lexer.hpp"
+
+namespace sdvm::microc {
+
+class ParseError : public std::exception {
+ public:
+  explicit ParseError(CompileError e) : error(std::move(e)) {}
+  const char* what() const noexcept override { return error.message.c_str(); }
+  CompileError error;
+};
+
+/// Parses one microthread source unit. Throws LexError / ParseError.
+[[nodiscard]] Unit parse(std::string_view source);
+
+}  // namespace sdvm::microc

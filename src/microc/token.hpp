@@ -1,0 +1,37 @@
+// Token stream for MicroC, the small C-like language SDVM microthreads can
+// be shipped as "source" in. A site whose platform has no binary artifact
+// receives MicroC source and compiles it on the fly (paper §3.4/§4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sdvm::microc {
+
+enum class Tok : std::uint8_t {
+  kEof,
+  kInt,        // integer literal
+  kString,     // "..." literal
+  kIdent,
+  // keywords
+  kVar, kIf, kElse, kWhile, kFor, kBreak, kContinue, kReturn,
+  // punctuation / operators
+  kLParen, kRParen, kLBrace, kRBrace, kComma, kSemi,
+  kAssign,                      // =
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAmpAmp, kPipePipe, kBang,
+  kAmp, kPipe, kCaret, kShl, kShr, kTilde,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;        // identifier or string literal contents
+  std::int64_t int_value = 0;
+  int line = 0;
+  int column = 0;
+};
+
+[[nodiscard]] const char* to_string(Tok t);
+
+}  // namespace sdvm::microc

@@ -1,0 +1,205 @@
+#include "microc/vm.hpp"
+
+namespace sdvm::microc {
+
+namespace {
+
+class TrapError : public std::exception {
+ public:
+  explicit TrapError(std::string msg) : msg_(std::move(msg)) {}
+  const char* what() const noexcept override { return msg_.c_str(); }
+
+ private:
+  std::string msg_;
+};
+
+}  // namespace
+
+VmResult Vm::run(const Program& program, IntrinsicHandler& handler,
+                 std::uint64_t step_limit) {
+  const std::byte* code = program.code.data();
+  const std::size_t code_size = program.code.size();
+  std::size_t pc = 0;
+  std::vector<std::int64_t> stack;
+  stack.reserve(32);
+  std::vector<std::int64_t> locals(program.local_count, 0);
+  std::uint64_t steps = 0;
+
+  auto read_u8 = [&]() -> std::uint8_t {
+    if (pc >= code_size) throw TrapError("pc past end of code");
+    return static_cast<std::uint8_t>(code[pc++]);
+  };
+  auto read_u16 = [&]() -> std::uint16_t {
+    std::uint16_t lo = read_u8();
+    std::uint16_t hi = read_u8();
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  };
+  auto read_u32 = [&]() -> std::uint32_t {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{read_u8()} << (8 * i);
+    return v;
+  };
+  auto read_i64 = [&]() -> std::int64_t {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{read_u8()} << (8 * i);
+    return static_cast<std::int64_t>(v);
+  };
+  auto pop = [&]() -> std::int64_t {
+    if (stack.empty()) throw TrapError("stack underflow");
+    std::int64_t v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+
+  try {
+    while (pc < code_size) {
+      if (++steps > step_limit) {
+        return {Status::error(ErrorCode::kResourceExhausted,
+                              "microthread '" + program.name +
+                                  "' exceeded step limit"),
+                steps};
+      }
+      Op op = static_cast<Op>(read_u8());
+      switch (op) {
+        case Op::kPushInt: stack.push_back(read_i64()); break;
+        case Op::kPushStr: stack.push_back(read_u32()); break;
+        case Op::kLoadLocal: {
+          std::uint16_t slot = read_u16();
+          if (slot >= locals.size()) throw TrapError("bad local slot");
+          stack.push_back(locals[slot]);
+          break;
+        }
+        case Op::kStoreLocal: {
+          std::uint16_t slot = read_u16();
+          if (slot >= locals.size()) throw TrapError("bad local slot");
+          locals[slot] = pop();
+          break;
+        }
+        case Op::kAdd: { auto b = pop(), a = pop(); stack.push_back(a + b); break; }
+        case Op::kSub: { auto b = pop(), a = pop(); stack.push_back(a - b); break; }
+        case Op::kMul: { auto b = pop(), a = pop(); stack.push_back(a * b); break; }
+        case Op::kDiv: {
+          auto b = pop(), a = pop();
+          if (b == 0) throw TrapError("division by zero");
+          if (a == INT64_MIN && b == -1) throw TrapError("division overflow");
+          stack.push_back(a / b);
+          break;
+        }
+        case Op::kMod: {
+          auto b = pop(), a = pop();
+          if (b == 0) throw TrapError("modulo by zero");
+          if (a == INT64_MIN && b == -1) throw TrapError("modulo overflow");
+          stack.push_back(a % b);
+          break;
+        }
+        case Op::kNeg: stack.push_back(-pop()); break;
+        case Op::kEq: { auto b = pop(), a = pop(); stack.push_back(a == b); break; }
+        case Op::kNe: { auto b = pop(), a = pop(); stack.push_back(a != b); break; }
+        case Op::kLt: { auto b = pop(), a = pop(); stack.push_back(a < b); break; }
+        case Op::kLe: { auto b = pop(), a = pop(); stack.push_back(a <= b); break; }
+        case Op::kGt: { auto b = pop(), a = pop(); stack.push_back(a > b); break; }
+        case Op::kGe: { auto b = pop(), a = pop(); stack.push_back(a >= b); break; }
+        case Op::kBitAnd: { auto b = pop(), a = pop(); stack.push_back(a & b); break; }
+        case Op::kBitOr: { auto b = pop(), a = pop(); stack.push_back(a | b); break; }
+        case Op::kBitXor: { auto b = pop(), a = pop(); stack.push_back(a ^ b); break; }
+        case Op::kShl: {
+          auto b = pop(), a = pop();
+          if (b < 0 || b > 63) throw TrapError("shift out of range");
+          stack.push_back(static_cast<std::int64_t>(
+              static_cast<std::uint64_t>(a) << b));
+          break;
+        }
+        case Op::kShr: {
+          auto b = pop(), a = pop();
+          if (b < 0 || b > 63) throw TrapError("shift out of range");
+          stack.push_back(static_cast<std::int64_t>(
+              static_cast<std::uint64_t>(a) >> b));
+          break;
+        }
+        case Op::kBitNot: stack.push_back(~pop()); break;
+        case Op::kLogicalNot: stack.push_back(pop() == 0 ? 1 : 0); break;
+        case Op::kJmp: {
+          auto rel = static_cast<std::int32_t>(read_u32());
+          pc = static_cast<std::size_t>(static_cast<std::int64_t>(pc) + rel);
+          if (pc > code_size) throw TrapError("jump out of range");
+          break;
+        }
+        case Op::kJz: {
+          auto rel = static_cast<std::int32_t>(read_u32());
+          if (pop() == 0) {
+            pc = static_cast<std::size_t>(static_cast<std::int64_t>(pc) + rel);
+            if (pc > code_size) throw TrapError("jump out of range");
+          }
+          break;
+        }
+        case Op::kJnz: {
+          auto rel = static_cast<std::int32_t>(read_u32());
+          if (pop() != 0) {
+            pc = static_cast<std::size_t>(static_cast<std::int64_t>(pc) + rel);
+            if (pc > code_size) throw TrapError("jump out of range");
+          }
+          break;
+        }
+        case Op::kDup: {
+          if (stack.empty()) throw TrapError("stack underflow");
+          stack.push_back(stack.back());
+          break;
+        }
+        case Op::kPop: (void)pop(); break;
+        case Op::kIntrinsic: {
+          auto id = static_cast<Intrinsic>(read_u8());
+          std::uint8_t argc = read_u8();
+          if (stack.size() < argc) throw TrapError("stack underflow in call");
+          std::int64_t a[3] = {0, 0, 0};
+          for (int i = argc - 1; i >= 0; --i) a[i] = pop();
+          auto pool_str = [&](std::int64_t idx) -> const std::string& {
+            if (idx < 0 ||
+                static_cast<std::size_t>(idx) >= program.string_pool.size()) {
+              throw TrapError("bad string pool index");
+            }
+            return program.string_pool[static_cast<std::size_t>(idx)];
+          };
+          switch (id) {
+            case Intrinsic::kParam: stack.push_back(handler.param(a[0])); break;
+            case Intrinsic::kNumParams: stack.push_back(handler.num_params()); break;
+            case Intrinsic::kSpawn:
+              stack.push_back(handler.spawn(pool_str(a[0]), a[1]));
+              break;
+            case Intrinsic::kSend: handler.send(a[0], a[1], a[2]); break;
+            case Intrinsic::kAlloc: stack.push_back(handler.alloc(a[0])); break;
+            case Intrinsic::kLoad: stack.push_back(handler.load(a[0], a[1])); break;
+            case Intrinsic::kStore: handler.store(a[0], a[1], a[2]); break;
+            case Intrinsic::kOut: handler.out(a[0]); break;
+            case Intrinsic::kOutStr: handler.out_str(pool_str(a[0])); break;
+            case Intrinsic::kCharge: handler.charge(a[0]); break;
+            case Intrinsic::kSelfSite: stack.push_back(handler.self_site()); break;
+            case Intrinsic::kArg: stack.push_back(handler.arg(a[0])); break;
+            case Intrinsic::kNumArgs: stack.push_back(handler.num_args()); break;
+            case Intrinsic::kExit: handler.exit_program(a[0]); break;
+            case Intrinsic::kSpawnP:
+              stack.push_back(handler.spawn_prio(pool_str(a[0]), a[1], a[2]));
+              break;
+          }
+          break;
+        }
+        case Op::kReturn:
+          return {Status::ok(), steps};
+        default:
+          throw TrapError("illegal opcode");
+      }
+    }
+    return {Status::ok(), steps};
+  } catch (const TrapError& e) {
+    return {Status::error(ErrorCode::kInternal,
+                          "microthread '" + program.name + "' trapped: " +
+                              e.what() + " (pc=" + std::to_string(pc) + ")"),
+            steps};
+  } catch (const IntrinsicError& e) {
+    return {Status::error(ErrorCode::kUnavailable,
+                          "microthread '" + program.name +
+                              "' aborted in intrinsic: " + e.what()),
+            steps};
+  }
+}
+
+}  // namespace sdvm::microc

@@ -1,0 +1,79 @@
+// Stack-machine interpreter for compiled MicroC. The processing manager
+// executes bytecode microthreads through this VM; SDVM operations (spawn,
+// send, memory access, I/O) are delegated to an IntrinsicHandler the
+// runtime implements. The VM counts executed instructions, which doubles
+// as the virtual-cycle cost model in sim mode.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "microc/bytecode.hpp"
+
+namespace sdvm::microc {
+
+/// Bridge from MicroC intrinsics to the SDVM runtime. Values are int64;
+/// global addresses travel as their 64-bit representation.
+class IntrinsicHandler {
+ public:
+  virtual ~IntrinsicHandler() = default;
+
+  virtual std::int64_t param(std::int64_t index) = 0;
+  virtual std::int64_t num_params() = 0;
+  virtual std::int64_t spawn(const std::string& thread_name,
+                             std::int64_t nparams) = 0;
+  /// spawn with a scheduling-hint priority; default forwards to spawn.
+  virtual std::int64_t spawn_prio(const std::string& thread_name,
+                                  std::int64_t nparams,
+                                  std::int64_t priority) {
+    (void)priority;
+    return spawn(thread_name, nparams);
+  }
+  virtual void send(std::int64_t frame_addr, std::int64_t slot,
+                    std::int64_t value) = 0;
+  virtual std::int64_t alloc(std::int64_t nwords) = 0;
+  virtual std::int64_t load(std::int64_t addr, std::int64_t index) = 0;
+  virtual void store(std::int64_t addr, std::int64_t index,
+                     std::int64_t value) = 0;
+  virtual void out(std::int64_t value) = 0;
+  virtual void out_str(const std::string& text) = 0;
+  virtual void charge(std::int64_t cycles) = 0;
+  virtual std::int64_t self_site() = 0;
+  virtual std::int64_t arg(std::int64_t index) = 0;
+  virtual std::int64_t num_args() = 0;
+  virtual void exit_program(std::int64_t code) = 0;
+};
+
+/// Intrinsic handlers may throw this to abort the running microthread
+/// (e.g. a failed remote memory fetch); the VM converts it into an error
+/// VmResult instead of unwinding through the interpreter loop.
+class IntrinsicError : public std::runtime_error {
+ public:
+  explicit IntrinsicError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct VmResult {
+  Status status;
+  /// Instructions executed — the microthread's intrinsic compute cost.
+  std::uint64_t cycles = 0;
+};
+
+class Vm {
+ public:
+  /// Upper bound on executed instructions; microthreads are "short code
+  /// fragments", so a runaway loop is a program bug we trap.
+  static constexpr std::uint64_t kDefaultStepLimit = 500'000'000;
+
+  /// Runs `program` to completion against `handler`.
+  [[nodiscard]] static VmResult run(const Program& program,
+                                    IntrinsicHandler& handler,
+                                    std::uint64_t step_limit =
+                                        kDefaultStepLimit);
+};
+
+}  // namespace sdvm::microc

@@ -1,0 +1,223 @@
+#include "net/inproc.hpp"
+
+#include <algorithm>
+
+#include "common/clock.hpp"
+#include "common/log.hpp"
+
+namespace sdvm::net {
+
+Status InProcEndpoint::send(const std::string& to,
+                            std::vector<std::byte> bytes) {
+  if (net_ == nullptr) {
+    return Status::error(ErrorCode::kFailedPrecondition, "endpoint closed");
+  }
+  return net_->send_from(address_, to, std::move(bytes));
+}
+
+void InProcEndpoint::close() {
+  if (net_ != nullptr) {
+    net_->detach(address_);
+    net_ = nullptr;
+  }
+}
+
+InProcNetwork::InProcNetwork(std::uint64_t seed) : rng_(seed) {}
+
+InProcNetwork::~InProcNetwork() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_thread_.joinable()) timer_thread_.join();
+}
+
+std::unique_ptr<InProcEndpoint> InProcNetwork::attach(Receiver receiver) {
+  std::lock_guard lock(mu_);
+  std::string addr = "inproc:" + std::to_string(next_id_++);
+  auto ep = std::make_unique<InProcEndpoint>(this, addr, std::move(receiver));
+  endpoints_[addr] = ep.get();
+  return ep;
+}
+
+void InProcNetwork::detach(const std::string& address) {
+  std::lock_guard lock(mu_);
+  endpoints_.erase(address);
+}
+
+void InProcNetwork::set_default_link(LinkModel model) {
+  std::lock_guard lock(mu_);
+  default_link_ = model;
+}
+
+void InProcNetwork::set_link(const std::string& from, const std::string& to,
+                             LinkModel model) {
+  std::lock_guard lock(mu_);
+  links_[{from, to}] = model;
+}
+
+void InProcNetwork::kill(const std::string& address) {
+  std::lock_guard lock(mu_);
+  killed_.insert(address);
+}
+
+bool InProcNetwork::is_killed(const std::string& address) const {
+  std::lock_guard lock(mu_);
+  return killed_.contains(address);
+}
+
+void InProcNetwork::partition(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+  std::lock_guard lock(mu_);
+  for (const auto& x : a) {
+    for (const auto& y : b) {
+      partitioned_.emplace_back(x, y);
+      partitioned_.emplace_back(y, x);
+    }
+  }
+}
+
+void InProcNetwork::heal() {
+  std::lock_guard lock(mu_);
+  partitioned_.clear();
+  killed_.clear();
+}
+
+void InProcNetwork::set_delivery_scheduler(DeliveryScheduler scheduler) {
+  std::lock_guard lock(mu_);
+  scheduler_ = std::move(scheduler);
+}
+
+LinkStats InProcNetwork::total_stats() const {
+  std::lock_guard lock(mu_);
+  LinkStats total;
+  for (const auto& [link, s] : stats_) {
+    total.messages += s.messages;
+    total.bytes += s.bytes;
+    total.dropped += s.dropped;
+  }
+  return total;
+}
+
+LinkStats InProcNetwork::stats(const std::string& from,
+                               const std::string& to) const {
+  std::lock_guard lock(mu_);
+  auto it = stats_.find({from, to});
+  return it == stats_.end() ? LinkStats{} : it->second;
+}
+
+void InProcNetwork::reset_stats() {
+  std::lock_guard lock(mu_);
+  stats_.clear();
+}
+
+Status InProcNetwork::send_from(const std::string& from, const std::string& to,
+                                std::vector<std::byte> bytes) {
+  std::function<void()> deliver_fn;
+  Nanos delay = 0;
+  DeliveryScheduler scheduler;
+  {
+    std::lock_guard lock(mu_);
+    auto& st = stats_[{from, to}];
+    if (killed_.contains(from) || killed_.contains(to)) {
+      st.dropped++;
+      // A dead site is a black hole, not an error the sender can see —
+      // failure detection is the cluster manager's job.
+      return Status::ok();
+    }
+    if (std::find(partitioned_.begin(), partitioned_.end(),
+                  std::pair{from, to}) != partitioned_.end()) {
+      st.dropped++;
+      return Status::ok();
+    }
+    if (!endpoints_.contains(to)) {
+      st.dropped++;
+      return Status::error(ErrorCode::kUnavailable, "no endpoint " + to);
+    }
+
+    LinkModel model = default_link_;
+    if (auto it = links_.find({from, to}); it != links_.end()) {
+      model = it->second;
+    }
+    if (model.cut) {
+      st.dropped++;
+      return Status::ok();
+    }
+    if (model.loss > 0 && rng_.uniform() < model.loss) {
+      st.dropped++;
+      return Status::ok();
+    }
+
+    st.messages++;
+    st.bytes += bytes.size();
+    delay = model.latency +
+            model.per_byte * static_cast<Nanos>(bytes.size());
+    if (model.jitter > 0) {
+      delay += static_cast<Nanos>(
+          rng_.below(static_cast<std::uint64_t>(model.jitter) + 1));
+    }
+    scheduler = scheduler_;
+
+    if (scheduler == nullptr && delay > 0) {
+      // Wall-clock delayed delivery via the timer thread.
+      if (!timer_thread_.joinable()) {
+        timer_thread_ = std::thread([this] { timer_loop(); });
+      }
+      delayed_.push(Pending{WallClock::instance().now() + delay,
+                            delayed_seq_++, to, std::move(bytes)});
+      timer_cv_.notify_one();
+      return Status::ok();
+    }
+  }
+
+  if (scheduler != nullptr) {
+    // Sim mode: the event loop owns time.
+    std::string target = to;
+    auto payload = std::make_shared<std::vector<std::byte>>(std::move(bytes));
+    scheduler(delay, [this, target, payload] {
+      deliver(target, std::move(*payload));
+    });
+    return Status::ok();
+  }
+
+  deliver(to, std::move(bytes));
+  return Status::ok();
+}
+
+void InProcNetwork::deliver(const std::string& to,
+                            std::vector<std::byte> bytes) {
+  Receiver receiver;
+  {
+    std::lock_guard lock(mu_);
+    if (killed_.contains(to)) return;
+    auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) return;
+    receiver = it->second->receiver_;
+  }
+  // Invoke outside the fabric lock: receivers enqueue into site inboxes.
+  if (receiver) receiver(std::move(bytes));
+}
+
+void InProcNetwork::timer_loop() {
+  std::unique_lock lock(mu_);
+  while (!stop_) {
+    if (delayed_.empty()) {
+      timer_cv_.wait(lock, [this] { return stop_ || !delayed_.empty(); });
+      continue;
+    }
+    Nanos now = WallClock::instance().now();
+    if (delayed_.top().due > now) {
+      timer_cv_.wait_for(lock,
+                         std::chrono::nanoseconds(delayed_.top().due - now));
+      continue;
+    }
+    Pending p = std::move(const_cast<Pending&>(delayed_.top()));
+    delayed_.pop();
+    lock.unlock();
+    deliver(p.to, std::move(p.bytes));
+    lock.lock();
+  }
+}
+
+}  // namespace sdvm::net

@@ -1,0 +1,141 @@
+// In-process message fabric. Endpoints are "inproc:<n>" strings. Supports:
+//   * per-link latency/bandwidth model (delayed delivery via either a timer
+//     thread in wall-clock mode or a caller-supplied scheduler in sim mode)
+//   * loss probability, link cuts, partitions, site kill (fault injection)
+//   * per-link traffic counters for the benches
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/transport.hpp"
+
+namespace sdvm::net {
+
+struct LinkModel {
+  Nanos latency = 0;       // one-way propagation delay
+  Nanos per_byte = 0;      // serialization cost per payload byte
+  Nanos jitter = 0;        // uniform random extra delay in [0, jitter] —
+                           // enough jitter REORDERS messages (the paper's
+                           // UDP experience; our protocols must tolerate it)
+  double loss = 0.0;       // drop probability in [0,1)
+  bool cut = false;        // hard partition of this directed link
+};
+
+struct LinkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t dropped = 0;
+};
+
+class InProcNetwork;
+
+/// One endpoint on the fabric; implements Transport.
+class InProcEndpoint final : public Transport {
+ public:
+  InProcEndpoint(InProcNetwork* net, std::string address, Receiver receiver)
+      : net_(net), address_(std::move(address)), receiver_(std::move(receiver)) {}
+
+  [[nodiscard]] std::string local_address() const override { return address_; }
+  Status send(const std::string& to, std::vector<std::byte> bytes) override;
+  void close() override;
+
+ private:
+  friend class InProcNetwork;
+  InProcNetwork* net_;
+  std::string address_;
+  Receiver receiver_;
+};
+
+/// Hook letting the simulator own delayed delivery: schedule(delay, fn)
+/// must run fn after `delay` of *virtual* time.
+using DeliveryScheduler = std::function<void(Nanos, std::function<void()>)>;
+
+class InProcNetwork {
+ public:
+  /// seed drives the loss model deterministically.
+  explicit InProcNetwork(std::uint64_t seed = 1);
+  ~InProcNetwork();
+
+  InProcNetwork(const InProcNetwork&) = delete;
+  InProcNetwork& operator=(const InProcNetwork&) = delete;
+
+  /// Creates an endpoint; the fabric owns nothing — callers keep the
+  /// unique_ptr alive as long as they want to receive.
+  [[nodiscard]] std::unique_ptr<InProcEndpoint> attach(Receiver receiver);
+
+  /// Default model applied to links without an explicit override.
+  void set_default_link(LinkModel model);
+  void set_link(const std::string& from, const std::string& to,
+                LinkModel model);
+
+  /// Kills an endpoint abruptly: all traffic to and from it vanishes.
+  /// Models an uncontrolled site crash.
+  void kill(const std::string& address);
+  [[nodiscard]] bool is_killed(const std::string& address) const;
+
+  /// Cuts every link between group A and group B (both directions).
+  void partition(const std::vector<std::string>& a,
+                 const std::vector<std::string>& b);
+  void heal();
+
+  /// Installs a virtual-time scheduler (sim mode). Without one, delayed
+  /// messages go through an internal timer thread; zero-delay messages are
+  /// always delivered inline on the sender's thread.
+  void set_delivery_scheduler(DeliveryScheduler scheduler);
+
+  [[nodiscard]] LinkStats total_stats() const;
+  [[nodiscard]] LinkStats stats(const std::string& from,
+                                const std::string& to) const;
+  void reset_stats();
+
+ private:
+  friend class InProcEndpoint;
+
+  Status send_from(const std::string& from, const std::string& to,
+                   std::vector<std::byte> bytes);
+  void detach(const std::string& address);
+  void deliver(const std::string& to, std::vector<std::byte> bytes);
+  void timer_loop();
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, InProcEndpoint*> endpoints_;
+  std::unordered_set<std::string> killed_;
+  std::map<std::pair<std::string, std::string>, LinkModel> links_;
+  std::map<std::pair<std::string, std::string>, LinkStats> stats_;
+  LinkModel default_link_;
+  std::vector<std::pair<std::string, std::string>> partitioned_;
+  DeliveryScheduler scheduler_;
+  Xoshiro256 rng_;
+  std::uint64_t next_id_ = 1;
+
+  // Wall-clock delayed delivery.
+  struct Pending {
+    Nanos due;
+    std::uint64_t seq;
+    std::string to;
+    std::vector<std::byte> bytes;
+    bool operator>(const Pending& o) const {
+      return std::tie(due, seq) > std::tie(o.due, o.seq);
+    }
+  };
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> delayed_;
+  std::uint64_t delayed_seq_ = 0;
+  std::condition_variable timer_cv_;
+  std::thread timer_thread_;
+  bool stop_ = false;
+};
+
+}  // namespace sdvm::net

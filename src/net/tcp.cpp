@@ -1,0 +1,242 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace sdvm::net {
+
+namespace {
+
+Status write_all(int fd, const void* data, std::size_t n, std::mutex& mu) {
+  std::lock_guard lock(mu);
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::error(ErrorCode::kUnavailable,
+                           std::string("send: ") + std::strerror(errno));
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return Status::ok();
+}
+
+bool read_all(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    ssize_t r = ::recv(fd, p, n, 0);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return false;
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+/// "host:port" → sockaddr_in. Only IPv4 dotted-quad or "127.0.0.1" style
+/// hosts are supported — the SDVM cluster list stores resolved addresses.
+Result<sockaddr_in> parse_address(const std::string& addr) {
+  auto colon = addr.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::error(ErrorCode::kInvalidArgument, "bad address " + addr);
+  }
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(
+      std::stoi(addr.substr(colon + 1))));
+  std::string host = addr.substr(0, colon);
+  if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    return Status::error(ErrorCode::kInvalidArgument, "bad host " + host);
+  }
+  return sa;
+}
+
+constexpr std::size_t kMaxFrame = 64 * 1024 * 1024;
+
+}  // namespace
+
+Result<std::unique_ptr<TcpTransport>> TcpTransport::listen(std::uint16_t port,
+                                                           Receiver receiver) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::error(ErrorCode::kInternal,
+                         std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  sa.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(fd);
+    return Status::error(ErrorCode::kUnavailable,
+                         std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Status::error(ErrorCode::kInternal,
+                         std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(sa);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len);
+
+  return std::unique_ptr<TcpTransport>(
+      new TcpTransport(fd, ntohs(sa.sin_port), std::move(receiver)));
+}
+
+TcpTransport::TcpTransport(int listen_fd, std::uint16_t port,
+                           Receiver receiver)
+    : listen_fd_(listen_fd), port_(port), receiver_(std::move(receiver)) {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TcpTransport::~TcpTransport() { close(); }
+
+std::string TcpTransport::local_address() const {
+  return "127.0.0.1:" + std::to_string(port_);
+}
+
+void TcpTransport::accept_loop() {
+  while (!stopping_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard lock(mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    reader_fds_.push_back(fd);
+    reader_threads_.emplace_back([this, fd] { read_loop(fd); });
+  }
+}
+
+void TcpTransport::read_loop(int fd) {
+  while (!stopping_.load()) {
+    std::uint8_t header[4];
+    if (!read_all(fd, header, 4)) break;
+    std::size_t n = std::size_t{header[0]} | (std::size_t{header[1]} << 8) |
+                    (std::size_t{header[2]} << 16) |
+                    (std::size_t{header[3]} << 24);
+    if (n > kMaxFrame) {
+      SDVM_WARN("tcp") << "oversized frame (" << n << " bytes), dropping peer";
+      break;
+    }
+    std::vector<std::byte> payload(n);
+    if (!read_all(fd, payload.data(), n)) break;
+    if (receiver_ && !stopping_.load()) receiver_(std::move(payload));
+  }
+  ::close(fd);
+}
+
+Result<std::shared_ptr<TcpTransport::Connection>> TcpTransport::connection_to(
+    const std::string& to) {
+  {
+    std::lock_guard lock(mu_);
+    if (auto it = outgoing_.find(to); it != outgoing_.end()) {
+      return it->second;
+    }
+  }
+  auto sa = parse_address(to);
+  if (!sa.is_ok()) return sa.status();
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::error(ErrorCode::kInternal,
+                         std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa.value()),
+                sizeof(sockaddr_in)) != 0) {
+    ::close(fd);
+    return Status::error(ErrorCode::kUnavailable,
+                         "connect " + to + ": " + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  auto conn = std::make_shared<Connection>();
+  conn->fd = fd;
+  {
+    std::lock_guard lock(mu_);
+    // Lost a race with another sender? Use theirs, drop ours.
+    if (auto it = outgoing_.find(to); it != outgoing_.end()) {
+      ::close(fd);
+      return it->second;
+    }
+    outgoing_[to] = conn;
+    // Replies can come back on this same connection.
+    reader_fds_.push_back(fd);
+    reader_threads_.emplace_back([this, fd] { read_loop(fd); });
+  }
+  return conn;
+}
+
+Status TcpTransport::send(const std::string& to, std::vector<std::byte> bytes) {
+  if (bytes.size() > kMaxFrame) {
+    return Status::error(ErrorCode::kInvalidArgument, "frame too large");
+  }
+  auto conn = connection_to(to);
+  if (!conn.is_ok()) return conn.status();
+
+  std::uint8_t header[4] = {
+      static_cast<std::uint8_t>(bytes.size()),
+      static_cast<std::uint8_t>(bytes.size() >> 8),
+      static_cast<std::uint8_t>(bytes.size() >> 16),
+      static_cast<std::uint8_t>(bytes.size() >> 24),
+  };
+  std::vector<std::byte> framed(4 + bytes.size());
+  std::memcpy(framed.data(), header, 4);
+  std::memcpy(framed.data() + 4, bytes.data(), bytes.size());
+
+  Status st = write_all(conn.value()->fd, framed.data(), framed.size(),
+                        conn.value()->write_mu);
+  if (!st.is_ok()) {
+    // Connection went bad: forget it so the next send reconnects.
+    std::lock_guard lock(mu_);
+    auto it = outgoing_.find(to);
+    if (it != outgoing_.end() && it->second == conn.value()) {
+      outgoing_.erase(it);
+    }
+  }
+  return st;
+}
+
+void TcpTransport::close() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  {
+    std::lock_guard lock(mu_);
+    // Wake every reader thread, inbound and outbound alike.
+    for (int fd : reader_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard lock(mu_);
+    readers.swap(reader_threads_);
+  }
+  for (auto& t : readers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace sdvm::net

@@ -1,0 +1,41 @@
+// Transport abstraction (the network manager's lowest layer). The paper's
+// network manager "works with physical (ip) addresses only" — a transport
+// moves opaque byte blobs between string-addressed endpoints. Three
+// implementations exist:
+//   * InProcNetwork  — message fabric inside one process, with a latency /
+//     bandwidth / loss / partition model and fault injection (used by the
+//     threads mode and, via a scheduler hook, by sim mode)
+//   * TcpTransport   — real sockets, length-framed streams, listener thread
+//     (the paper's deployment)
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace sdvm::net {
+
+/// Callback invoked with each received datagram. May be called from any
+/// thread; implementations must only enqueue.
+using Receiver = std::function<void(std::vector<std::byte>)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// The physical address other endpoints use to reach this one.
+  [[nodiscard]] virtual std::string local_address() const = 0;
+
+  /// Sends one datagram. Delivery is best-effort and ordered per link for
+  /// TCP; the in-proc fabric is ordered unless the fault model reorders.
+  virtual Status send(const std::string& to,
+                      std::vector<std::byte> bytes) = 0;
+
+  /// Stops delivering and releases resources.
+  virtual void close() = 0;
+};
+
+}  // namespace sdvm::net

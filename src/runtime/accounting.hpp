@@ -1,0 +1,50 @@
+// Accounting (paper §2.2/§6): "The SDVM could act as a service provider,
+// letting customers run calculation-intensive applications on external
+// computer clusters. ... The accounting functionality needed for this can
+// be integrated into the SDVM."
+//
+// Every site keeps a per-program ledger of what it contributed: executed
+// microthreads, interpreted VM instructions, and declared (charged)
+// cycles. The program's frontend can aggregate ledgers cluster-wide to
+// produce a bill.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/serialize.hpp"
+#include "common/types.hpp"
+
+namespace sdvm {
+
+struct AccountEntry {
+  std::uint64_t microthreads = 0;
+  std::uint64_t vm_instructions = 0;
+  std::uint64_t charged_cycles = 0;
+
+  void serialize(ByteWriter& w) const {
+    w.u64(microthreads);
+    w.u64(vm_instructions);
+    w.u64(charged_cycles);
+  }
+  static AccountEntry deserialize(ByteReader& r) {
+    AccountEntry e;
+    e.microthreads = r.u64();
+    e.vm_instructions = r.u64();
+    e.charged_cycles = r.u64();
+    return e;
+  }
+
+  AccountEntry& operator+=(const AccountEntry& o) {
+    microthreads += o.microthreads;
+    vm_instructions += o.vm_instructions;
+    charged_cycles += o.charged_cycles;
+    return *this;
+  }
+};
+
+/// Per-site ledger: program → contribution. Termination does NOT clear
+/// entries — bills outlive programs (queried via the site manager).
+using AccountLedger = std::map<ProgramId, AccountEntry>;
+
+}  // namespace sdvm

@@ -1,0 +1,594 @@
+#include "runtime/attraction_memory.hpp"
+
+#include "runtime/site.hpp"
+
+namespace sdvm {
+
+// ---------------------------------------------------------------------------
+// Microframes
+// ---------------------------------------------------------------------------
+
+FrameId AttractionMemory::create_frame(ProgramId pid, MicrothreadId tid,
+                                       std::size_t nparams, int priority) {
+  FrameId id(site_.id(), next_local_id_++);
+  Microframe frame(id, pid, tid, nparams, priority);
+  site_.trace(FrameEvent::kCreated, id, tid);
+  if (nparams == 0) {
+    frame.state = FrameState::kExecutable;
+    frame_became_executable(std::move(frame));
+  } else {
+    frames_.emplace(id, std::move(frame));
+  }
+  return id;
+}
+
+Status AttractionMemory::apply_param(GlobalAddress frame, std::size_t slot,
+                                     std::vector<std::byte> value) {
+  auto it = frames_.find(frame);
+  if (it != frames_.end() && site_.messages().defer_active()) {
+    // A microthread is executing under virtual time: even local results
+    // must not land before its virtual completion. Route through the
+    // deferred loopback path.
+    ByteWriter w;
+    w.address(frame);
+    w.u32(static_cast<std::uint32_t>(slot));
+    w.blob(value);
+    SdMessage msg;
+    msg.dst = site_.id();
+    msg.src_mgr = msg.dst_mgr = ManagerId::kAttractionMemory;
+    msg.type = MsgType::kApplyParam;
+    msg.payload = w.take();
+    return site_.messages().send(std::move(msg));
+  }
+  if (it != frames_.end()) {
+    Status st = it->second.apply(slot, std::move(value));
+    if (!st.is_ok()) {
+      SDVM_WARN(site_.tag()) << "apply to frame " << frame.value
+                             << " failed: " << st.to_string();
+      return st;
+    }
+    site_.trace(FrameEvent::kParamApplied, frame, it->second.thread);
+    // "Every time a result ... is applied to a waiting microframe, the
+    // attraction memory checks whether this was the last missing
+    // parameter."
+    if (it->second.executable()) {
+      Microframe f = std::move(it->second);
+      frames_.erase(it);
+      f.state = FrameState::kExecutable;
+      frame_became_executable(std::move(f));
+    }
+    return Status::ok();
+  }
+
+  SiteId home = site_.cluster().resolve_successor(frame.home_site());
+  if (home == site_.id()) {
+    // Homed here but unknown: consumed, shipped, or a post-recovery
+    // duplicate. Dataflow slots fill exactly once, so this is benign noise
+    // after recovery and a program bug otherwise.
+    SDVM_DEBUG(site_.tag()) << "param for unknown local frame "
+                            << frame.value;
+    return Status::ok();
+  }
+
+  ByteWriter w;
+  w.address(frame);
+  w.u32(static_cast<std::uint32_t>(slot));
+  w.blob(value);
+  SdMessage msg;
+  msg.dst = home;
+  msg.src_mgr = msg.dst_mgr = ManagerId::kAttractionMemory;
+  msg.type = MsgType::kApplyParam;
+  msg.payload = w.take();
+  return site_.messages().send(std::move(msg));
+}
+
+void AttractionMemory::frame_became_executable(Microframe frame) {
+  site_.trace(FrameEvent::kBecameExecutable, frame.id, frame.thread);
+  site_.scheduling().on_executable(std::move(frame));
+}
+
+Result<Microframe> AttractionMemory::take_frame(FrameId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) {
+    return Status::error(ErrorCode::kNotFound,
+                         "frame " + std::to_string(id.value) + " not here");
+  }
+  Microframe f = std::move(it->second);
+  frames_.erase(it);
+  return f;
+}
+
+void AttractionMemory::adopt_frame(Microframe frame) {
+  site_.trace(FrameEvent::kAdopted, frame.id, frame.thread);
+  if (frame.executable()) {
+    frame.state = FrameState::kExecutable;
+    frame_became_executable(std::move(frame));
+  } else {
+    frames_.emplace(frame.id, std::move(frame));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Global memory objects
+// ---------------------------------------------------------------------------
+
+GlobalAddress AttractionMemory::alloc_object(ProgramId pid,
+                                             std::int64_t nwords) {
+  GlobalAddress addr(site_.id(), next_local_id_++);
+  MemObject obj;
+  obj.addr = addr;
+  obj.program = pid;
+  obj.words.assign(static_cast<std::size_t>(std::max<std::int64_t>(nwords, 0)),
+                   0);
+  objects_.emplace(addr, std::move(obj));
+  auto& entry = directory_[addr];
+  entry.owner = site_.id();
+  entry.program = pid;
+  return addr;
+}
+
+MemObject* AttractionMemory::local_object(GlobalAddress addr) {
+  auto it = objects_.find(addr);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+bool AttractionMemory::owns(GlobalAddress addr) const {
+  return objects_.contains(addr);
+}
+
+void AttractionMemory::install_object(MemObject obj) {
+  GlobalAddress addr = obj.addr;
+  ProgramId pid = obj.program;
+  objects_[addr] = std::move(obj);
+  if (addr.home_site() == site_.id()) {
+    auto& entry = directory_[addr];
+    entry.owner = site_.id();
+    entry.program = pid;
+  }
+}
+
+void AttractionMemory::evict_object(GlobalAddress addr) {
+  objects_.erase(addr);
+}
+
+void AttractionMemory::set_directory_owner(GlobalAddress addr, SiteId owner) {
+  directory_[addr].owner = owner;
+}
+
+SiteId AttractionMemory::directory_owner(GlobalAddress addr) const {
+  auto it = directory_.find(addr);
+  return it == directory_.end() ? kInvalidSite : it->second.owner;
+}
+
+Result<MemObject*> AttractionMemory::attract(
+    GlobalAddress addr, std::shared_ptr<FetchState>* wait) {
+  if (auto* obj = local_object(addr); obj != nullptr) {
+    ++local_hits;
+    return obj;
+  }
+
+  if (sim_fetch_) {
+    // Sim mode: the oracle migrates the object here immediately and
+    // reports the modeled round-trip stall.
+    MemObject obj;
+    auto stall = sim_fetch_(addr, &obj);
+    if (!stall.is_ok()) return stall.status();
+    sim_stall_ += stall.value();
+    ++migrations_in;
+    install_object(std::move(obj));
+    if (addr.home_site() == site_.id()) {
+      directory_[addr].owner = site_.id();
+    }
+    return local_object(addr);
+  }
+
+  // Threaded modes: park on (or start) a fetch.
+  auto it = fetching_.find(addr);
+  if (it == fetching_.end()) {
+    it = fetching_.emplace(addr, std::make_shared<FetchState>()).first;
+    begin_fetch(addr);
+  }
+  *wait = it->second;
+  return Status::error(ErrorCode::kUnavailable, "fetch in progress");
+}
+
+void AttractionMemory::begin_fetch(GlobalAddress addr) {
+  SiteId home = site_.cluster().resolve_successor(addr.home_site());
+
+  if (home == site_.id()) {
+    // We are the homesite but don't own it: queue ourselves in our own
+    // directory and let the mediation pull it back.
+    auto dit = directory_.find(addr);
+    if (dit == directory_.end()) {
+      auto node = fetching_.extract(addr);
+      if (!node.empty()) {
+        node.mapped()->signal(Status::error(ErrorCode::kNotFound,
+                                            "no such object"));
+      }
+      return;
+    }
+    Waiter w;
+    w.requester = site_.id();
+    w.local = fetching_[addr];
+    dit->second.waiters.push_back(std::move(w));
+    grant_next(addr);
+    return;
+  }
+
+  ByteWriter w;
+  w.address(addr);
+  SdMessage req;
+  req.dst = home;
+  req.src_mgr = req.dst_mgr = ManagerId::kAttractionMemory;
+  req.type = MsgType::kObjectRequest;
+  req.payload = w.take();
+  (void)site_.messages().request(req, [this, addr](Result<SdMessage> r) {
+    auto node = fetching_.extract(addr);
+    if (node.empty()) return;
+    if (!r.is_ok()) {
+      node.mapped()->signal(r.status());
+      return;
+    }
+    if (r.value().type != MsgType::kObjectGrant) {
+      node.mapped()->signal(
+          Status::error(ErrorCode::kNotFound, "object miss"));
+      return;
+    }
+    ByteReader rd(r.value().payload);
+    auto obj = MemObject::deserialize(rd);
+    if (!obj.is_ok()) {
+      node.mapped()->signal(obj.status());
+      return;
+    }
+    ++migrations_in;
+    install_object(std::move(obj).value());
+    node.mapped()->signal(Status::ok());
+  });
+}
+
+Result<std::int64_t> AttractionMemory::try_read_word(
+    GlobalAddress addr, std::int64_t index,
+    std::shared_ptr<FetchState>* wait) {
+  auto obj = attract(addr, wait);
+  if (!obj.is_ok()) return obj.status();
+  auto& words = obj.value()->words;
+  if (index < 0 || static_cast<std::size_t>(index) >= words.size()) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "memory index out of range");
+  }
+  return words[static_cast<std::size_t>(index)];
+}
+
+Status AttractionMemory::try_write_word(GlobalAddress addr,
+                                        std::int64_t index, std::int64_t value,
+                                        std::shared_ptr<FetchState>* wait) {
+  auto obj = attract(addr, wait);
+  if (!obj.is_ok()) return obj.status();
+  auto& words = obj.value()->words;
+  if (index < 0 || static_cast<std::size_t>(index) >= words.size()) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "memory index out of range");
+  }
+  words[static_cast<std::size_t>(index)] = value;
+  return Status::ok();
+}
+
+void AttractionMemory::grant_next(GlobalAddress addr) {
+  auto dit = directory_.find(addr);
+  if (dit == directory_.end()) return;
+  DirEntry& d = dit->second;
+  if (d.waiters.empty()) return;
+
+  if (d.owner == site_.id() && owns(addr)) {
+    Waiter w = std::move(d.waiters.front());
+    d.waiters.pop_front();
+
+    if (w.requester == site_.id()) {
+      // Our own fetch: object is already local.
+      fetching_.erase(addr);
+      if (w.local) w.local->signal(Status::ok());
+    } else {
+      MemObject* obj = local_object(addr);
+      ByteWriter bw;
+      obj->serialize(bw);
+      evict_object(addr);
+      d.owner = w.requester;
+      ++migrations_out;
+      SdMessage grant;
+      grant.dst = w.requester;
+      grant.src_mgr = grant.dst_mgr = ManagerId::kAttractionMemory;
+      grant.type = MsgType::kObjectGrant;
+      grant.reply_to = w.reply_seq;
+      grant.payload = bw.take();
+      (void)site_.messages().send(std::move(grant));
+    }
+    if (!d.waiters.empty()) grant_next(addr);
+    return;
+  }
+
+  if (d.recall_in_flight) return;
+  d.recall_in_flight = true;
+
+  ByteWriter bw;
+  bw.address(addr);
+  SdMessage recall;
+  recall.dst = site_.cluster().resolve_successor(d.owner);
+  recall.src_mgr = recall.dst_mgr = ManagerId::kAttractionMemory;
+  recall.type = MsgType::kObjectRecall;
+  recall.payload = bw.take();
+  (void)site_.messages().request(recall, [this, addr](Result<SdMessage> r) {
+    auto dit2 = directory_.find(addr);
+    if (dit2 == directory_.end()) return;
+    DirEntry& d2 = dit2->second;
+    d2.recall_in_flight = false;
+
+    if (!r.is_ok() || r.value().type != MsgType::kObjectReturn) {
+      // Owner dead or object lost; recovery (if enabled) will restore it.
+      Status failure = r.is_ok()
+                           ? Status::error(ErrorCode::kNotFound, "object lost")
+                           : r.status();
+      auto waiters = std::move(d2.waiters);
+      d2.waiters.clear();
+      for (auto& w : waiters) {
+        if (w.requester == site_.id()) {
+          fetching_.erase(addr);
+          if (w.local) w.local->signal(failure);
+        } else {
+          SdMessage miss;
+          miss.dst = w.requester;
+          miss.src_mgr = miss.dst_mgr = ManagerId::kAttractionMemory;
+          miss.type = MsgType::kObjectMiss;
+          miss.reply_to = w.reply_seq;
+          (void)site_.messages().send(std::move(miss));
+        }
+      }
+      return;
+    }
+
+    ByteReader rd(r.value().payload);
+    auto obj = MemObject::deserialize(rd);
+    if (!obj.is_ok()) return;
+    install_object(std::move(obj).value());
+    d2.owner = site_.id();
+    grant_next(addr);
+  });
+}
+
+void AttractionMemory::handle(const SdMessage& msg) {
+  switch (msg.type) {
+    case MsgType::kApplyParam: {
+      try {
+        ByteReader r(msg.payload);
+        GlobalAddress frame = r.address();
+        std::uint32_t slot = r.u32();
+        auto value = r.blob();
+        (void)apply_param(frame, slot, std::move(value));
+      } catch (const DecodeError&) {
+      }
+      break;
+    }
+    case MsgType::kObjectRequest: {
+      try {
+        ByteReader r(msg.payload);
+        GlobalAddress addr = r.address();
+        auto dit = directory_.find(addr);
+        if (dit == directory_.end()) {
+          SdMessage miss;
+          miss.src_mgr = miss.dst_mgr = ManagerId::kAttractionMemory;
+          miss.type = MsgType::kObjectMiss;
+          (void)site_.messages().respond(msg, std::move(miss));
+          break;
+        }
+        Waiter w;
+        w.requester = msg.src;
+        w.reply_seq = msg.seq;
+        dit->second.waiters.push_back(std::move(w));
+        grant_next(addr);
+      } catch (const DecodeError&) {
+      }
+      break;
+    }
+    case MsgType::kObjectRecall: {
+      try {
+        ByteReader r(msg.payload);
+        GlobalAddress addr = r.address();
+        SdMessage reply;
+        reply.src_mgr = reply.dst_mgr = ManagerId::kAttractionMemory;
+        if (MemObject* obj = local_object(addr); obj != nullptr) {
+          ByteWriter bw;
+          obj->serialize(bw);
+          evict_object(addr);
+          ++migrations_out;
+          reply.type = MsgType::kObjectReturn;
+          reply.payload = bw.take();
+        } else {
+          reply.type = MsgType::kObjectMiss;
+        }
+        (void)site_.messages().respond(msg, std::move(reply));
+      } catch (const DecodeError&) {
+      }
+      break;
+    }
+    case MsgType::kObjectReturn: {
+      // Unsolicited return (sign-off relocation): we are the homesite and
+      // become the owner again.
+      try {
+        ByteReader r(msg.payload);
+        auto obj = MemObject::deserialize(r);
+        if (obj.is_ok()) {
+          GlobalAddress addr = obj.value().addr;
+          install_object(std::move(obj).value());
+          directory_[addr].owner = site_.id();
+          grant_next(addr);
+        }
+      } catch (const DecodeError&) {
+      }
+      break;
+    }
+    case MsgType::kDirectoryImport: {
+      try {
+        ByteReader r(msg.payload);
+        // Program descriptions first, so adopted frames resolve.
+        std::uint32_t nprogs = r.count(/*min_bytes_each=*/8);
+        for (std::uint32_t i = 0; i < nprogs; ++i) {
+          auto info = ProgramInfo::deserialize(r);
+          if (info.is_ok() &&
+              site_.programs().find(info.value().id) == nullptr) {
+            site_.programs().register_info(info.value());
+          }
+        }
+        // Queued executable frames go straight to our scheduler.
+        std::uint32_t nqueued = r.count(/*min_bytes_each=*/8);
+        for (std::uint32_t i = 0; i < nqueued; ++i) {
+          auto f = Microframe::deserialize(r);
+          if (f.is_ok()) adopt_frame(std::move(f).value());
+        }
+        restore_snapshot(r);
+        SDVM_INFO(site_.tag()) << "absorbed state from signing-off site "
+                               << msg.src;
+      } catch (const DecodeError&) {
+      }
+      break;
+    }
+    default:
+      SDVM_WARN(site_.tag()) << "attraction memory: unexpected "
+                             << to_string(msg.type);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bulk state movement: checkpoints and graceful sign-off
+// ---------------------------------------------------------------------------
+
+std::vector<std::byte> AttractionMemory::snapshot(ProgramId pid) const {
+  bool all = !pid.valid();
+  ByteWriter w;
+
+  std::uint32_t nframes = 0;
+  for (const auto& [id, f] : frames_) {
+    if (all || f.program == pid) ++nframes;
+  }
+  w.u32(nframes);
+  for (const auto& [id, f] : frames_) {
+    if (all || f.program == pid) f.serialize(w);
+  }
+
+  std::uint32_t nobjs = 0;
+  for (const auto& [addr, o] : objects_) {
+    if (all || o.program == pid) ++nobjs;
+  }
+  w.u32(nobjs);
+  for (const auto& [addr, o] : objects_) {
+    if (all || o.program == pid) o.serialize(w);
+  }
+
+  // Directory entries homed here (owner field only; waiter queues are
+  // transient and empty at quiescence).
+  std::uint32_t ndir = 0;
+  for (const auto& [addr, d] : directory_) {
+    if (all || d.program == pid) ++ndir;
+  }
+  w.u32(ndir);
+  for (const auto& [addr, d] : directory_) {
+    if (all || d.program == pid) {
+      w.address(addr);
+      w.site(d.owner);
+      w.program(d.program);
+    }
+  }
+  return w.take();
+}
+
+void AttractionMemory::restore_snapshot(ByteReader& r) {
+  std::uint32_t nframes = r.count(/*min_bytes_each=*/8);
+  for (std::uint32_t i = 0; i < nframes; ++i) {
+    auto f = Microframe::deserialize(r);
+    if (!f.is_ok()) throw DecodeError("bad frame in snapshot");
+    adopt_frame(std::move(f).value());
+  }
+  std::uint32_t nobjs = r.count(/*min_bytes_each=*/8);
+  for (std::uint32_t i = 0; i < nobjs; ++i) {
+    auto o = MemObject::deserialize(r);
+    if (!o.is_ok()) throw DecodeError("bad object in snapshot");
+    objects_[o.value().addr] = std::move(o).value();
+  }
+  std::uint32_t ndir = r.count(/*min_bytes_each=*/8);
+  for (std::uint32_t i = 0; i < ndir; ++i) {
+    GlobalAddress addr = r.address();
+    SiteId owner = r.site();
+    ProgramId pid = r.program();
+    auto& entry = directory_[addr];
+    entry.owner = owner;
+    entry.program = pid;
+  }
+}
+
+void AttractionMemory::relocate_all_to(SiteId successor) {
+  // Objects we own but whose homesite is elsewhere go straight home.
+  std::vector<GlobalAddress> foreign;
+  for (const auto& [addr, obj] : objects_) {
+    if (addr.home_site() != site_.id()) foreign.push_back(addr);
+  }
+  for (GlobalAddress addr : foreign) {
+    MemObject* obj = local_object(addr);
+    ByteWriter bw;
+    obj->serialize(bw);
+    SdMessage ret;
+    ret.dst = site_.cluster().resolve_successor(addr.home_site());
+    ret.src_mgr = ret.dst_mgr = ManagerId::kAttractionMemory;
+    ret.type = MsgType::kObjectReturn;
+    ret.payload = bw.take();
+    (void)site_.messages().send(std::move(ret));
+    evict_object(addr);
+  }
+
+  // Everything homed/owned here — frames, objects, directory — plus the
+  // scheduler's queued frames and the program descriptions the successor
+  // may lack, shipped as one import blob.
+  ByteWriter w;
+
+  auto queued = site_.scheduling().snapshot_frames(ProgramId{});
+  // Queued executable frames ride along as ordinary executable frames.
+  // They are appended to the frame section by temporarily adopting them.
+  // (Serialize directly instead.)
+  // -- program infos --
+  std::vector<ProgramId> pids = site_.programs().active_programs();
+  w.u32(static_cast<std::uint32_t>(pids.size()));
+  for (ProgramId pid : pids) {
+    site_.programs().find(pid)->serialize(w);
+  }
+  // -- queued frames --
+  w.u32(static_cast<std::uint32_t>(queued.size()));
+  for (const auto& f : queued) f.serialize(w);
+  // -- memory snapshot --
+  auto snap = snapshot(ProgramId{});
+  w.raw(snap.data(), snap.size());
+
+  SdMessage imp;
+  imp.dst = successor;
+  imp.src_mgr = imp.dst_mgr = ManagerId::kAttractionMemory;
+  imp.type = MsgType::kDirectoryImport;
+  imp.payload = w.take();
+  (void)site_.messages().send(std::move(imp));
+
+  site_.scheduling().clear_program_frames(ProgramId{});
+  frames_.clear();
+  objects_.clear();
+  directory_.clear();
+}
+
+void AttractionMemory::drop_program(ProgramId pid) {
+  std::erase_if(frames_,
+                [&](const auto& kv) { return kv.second.program == pid; });
+  std::vector<GlobalAddress> dead_objects;
+  for (const auto& [addr, obj] : objects_) {
+    if (obj.program == pid) dead_objects.push_back(addr);
+  }
+  for (auto addr : dead_objects) {
+    objects_.erase(addr);
+  }
+  std::erase_if(directory_,
+                [&](const auto& kv) { return kv.second.program == pid; });
+}
+
+}  // namespace sdvm

@@ -1,0 +1,195 @@
+// Attraction memory: the COMA-style global memory (paper §3.1, §4). Holds
+// the local part of the global memory, attracts requested objects to the
+// local site transparently, and stores microframes until they have
+// received all their parameters. The homesite directory ("see [5]")
+// tracks the current owner of every object created here; migration is
+// homesite-mediated (request → recall → grant), which serializes racing
+// requests at one place.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "runtime/frame.hpp"
+#include "runtime/message.hpp"
+
+namespace sdvm {
+
+class Site;
+
+/// A migratable global-memory object: an array of int64 words.
+struct MemObject {
+  GlobalAddress addr;
+  ProgramId program;
+  std::vector<std::int64_t> words;
+
+  void serialize(ByteWriter& w) const {
+    w.address(addr);
+    w.program(program);
+    w.u32(static_cast<std::uint32_t>(words.size()));
+    for (auto v : words) w.i64(v);
+  }
+  static Result<MemObject> deserialize(ByteReader& r) {
+    try {
+      MemObject o;
+      o.addr = r.address();
+      o.program = r.program();
+      std::uint32_t n = r.count(/*min_bytes_each=*/8);
+      o.words.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) o.words.push_back(r.i64());
+      return o;
+    } catch (const DecodeError& e) {
+      return Status::error(ErrorCode::kCorrupt,
+                           std::string("bad MemObject: ") + e.what());
+    }
+  }
+};
+
+class AttractionMemory {
+ public:
+  explicit AttractionMemory(Site& site) : site_(site) {}
+
+  // --- microframes ---------------------------------------------------------
+  /// Allocates a frame homed at the local site. If nparams == 0 the frame
+  /// is immediately executable and goes straight to the scheduler.
+  FrameId create_frame(ProgramId pid, MicrothreadId tid, std::size_t nparams,
+                       int priority);
+
+  /// Applies a parameter: locally if the frame lives here, otherwise an
+  /// kApplyParam message travels to the frame's homesite. When the last
+  /// parameter arrives the frame is handed to the scheduling manager.
+  Status apply_param(GlobalAddress frame, std::size_t slot,
+                     std::vector<std::byte> value);
+
+  /// Takes an executable frame out of the store for the scheduler (the
+  /// frame's "career" step from attraction memory to scheduling manager).
+  [[nodiscard]] Result<Microframe> take_frame(FrameId id);
+
+  /// Re-registers a frame received from another site (help reply): we are
+  /// not its homesite, but it is executable and will be consumed here.
+  void adopt_frame(Microframe frame);
+
+  // --- global memory objects -------------------------------------------------
+  GlobalAddress alloc_object(ProgramId pid, std::int64_t nwords);
+
+  /// Synchronization cell for a microthread parked on a remote fetch. The
+  /// worker waits outside the site lock; the pump signals on grant/failure.
+  struct FetchState {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+
+    void wait() {
+      std::unique_lock lk(m);
+      cv.wait(lk, [this] { return done; });
+    }
+    void signal(Status st) {
+      {
+        std::lock_guard lk(m);
+        done = true;
+        status = std::move(st);
+      }
+      cv.notify_all();
+    }
+  };
+
+  /// Non-blocking word access from a running microthread, called under the
+  /// site lock. If the object is local (or the sim oracle attracts it
+  /// immediately, charging the stall), returns the value. Otherwise
+  /// initiates migration and hands back a FetchState to wait on outside
+  /// the lock; the caller retries afterwards.
+  Result<std::int64_t> try_read_word(GlobalAddress addr, std::int64_t index,
+                                     std::shared_ptr<FetchState>* wait);
+  Status try_write_word(GlobalAddress addr, std::int64_t index,
+                        std::int64_t value,
+                        std::shared_ptr<FetchState>* wait);
+
+  /// Virtual stall nanos accumulated by sim-oracle fetches since the last
+  /// call (collected per microthread execution).
+  [[nodiscard]] Nanos take_sim_stall() {
+    Nanos s = sim_stall_;
+    sim_stall_ = 0;
+    return s;
+  }
+  /// Other managers (I/O reroutes) account their sim stalls here too.
+  void add_sim_stall(Nanos stall) { sim_stall_ += std::max<Nanos>(stall, 0); }
+
+  /// Sim-mode oracle: fetches the object from wherever it currently is,
+  /// returns the stall cost in nanos. Installed by the simulator.
+  using SimFetchHook =
+      std::function<Result<Nanos>(GlobalAddress, MemObject* out)>;
+  void set_sim_fetch_hook(SimFetchHook hook) { sim_fetch_ = std::move(hook); }
+
+  /// Direct access for the simulator / checkpointing (object must be local).
+  [[nodiscard]] MemObject* local_object(GlobalAddress addr);
+  [[nodiscard]] bool owns(GlobalAddress addr) const;
+  void install_object(MemObject obj);  // sim oracle / recovery
+  void evict_object(GlobalAddress addr);
+  void set_directory_owner(GlobalAddress addr, SiteId owner);
+  [[nodiscard]] SiteId directory_owner(GlobalAddress addr) const;
+
+  void handle(const SdMessage& msg);
+  void drop_program(ProgramId pid);
+
+  // --- sign-off / checkpoint support ----------------------------------------
+  /// Serializes everything (frames incl. state, objects, directory) for a
+  /// program — used by checkpointing (all programs: pass kInvalid).
+  [[nodiscard]] std::vector<std::byte> snapshot(ProgramId pid) const;
+  void restore_snapshot(ByteReader& r);
+  /// Moves all local state to `successor` on graceful sign-off.
+  void relocate_all_to(SiteId successor);
+
+  // --- introspection -----------------------------------------------------
+  [[nodiscard]] std::size_t frame_count() const { return frames_.size(); }
+  [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
+  std::uint64_t migrations_in = 0;
+  std::uint64_t migrations_out = 0;
+  std::uint64_t local_hits = 0;
+
+ private:
+  void frame_became_executable(Microframe frame);
+  /// Ensures the object is local, possibly initiating migration. Returns
+  /// the object, or sets *wait, or fails.
+  Result<MemObject*> attract(GlobalAddress addr,
+                             std::shared_ptr<FetchState>* wait);
+  void begin_fetch(GlobalAddress addr);
+  void grant_next(GlobalAddress addr);
+
+  Site& site_;
+  std::uint64_t next_local_id_ = 1;
+
+  std::unordered_map<FrameId, Microframe> frames_;
+  std::unordered_map<GlobalAddress, MemObject> objects_;
+
+  // Homesite directory for objects created here: current owner site plus
+  // the queue of sites waiting for migration (homesite-mediated protocol).
+  struct Waiter {
+    SiteId requester = kInvalidSite;
+    std::uint64_t reply_seq = 0;                 // remote requester
+    std::shared_ptr<FetchState> local;           // homesite's own fetch
+  };
+  struct DirEntry {
+    SiteId owner = kInvalidSite;
+    ProgramId program;
+    std::deque<Waiter> waiters;
+    bool recall_in_flight = false;
+  };
+  std::unordered_map<GlobalAddress, DirEntry> directory_;
+
+  // Fetches this site is waiting on, keyed by object address.
+  std::unordered_map<GlobalAddress, std::shared_ptr<FetchState>> fetching_;
+
+  SimFetchHook sim_fetch_;
+  Nanos sim_stall_ = 0;
+};
+
+}  // namespace sdvm

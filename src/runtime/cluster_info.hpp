@@ -1,0 +1,89 @@
+// Cluster list entries: what every site knows about every other site.
+// "This list includes the site's logical and physical addresses and
+// information about the site's hardware like its platform id and
+// performance characteristics" (paper §4, cluster manager), extended by
+// "statistical data about e.g. the other sites' load" for help-target
+// selection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/serialize.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace sdvm {
+
+struct LoadStats {
+  std::uint32_t queued_frames = 0;  // executable + ready
+  std::uint32_t running = 0;        // microthreads in flight
+  std::uint32_t programs = 0;
+  std::uint64_t executed_total = 0;
+
+  void serialize(ByteWriter& w) const {
+    w.u32(queued_frames);
+    w.u32(running);
+    w.u32(programs);
+    w.u64(executed_total);
+  }
+  static LoadStats deserialize(ByteReader& r) {
+    LoadStats s;
+    s.queued_frames = r.u32();
+    s.running = r.u32();
+    s.programs = r.u32();
+    s.executed_total = r.u64();
+    return s;
+  }
+};
+
+struct SiteInfo {
+  SiteId id = kInvalidSite;
+  std::string address;     // physical (transport) address
+  std::string name;
+  PlatformId platform;
+  double speed = 1.0;
+  LoadStats load;
+  /// Monotone version for gossip merging: higher wins.
+  std::uint64_t version = 0;
+  bool alive = true;
+  /// After a graceful sign-off: who absorbed this site's memory directory.
+  SiteId successor = kInvalidSite;
+  /// "Several sites act as code distribution sites. These sites are bound
+  /// to store every microthread" (§4) — advertised so requesters find them.
+  bool code_site = false;
+
+  void serialize(ByteWriter& w) const {
+    w.site(id);
+    w.str(address);
+    w.str(name);
+    w.str(platform);
+    w.f64(speed);
+    load.serialize(w);
+    w.u64(version);
+    w.boolean(alive);
+    w.site(successor);
+    w.boolean(code_site);
+  }
+  static Result<SiteInfo> deserialize(ByteReader& r) {
+    try {
+      SiteInfo s;
+      s.id = r.site();
+      s.address = r.str();
+      s.name = r.str();
+      s.platform = r.str();
+      s.speed = r.f64();
+      s.load = LoadStats::deserialize(r);
+      s.version = r.u64();
+      s.alive = r.boolean();
+      s.successor = r.site();
+      s.code_site = r.boolean();
+      return s;
+    } catch (const DecodeError& e) {
+      return Status::error(ErrorCode::kCorrupt,
+                           std::string("bad SiteInfo: ") + e.what());
+    }
+  }
+};
+
+}  // namespace sdvm

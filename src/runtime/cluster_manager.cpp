@@ -1,0 +1,577 @@
+#include "runtime/cluster_manager.hpp"
+
+#include <algorithm>
+
+#include "runtime/site.hpp"
+
+namespace sdvm {
+
+namespace {
+
+struct SignOnPayload {
+  std::string address;
+  std::string name;
+  PlatformId platform;
+  double speed = 1.0;
+  bool code_site = false;
+
+  std::vector<std::byte> serialize() const {
+    ByteWriter w;
+    w.str(address);
+    w.str(name);
+    w.str(platform);
+    w.f64(speed);
+    w.boolean(code_site);
+    return w.take();
+  }
+  static Result<SignOnPayload> deserialize(std::span<const std::byte> b) {
+    try {
+      ByteReader r(b);
+      SignOnPayload p;
+      p.address = r.str();
+      p.name = r.str();
+      p.platform = r.str();
+      p.speed = r.f64();
+      p.code_site = r.boolean();
+      return p;
+    } catch (const DecodeError& e) {
+      return Status::error(ErrorCode::kCorrupt,
+                           std::string("bad sign-on: ") + e.what());
+    }
+  }
+};
+
+}  // namespace
+
+void ClusterManager::bootstrap() {
+  local_id_ = 1;
+  next_central_id_ = 2;
+  contingent_next_ = 2;
+  SiteInfo self;
+  self.id = 1;
+  self.address = site_.transport() ? site_.transport()->local_address() : "";
+  self.name = site_.config().name;
+  self.platform = site_.config().platform;
+  self.speed = site_.config().speed;
+  self.code_site = site_.config().code_distribution_site;
+  self.version = 1;
+  sites_[1] = std::move(self);
+}
+
+void ClusterManager::join(const std::string& contact_address,
+                          std::function<void(Status)> done) {
+  join_done_ = std::move(done);
+  SignOnPayload p;
+  p.address = site_.transport() ? site_.transport()->local_address() : "";
+  p.name = site_.config().name;
+  p.platform = site_.config().platform;
+  p.speed = site_.config().speed;
+  p.code_site = site_.config().code_distribution_site;
+
+  SdMessage msg;
+  msg.dst = kInvalidSite;
+  msg.src_mgr = msg.dst_mgr = ManagerId::kCluster;
+  msg.type = MsgType::kSignOnRequest;
+  msg.payload = p.serialize();
+  ++signon_messages;
+  Status st = site_.messages().send_to_address(contact_address, msg);
+  if (!st.is_ok() && join_done_) {
+    auto cb = std::move(join_done_);
+    join_done_ = nullptr;
+    cb(st);
+  }
+}
+
+void ClusterManager::announce_sign_off(SiteId successor) {
+  auto& self = sites_[local_id_];
+  self.alive = false;
+  self.successor = successor;
+  self.version++;
+
+  ByteWriter w;
+  w.site(local_id_);
+  w.site(successor);
+  for (SiteId sid : known_sites(/*alive_only=*/true)) {
+    if (sid == local_id_) continue;
+    SdMessage msg;
+    msg.dst = sid;
+    msg.src_mgr = msg.dst_mgr = ManagerId::kCluster;
+    msg.type = MsgType::kSignOffNotice;
+    msg.payload = w.bytes();
+    (void)site_.messages().send(std::move(msg));
+  }
+}
+
+Result<std::string> ClusterManager::physical_address(SiteId id) const {
+  auto it = sites_.find(id);
+  if (it == sites_.end()) {
+    return Status::error(ErrorCode::kNotFound,
+                         "unknown site " + std::to_string(id));
+  }
+  return it->second.address;
+}
+
+const SiteInfo* ClusterManager::find(SiteId id) const {
+  auto it = sites_.find(id);
+  return it == sites_.end() ? nullptr : &it->second;
+}
+
+std::vector<SiteId> ClusterManager::known_sites(bool alive_only) const {
+  std::vector<SiteId> out;
+  for (const auto& [id, info] : sites_) {
+    if (!alive_only || info.alive) out.push_back(id);
+  }
+  return out;
+}
+
+std::size_t ClusterManager::cluster_size() const {
+  return known_sites(/*alive_only=*/true).size();
+}
+
+SiteId ClusterManager::resolve_successor(SiteId id) const {
+  // Follow sign-off forwarding chains, bounded against cycles.
+  for (int hops = 0; hops < 64; ++hops) {
+    auto it = sites_.find(id);
+    if (it == sites_.end() || it->second.alive ||
+        it->second.successor == kInvalidSite) {
+      return id;
+    }
+    id = it->second.successor;
+  }
+  return id;
+}
+
+std::optional<SiteId> ClusterManager::pick_help_target(
+    const std::vector<SiteId>& exclude) {
+  // "Choose a site which is probably not idle itself": prefer the highest
+  // known queued work; fall back to round-robin over peers.
+  const SiteInfo* best = nullptr;
+  std::vector<const SiteInfo*> candidates;
+  for (const auto& [id, info] : sites_) {
+    if (id == local_id_ || !info.alive) continue;
+    if (std::find(exclude.begin(), exclude.end(), id) != exclude.end()) {
+      continue;
+    }
+    candidates.push_back(&info);
+    if (info.load.queued_frames > 0 &&
+        (best == nullptr ||
+         info.load.queued_frames > best->load.queued_frames)) {
+      best = &info;
+    }
+  }
+  if (best != nullptr) return best->id;
+  if (candidates.empty()) return std::nullopt;
+  return candidates[gossip_cursor_++ % candidates.size()]->id;
+}
+
+std::optional<SiteId> ClusterManager::pick_any_other() {
+  std::optional<SiteId> lowest;
+  for (const auto& [id, info] : sites_) {
+    if (id == local_id_ || !info.alive) continue;
+    if (!lowest || id < *lowest) lowest = id;
+  }
+  return lowest;
+}
+
+std::vector<SiteId> ClusterManager::code_distribution_sites() const {
+  std::vector<SiteId> out;
+  for (const auto& [id, info] : sites_) {
+    if (info.alive && info.code_site) out.push_back(id);
+  }
+  return out;
+}
+
+void ClusterManager::refresh_local_info() {
+  if (local_id_ == kInvalidSite) return;
+  auto& self = sites_[local_id_];
+  self.load = site_.site_manager().collect_load();
+  self.version++;
+}
+
+SiteInfo ClusterManager::local_info() const {
+  auto it = sites_.find(local_id_);
+  return it == sites_.end() ? SiteInfo{} : it->second;
+}
+
+void ClusterManager::merge(const SiteInfo& info) {
+  if (info.id == kInvalidSite || info.id == local_id_) return;
+  auto it = sites_.find(info.id);
+  // Death is terminal: logical ids are never reused (a returning machine
+  // signs on afresh), so an "alive" entry — however new its version — must
+  // never resurrect a site we already count as dead. Without this, a
+  // crashed site's stale high-version self-entry keeps bouncing through
+  // gossip and re-animating it mid-recovery.
+  if (it != sites_.end() && !it->second.alive && info.alive) return;
+  if (it == sites_.end() || info.version > it->second.version ||
+      (!info.alive && it->second.alive)) {
+    bool was_alive = it == sites_.end() ? true : it->second.alive;
+    SiteId prior_successor =
+        it == sites_.end() ? kInvalidSite : it->second.successor;
+    sites_[info.id] = info;
+    if (!info.alive && info.successor == kInvalidSite &&
+        prior_successor != kInvalidSite) {
+      // Keep a known successor; a bare death verdict carries none.
+      sites_[info.id].successor = prior_successor;
+    }
+    if (was_alive && !info.alive && info.successor == kInvalidSite) {
+      // Learned of a crash via gossip.
+      site_.on_site_dead(info.id);
+    }
+  }
+}
+
+void ClusterManager::note_heard(SiteId src) {
+  if (src == kInvalidSite || src == local_id_) return;
+  last_heard_[src] = site_.clock().now();
+}
+
+std::vector<std::byte> ClusterManager::encode_cluster_list() const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(sites_.size()));
+  for (const auto& [id, info] : sites_) info.serialize(w);
+  return w.take();
+}
+
+void ClusterManager::absorb_cluster_list(ByteReader& r) {
+  std::uint32_t n = r.count(/*min_bytes_each=*/16);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto info = SiteInfo::deserialize(r);
+    if (!info.is_ok()) return;
+    merge(info.value());
+  }
+}
+
+std::optional<SiteId> ClusterManager::try_allocate_id() {
+  switch (site_.config().id_alloc) {
+    case IdAllocStrategy::kCentralContact:
+      // Only the central contact site (site 1) allocates.
+      if (local_id_ == 1) return next_central_id_++;
+      return std::nullopt;
+
+    case IdAllocStrategy::kContingent:
+      if (local_id_ == 1) {
+        // Site 1 owns the id space and carves blocks; it can always
+        // allocate directly from the tail.
+        return contingent_next_++;
+      }
+      if (!id_block_.empty()) {
+        SiteId id = id_block_.back();
+        id_block_.pop_back();
+        return id;
+      }
+      return std::nullopt;
+
+    case IdAllocStrategy::kModulo: {
+      // First k-1 joiners become servers (ids 2..k); afterwards server i
+      // emits i + n*k, so ids never collide without coordination.
+      if (local_id_ == 1 && next_central_id_ <= kModuloServers) {
+        return next_central_id_++;
+      }
+      if (local_id_ <= kModuloServers) {
+        return local_id_ + (++modulo_counter_) * kModuloServers;
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+void ClusterManager::handle_sign_on_request(const SdMessage& msg) {
+  ++signon_messages;
+  auto id = try_allocate_id();
+  if (id.has_value()) {
+    complete_sign_on(msg, *id);
+    return;
+  }
+
+  switch (site_.config().id_alloc) {
+    case IdAllocStrategy::kCentralContact: {
+      // Forward to the central contact site; it replies to the joiner
+      // directly (its physical address is in the payload).
+      SdMessage fwd;
+      fwd.dst = 1;
+      fwd.src_mgr = fwd.dst_mgr = ManagerId::kCluster;
+      fwd.type = MsgType::kSignOnRequest;
+      fwd.payload = msg.payload;
+      ++signon_messages;
+      (void)site_.messages().send(std::move(fwd));
+      break;
+    }
+    case IdAllocStrategy::kContingent: {
+      parked_sign_ons_.push_back(msg);
+      request_id_block([this] {
+        auto parked = std::move(parked_sign_ons_);
+        parked_sign_ons_.clear();
+        for (auto& m : parked) handle_sign_on_request(m);
+      });
+      break;
+    }
+    case IdAllocStrategy::kModulo: {
+      // Not a server: forward to our designated server.
+      SiteId server = (local_id_ % kModuloServers) + 1;
+      if (find(server) == nullptr || !find(server)->alive) server = 1;
+      SdMessage fwd;
+      fwd.dst = server;
+      fwd.src_mgr = fwd.dst_mgr = ManagerId::kCluster;
+      fwd.type = MsgType::kSignOnRequest;
+      fwd.payload = msg.payload;
+      ++signon_messages;
+      (void)site_.messages().send(std::move(fwd));
+      break;
+    }
+  }
+}
+
+void ClusterManager::complete_sign_on(const SdMessage& request, SiteId new_id) {
+  auto p = SignOnPayload::deserialize(request.payload);
+  if (!p.is_ok()) {
+    SDVM_WARN(site_.tag()) << "malformed sign-on request";
+    return;
+  }
+  SiteInfo info;
+  info.id = new_id;
+  info.address = p.value().address;
+  info.name = p.value().name;
+  info.platform = p.value().platform;
+  info.speed = p.value().speed;
+  info.code_site = p.value().code_site;
+  info.version = 1;
+  sites_[new_id] = info;
+
+  refresh_local_info();
+  ByteWriter w;
+  w.site(new_id);
+  auto list = encode_cluster_list();
+  w.raw(list.data(), list.size());
+
+  SdMessage reply;
+  reply.dst = new_id;
+  reply.src_mgr = reply.dst_mgr = ManagerId::kCluster;
+  reply.type = MsgType::kSignOnReply;
+  reply.payload = w.take();
+  ++signon_messages;
+  (void)site_.messages().send_to_address(info.address, std::move(reply));
+  SDVM_INFO(site_.tag()) << "admitted new site " << new_id << " ("
+                         << info.platform << ", speed " << info.speed << ")";
+}
+
+void ClusterManager::request_id_block(std::function<void()> then) {
+  SdMessage req;
+  req.dst = 1;
+  req.src_mgr = req.dst_mgr = ManagerId::kCluster;
+  req.type = MsgType::kIdBlockRequest;
+  ++signon_messages;
+  (void)site_.messages().request(
+      req, [this, then = std::move(then)](Result<SdMessage> r) {
+        if (!r.is_ok()) {
+          SDVM_WARN(site_.tag())
+              << "id block request failed: " << r.status().to_string();
+          return;
+        }
+        try {
+          ByteReader rd(r.value().payload);
+          std::uint32_t n = rd.u32();
+          for (std::uint32_t i = 0; i < n; ++i) {
+            id_block_.push_back(rd.site());
+          }
+        } catch (const DecodeError&) {
+          return;
+        }
+        if (then) then();
+      });
+}
+
+void ClusterManager::handle(const SdMessage& msg) {
+  switch (msg.type) {
+    case MsgType::kSignOnRequest:
+      handle_sign_on_request(msg);
+      break;
+
+    case MsgType::kSignOnReply: {
+      if (local_id_ != kInvalidSite) break;  // duplicate reply, ignore
+      try {
+        ByteReader r(msg.payload);
+        local_id_ = r.site();
+        absorb_cluster_list(r);
+      } catch (const DecodeError&) {
+        break;
+      }
+      SiteInfo self;
+      self.id = local_id_;
+      self.address =
+          site_.transport() ? site_.transport()->local_address() : "";
+      self.name = site_.config().name;
+      self.platform = site_.config().platform;
+      self.speed = site_.config().speed;
+      self.code_site = site_.config().code_distribution_site;
+      self.version = 1;
+      sites_[local_id_] = std::move(self);
+      if (join_done_) {
+        auto cb = std::move(join_done_);
+        join_done_ = nullptr;
+        cb(Status::ok());
+      }
+      break;
+    }
+
+    case MsgType::kIdBlockRequest: {
+      // Only site 1 serves blocks (contingent strategy).
+      ByteWriter w;
+      w.u32(kBlockSize);
+      for (SiteId i = 0; i < kBlockSize; ++i) w.site(contingent_next_++);
+      SdMessage reply;
+      reply.src_mgr = reply.dst_mgr = ManagerId::kCluster;
+      reply.type = MsgType::kIdBlockReply;
+      reply.payload = w.take();
+      ++signon_messages;
+      (void)site_.messages().respond(msg, std::move(reply));
+      break;
+    }
+
+    case MsgType::kSignOffNotice: {
+      try {
+        ByteReader r(msg.payload);
+        SiteId departing = r.site();
+        SiteId successor = r.site();
+        auto it = sites_.find(departing);
+        if (it != sites_.end()) {
+          it->second.alive = false;
+          it->second.successor = successor;
+          it->second.version++;
+        }
+      } catch (const DecodeError&) {
+      }
+      break;
+    }
+
+    case MsgType::kHeartbeat: {
+      try {
+        ByteReader r(msg.payload);
+        auto info = SiteInfo::deserialize(r);
+        if (info.is_ok()) merge(info.value());
+      } catch (const DecodeError&) {
+      }
+      break;
+    }
+
+    case MsgType::kSiteGossip: {
+      try {
+        ByteReader r(msg.payload);
+        absorb_cluster_list(r);
+      } catch (const DecodeError&) {
+      }
+      break;
+    }
+
+    case MsgType::kSiteDead: {
+      try {
+        ByteReader r(msg.payload);
+        mark_dead(r.site(), /*gossip=*/false);
+      } catch (const DecodeError&) {
+      }
+      break;
+    }
+
+    default:
+      SDVM_WARN(site_.tag()) << "cluster manager: unexpected "
+                             << to_string(msg.type);
+  }
+}
+
+void ClusterManager::mark_dead(SiteId id, bool gossip) {
+  if (id == local_id_ || id == kInvalidSite) return;
+  auto it = sites_.find(id);
+  if (it == sites_.end() || !it->second.alive) return;
+  it->second.alive = false;
+  it->second.version++;
+  SDVM_WARN(site_.tag()) << "site " << id << " declared dead";
+  site_.on_site_dead(id);
+  if (gossip) {
+    ByteWriter w;
+    w.site(id);
+    for (SiteId sid : known_sites(/*alive_only=*/true)) {
+      if (sid == local_id_) continue;
+      SdMessage msg;
+      msg.dst = sid;
+      msg.src_mgr = msg.dst_mgr = ManagerId::kCluster;
+      msg.type = MsgType::kSiteDead;
+      msg.payload = w.bytes();
+      (void)site_.messages().send(std::move(msg));
+    }
+  }
+}
+
+void ClusterManager::set_successor(SiteId dead, SiteId heir, bool gossip) {
+  auto it = sites_.find(dead);
+  if (it == sites_.end()) return;
+  it->second.alive = false;
+  it->second.successor = heir;
+  it->second.version++;
+  if (gossip) {
+    ByteWriter w;
+    w.site(dead);
+    w.site(heir);
+    for (SiteId sid : known_sites(/*alive_only=*/true)) {
+      if (sid == local_id_) continue;
+      SdMessage msg;
+      msg.dst = sid;
+      msg.src_mgr = msg.dst_mgr = ManagerId::kCluster;
+      msg.type = MsgType::kSignOffNotice;
+      msg.payload = w.bytes();
+      (void)site_.messages().send(std::move(msg));
+    }
+  }
+}
+
+void ClusterManager::on_tick() {
+  if (local_id_ == kInvalidSite) return;
+  Nanos now = site_.clock().now();
+  refresh_local_info();
+
+  // Heartbeats to every known live peer.
+  ByteWriter w;
+  sites_[local_id_].serialize(w);
+  for (SiteId sid : known_sites(/*alive_only=*/true)) {
+    if (sid == local_id_) continue;
+    SdMessage msg;
+    msg.dst = sid;
+    msg.src_mgr = msg.dst_mgr = ManagerId::kCluster;
+    msg.type = MsgType::kHeartbeat;
+    msg.payload = w.bytes();
+    (void)site_.messages().send(std::move(msg));
+  }
+
+  // Failure detection: no traffic within the timeout → dead. A site we
+  // have never heard from is granted a full timeout from when we first
+  // learned of it (it may be slow to open a channel to us).
+  Nanos timeout = site_.config().failure_timeout;
+  for (auto& [sid, info] : sites_) {
+    if (sid == local_id_ || !info.alive) continue;
+    Nanos base;
+    if (auto heard = last_heard_.find(sid); heard != last_heard_.end()) {
+      base = heard->second;
+    } else if (auto seen = first_seen_.find(sid); seen != first_seen_.end()) {
+      base = seen->second;
+    } else {
+      first_seen_[sid] = now;
+      continue;
+    }
+    if (now - base > timeout) {
+      mark_dead(sid, /*gossip=*/true);
+    }
+  }
+
+  // Gossip the full list to one peer, round-robin.
+  auto peers = known_sites(/*alive_only=*/true);
+  std::erase(peers, local_id_);
+  if (!peers.empty()) {
+    SdMessage msg;
+    msg.dst = peers[gossip_cursor_++ % peers.size()];
+    msg.src_mgr = msg.dst_mgr = ManagerId::kCluster;
+    msg.type = MsgType::kSiteGossip;
+    msg.payload = encode_cluster_list();
+    (void)site_.messages().send(std::move(msg));
+  }
+}
+
+}  // namespace sdvm

@@ -1,0 +1,121 @@
+// Cluster manager: maintains the cluster list, handles sign-on / sign-off,
+// allocates logical site ids (three strategies from paper §4), gossips
+// site information "by and by", tracks load statistics for help-target
+// selection, and runs the heartbeat failure detector feeding the crash
+// manager.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/status.hpp"
+#include "runtime/cluster_info.hpp"
+#include "runtime/message.hpp"
+
+namespace sdvm {
+
+class Site;
+
+class ClusterManager {
+ public:
+  explicit ClusterManager(Site& site) : site_(site) {}
+
+  // --- identity / membership ---------------------------------------------
+  /// First site of a new cluster: self-assigns id 1 (implicitly the central
+  /// contact site for id allocation).
+  void bootstrap();
+
+  /// Joins via a site already in the cluster ("the (ip) address of a site
+  /// which is already part of the cluster" is all that is needed).
+  void join(const std::string& contact_address,
+            std::function<void(Status)> done);
+
+  /// Graceful departure: relocation is coordinated by the Site; this
+  /// broadcasts the sign-off notice with our successor.
+  void announce_sign_off(SiteId successor);
+
+  [[nodiscard]] bool joined() const { return local_id_ != kInvalidSite; }
+  [[nodiscard]] SiteId local_id() const { return local_id_; }
+
+  // --- cluster list --------------------------------------------------------
+  [[nodiscard]] Result<std::string> physical_address(SiteId id) const;
+  [[nodiscard]] const SiteInfo* find(SiteId id) const;
+  [[nodiscard]] std::vector<SiteId> known_sites(bool alive_only = true) const;
+  [[nodiscard]] std::size_t cluster_size() const;
+
+  /// Follows sign-off successor chains to a live site (routing for
+  /// messages addressed to departed sites' memory directories).
+  [[nodiscard]] SiteId resolve_successor(SiteId id) const;
+
+  /// Load-informed help-target choice: "choose a site which is probably
+  /// not idle itself" — prefers the known site with the most queued work.
+  [[nodiscard]] std::optional<SiteId> pick_help_target(
+      const std::vector<SiteId>& exclude = {});
+
+  /// Picks a live site other than us (round-robin-ish) for relocation and
+  /// checkpoint placement.
+  [[nodiscard]] std::optional<SiteId> pick_any_other();
+
+  /// Live sites advertising themselves as code distribution sites (§4).
+  [[nodiscard]] std::vector<SiteId> code_distribution_sites() const;
+
+  // --- maintenance ----------------------------------------------------------
+  void handle(const SdMessage& msg);
+  /// Periodic: emits heartbeats, checks failure timeouts, gossips.
+  void on_tick();
+  /// Refreshes our own SiteInfo (load stats) before it is piggybacked.
+  void refresh_local_info();
+  /// Merges a received SiteInfo (gossip, piggyback) — higher version wins.
+  void merge(const SiteInfo& info);
+  [[nodiscard]] SiteInfo local_info() const;
+
+  /// Marks a site dead (failure detector or external verdict) and gossips
+  /// the fact. Idempotent.
+  void mark_dead(SiteId id, bool gossip);
+
+  /// Liveness input: any message from `src` proves it alive right now.
+  void note_heard(SiteId src);
+
+  /// Records (and optionally gossips) that `heir` took over a dead site's
+  /// addresses — used by crash recovery to keep global addresses routable.
+  void set_successor(SiteId dead, SiteId heir, bool gossip);
+
+  /// Cheap gossip payload: every site we know, serialized.
+  [[nodiscard]] std::vector<std::byte> encode_cluster_list() const;
+  void absorb_cluster_list(ByteReader& r);
+
+  /// Statistics for bench/ablation_idalloc.
+  std::uint64_t signon_messages = 0;
+
+ private:
+  void handle_sign_on_request(const SdMessage& msg);
+  void complete_sign_on(const SdMessage& original_request, SiteId new_id);
+  [[nodiscard]] std::optional<SiteId> try_allocate_id();
+  void request_id_block(std::function<void()> then);
+
+  Site& site_;
+  SiteId local_id_ = kInvalidSite;
+  std::map<SiteId, SiteInfo> sites_;
+  std::function<void(Status)> join_done_;
+
+  // Id allocation state (strategy-dependent).
+  SiteId next_central_id_ = 2;        // central: site 1's counter
+  std::vector<SiteId> id_block_;      // contingent: our pool of free ids
+  SiteId contingent_next_ = 0;        // contingent: site 1's block counter
+  static constexpr SiteId kBlockSize = 8;
+  static constexpr SiteId kModuloServers = 4;
+  SiteId modulo_counter_ = 0;         // modulo: multiples handed out so far
+
+  // Sign-on requests parked while we fetch an id block.
+  std::vector<SdMessage> parked_sign_ons_;
+  Nanos last_heartbeat_ = 0;
+  std::size_t gossip_cursor_ = 0;
+  std::map<SiteId, Nanos> last_heard_;
+  std::map<SiteId, Nanos> first_seen_;
+};
+
+}  // namespace sdvm

@@ -1,0 +1,93 @@
+// Code manager: "allows the automatic distribution of microthreads
+// throughout the cluster" (paper §2.2, §4). Stores source and platform-
+// tagged binary artifacts, answers code requests (binary first, source
+// fallback), compiles source on the fly for the local platform, and
+// uploads freshly compiled binaries back to the code distribution site so
+// "other sites will receive the binary code at first go".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.hpp"
+#include "microc/bytecode.hpp"
+#include "runtime/message.hpp"
+#include "runtime/program.hpp"
+
+namespace sdvm {
+
+class Site;
+
+/// Something the processing manager can run: exactly one of the two is set.
+struct Executable {
+  NativeFn native;
+  std::shared_ptr<const microc::Program> bytecode;
+
+  [[nodiscard]] bool valid() const {
+    return native != nullptr || bytecode != nullptr;
+  }
+};
+
+class CodeManager {
+ public:
+  explicit CodeManager(Site& site) : site_(site) {}
+
+  /// Home-site registration: keep MicroC sources (shippable) and remember
+  /// which threads exist. Native fns live in the NativeRegistry.
+  void store_sources(const ProgramInfo& info, const ProgramSpec& spec);
+
+  /// Resolves the executable for (program, thread); may go to the network.
+  /// The callback runs under the site lock.
+  using ExecCallback = std::function<void(Result<Executable>)>;
+  void request_executable(ProgramId pid, MicrothreadId tid, ExecCallback cb);
+
+  void handle(const SdMessage& msg);
+  void drop_program(ProgramId pid);
+
+  /// Source export/import: the crash manager replicates a program's
+  /// sources alongside checkpoint snapshots, so a backup site taking over
+  /// as code home can still serve (and compile) every microthread.
+  [[nodiscard]] std::vector<std::pair<MicrothreadId, std::string>>
+  export_sources(ProgramId pid) const;
+  void import_sources(ProgramId pid,
+                      const std::vector<std::pair<MicrothreadId, std::string>>&
+                          sources);
+
+  /// Counters for bench/ablation_compile.
+  std::uint64_t compiles = 0;
+  std::uint64_t binary_fetches = 0;
+  std::uint64_t source_fetches = 0;
+  std::uint64_t uploads_received = 0;
+
+ private:
+  struct Key {
+    ProgramId pid;
+    MicrothreadId tid;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  void fetch_remote(ProgramId pid, MicrothreadId tid);
+  /// Tries `targets[index]`, falling through to the next on miss/failure.
+  void fetch_from(ProgramId pid, MicrothreadId tid,
+                  std::shared_ptr<std::vector<SiteId>> targets,
+                  std::size_t index);
+  void upload_binary(ProgramId pid, MicrothreadId tid,
+                     const std::shared_ptr<const microc::Program>& binary);
+  void finish(const Key& key, Result<Executable> result);
+  [[nodiscard]] std::optional<Executable> resolve_local(ProgramId pid,
+                                                        MicrothreadId tid);
+
+  Site& site_;
+  std::map<Key, Executable> cache_;
+  std::map<Key, std::string> sources_;
+  // Binary artifacts per (program, thread, platform).
+  std::map<std::pair<Key, PlatformId>,
+           std::shared_ptr<const microc::Program>> binaries_;
+  std::map<Key, std::vector<ExecCallback>> pending_;
+};
+
+}  // namespace sdvm

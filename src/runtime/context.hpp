@@ -1,0 +1,77 @@
+// Execution context handed to a running microthread. These operations are
+// the paper's "special instructions provided by the SDVM which represent
+// the only interface between the program running on the SDVM and the SDVM
+// itself" (§4, processing manager).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sdvm {
+
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  // --- microframe parameters -------------------------------------------
+  [[nodiscard]] virtual int num_params() const = 0;
+  [[nodiscard]] virtual std::int64_t param_int(int index) const = 0;
+  [[nodiscard]] virtual std::span<const std::byte> param_bytes(
+      int index) const = 0;
+
+  // --- program start arguments ------------------------------------------
+  [[nodiscard]] virtual int num_args() const = 0;
+  [[nodiscard]] virtual std::int64_t arg(int index) const = 0;
+
+  // --- dataflow ----------------------------------------------------------
+  /// Allocates a new microframe for `thread_name` with `nparams` empty
+  /// slots. "A microframe may only be allocated when it is certain that it
+  /// will receive all its parameters in the future" — the caller's
+  /// contract. Returns its global address immediately (§3.2: allocate as
+  /// early as possible, the address is unknown before allocation).
+  virtual GlobalAddress spawn(std::string_view thread_name, int nparams,
+                              int priority = 0) = 0;
+
+  /// Applies a result value to slot `slot` of the frame at `frame`.
+  virtual void send_int(GlobalAddress frame, int slot, std::int64_t value) = 0;
+  virtual void send_bytes(GlobalAddress frame, int slot,
+                          std::span<const std::byte> value) = 0;
+
+  // --- attraction memory --------------------------------------------------
+  /// Allocates `nwords` int64 words of global memory; returns its address.
+  virtual GlobalAddress alloc_global(std::int64_t nwords) = 0;
+  /// Reads/writes a word. The object migrates to the accessing site
+  /// transparently (COMA attraction); remote access may stall this thread.
+  virtual std::int64_t mem_read(GlobalAddress addr, std::int64_t index) = 0;
+  virtual void mem_write(GlobalAddress addr, std::int64_t index,
+                         std::int64_t value) = 0;
+
+  // --- I/O (routed to the program's frontend site) ------------------------
+  virtual void out(std::int64_t value) = 0;
+  virtual void out_str(std::string_view text) = 0;
+
+  /// Global file handles: reads/writes reroute to the site owning the file
+  /// in its virtual filesystem. Blocking.
+  virtual std::string file_read(std::string_view path) = 0;
+  virtual void file_write(std::string_view path, std::string_view data) = 0;
+
+  // --- control -------------------------------------------------------------
+  /// Declares the whole program finished; broadcast to all sites.
+  virtual void exit_program(std::int64_t code) = 0;
+
+  /// Accounts `cycles` of virtual compute cost (sim mode; no-op on wall
+  /// clock). Bytecode microthreads are charged automatically per
+  /// instruction; native microthreads use this to describe their cost.
+  virtual void charge(std::int64_t cycles) = 0;
+
+  // --- introspection --------------------------------------------------------
+  [[nodiscard]] virtual SiteId site() const = 0;
+  [[nodiscard]] virtual ProgramId program() const = 0;
+};
+
+}  // namespace sdvm

@@ -1,0 +1,522 @@
+#include "runtime/crash_manager.hpp"
+
+#include "runtime/site.hpp"
+
+namespace sdvm {
+
+// ---------------------------------------------------------------------------
+// Shard serialization
+// ---------------------------------------------------------------------------
+
+std::vector<std::byte> CrashManager::make_shard(ProgramId pid) const {
+  ByteWriter w;
+  auto queued = site_.scheduling().snapshot_frames(pid);
+  w.u32(static_cast<std::uint32_t>(queued.size()));
+  for (const auto& f : queued) f.serialize(w);
+  auto mem = site_.memory().snapshot(pid);
+  w.raw(mem.data(), mem.size());
+  SDVM_DEBUG(site_.tag()) << "shard for " << pid.value << ": "
+                          << queued.size() << " queued frames, "
+                          << site_.memory().frame_count()
+                          << " stored frames total";
+  return w.take();
+}
+
+void CrashManager::install_shard(ProgramId pid,
+                                 std::span<const std::byte> shard) {
+  (void)pid;
+  try {
+    ByteReader r(shard);
+    std::uint32_t nqueued = r.count(/*min_bytes_each=*/8);
+    for (std::uint32_t i = 0; i < nqueued; ++i) {
+      auto f = Microframe::deserialize(r);
+      if (f.is_ok()) site_.memory().adopt_frame(std::move(f).value());
+    }
+    site_.memory().restore_snapshot(r);
+  } catch (const DecodeError& e) {
+    SDVM_ERROR(site_.tag()) << "corrupt recovery shard: " << e.what();
+  }
+}
+
+void CrashManager::clear_program_state(ProgramId pid) {
+  site_.scheduling().clear_program_frames(pid);
+  site_.memory().drop_program(pid);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator: checkpoint rounds
+// ---------------------------------------------------------------------------
+
+void CrashManager::on_tick() {
+  if (!site_.config().checkpoints_enabled || !site_.cluster().joined()) {
+    return;
+  }
+  Nanos now = site_.clock().now();
+
+  // Abort rounds that never completed (a participant died mid-round).
+  for (auto it = active_rounds_.begin(); it != active_rounds_.end();) {
+    if (now - it->second.started >
+        site_.config().heartbeat_interval * 20) {
+      SDVM_WARN(site_.tag()) << "checkpoint round for program "
+                             << it->first.value << " timed out, aborting"
+                             << " (epoch " << it->second.epoch << ", frozen "
+                             << it->second.frozen.size() << "/"
+                             << it->second.expected.size() << ", shards "
+                             << it->second.received.size() << ")";
+      ByteWriter w;
+      w.u64(it->second.epoch);
+      for (SiteId sid : it->second.expected) {
+        SdMessage msg;
+        msg.dst = sid;
+        msg.src_mgr = msg.dst_mgr = ManagerId::kCrash;
+        msg.type = MsgType::kCheckpointCommit;
+        msg.program = it->first;
+        msg.payload = w.bytes();
+        (void)site_.messages().send(std::move(msg));
+      }
+      it = active_rounds_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  for (ProgramId pid : site_.programs().active_programs()) {
+    const ProgramInfo* info = site_.programs().find(pid);
+    if (info == nullptr || info->home_site != site_.id()) continue;
+    if (active_rounds_.contains(pid)) continue;
+    auto last = last_checkpoint_.find(pid);
+    Nanos base = last == last_checkpoint_.end() ? 0 : last->second;
+    if (now - base >= site_.config().checkpoint_interval) {
+      begin_checkpoint(pid);
+    }
+  }
+
+  // Participants may still owe frozen-acks (waiting for quiescence).
+  try_ack_frozen();
+}
+
+void CrashManager::begin_checkpoint(ProgramId pid) {
+  Round round;
+  round.epoch = ++next_epoch_[pid];
+  round.expected = site_.cluster().known_sites(/*alive_only=*/true);
+  round.started = site_.clock().now();
+  last_checkpoint_[pid] = round.started;  // rate-limit even on failure
+
+  ByteWriter w;
+  w.u64(round.epoch);
+  std::vector<SiteId> expected = round.expected;
+  // Register the round first: the loopback freeze to ourselves acks
+  // synchronously and must find it.
+  active_rounds_[pid] = std::move(round);
+  for (SiteId sid : expected) {
+    SdMessage msg;
+    msg.dst = sid;
+    msg.src_mgr = msg.dst_mgr = ManagerId::kCrash;
+    msg.type = MsgType::kCheckpointFreeze;
+    msg.program = pid;
+    msg.payload = w.bytes();
+    (void)site_.messages().send(std::move(msg));
+  }
+}
+
+void CrashManager::maybe_commit(ProgramId pid) {
+  auto it = active_rounds_.find(pid);
+  if (it == active_rounds_.end()) return;
+  Round& round = it->second;
+  if (round.received.size() < round.expected.size()) return;
+
+  Snapshot snap;
+  snap.epoch = round.epoch;
+  snap.shards = round.received;
+  committed_[pid] = snap;
+  last_checkpoint_[pid] = site_.clock().now();
+  ++checkpoints_committed;
+
+  // Replicate to a backup site so home-site death is survivable.
+  std::optional<SiteId> backup;
+  for (SiteId sid : site_.cluster().known_sites(/*alive_only=*/true)) {
+    if (sid != site_.id() && (!backup || sid < *backup)) backup = sid;
+  }
+  if (backup.has_value()) {
+    backup_site_[pid] = *backup;
+    ByteWriter w;
+    w.u64(snap.epoch);
+    w.u32(static_cast<std::uint32_t>(snap.shards.size()));
+    for (const auto& [sid, blob] : snap.shards) {
+      w.site(sid);
+      w.blob(blob);
+    }
+    // Sources ride along so the backup can serve code if it becomes home.
+    auto sources = site_.code().export_sources(pid);
+    w.u32(static_cast<std::uint32_t>(sources.size()));
+    for (const auto& [tid, src] : sources) {
+      w.u32(tid);
+      w.str(src);
+    }
+    SdMessage msg;
+    msg.dst = *backup;
+    msg.src_mgr = msg.dst_mgr = ManagerId::kCrash;
+    msg.type = MsgType::kCheckpointReplica;
+    msg.program = pid;
+    msg.payload = w.take();
+    (void)site_.messages().send(std::move(msg));
+  }
+
+  ByteWriter w;
+  w.u64(round.epoch);
+  for (SiteId sid : round.expected) {
+    SdMessage msg;
+    msg.dst = sid;
+    msg.src_mgr = msg.dst_mgr = ManagerId::kCrash;
+    msg.type = MsgType::kCheckpointCommit;
+    msg.program = pid;
+    msg.payload = w.bytes();
+    (void)site_.messages().send(std::move(msg));
+  }
+  active_rounds_.erase(it);
+  SDVM_INFO(site_.tag()) << "checkpoint epoch " << snap.epoch
+                         << " committed for program " << pid.value;
+}
+
+// ---------------------------------------------------------------------------
+// Participant: freeze / shard / commit
+// ---------------------------------------------------------------------------
+
+void CrashManager::handle_freeze(const SdMessage& msg) {
+  std::uint64_t epoch = 0;
+  try {
+    ByteReader r(msg.payload);
+    epoch = r.u64();
+  } catch (const DecodeError&) {
+    return;
+  }
+  ++freeze_depth_;
+  SDVM_DEBUG(site_.tag()) << "freeze epoch " << epoch << " from site "
+                          << msg.src << " (depth " << freeze_depth_ << ")";
+  site_.processing().set_frozen(true);
+  site_.scheduling().set_frozen(true);
+  pending_shards_.push_back(PendingShard{msg.program, epoch, msg.src, false});
+  try_ack_frozen();
+}
+
+void CrashManager::try_ack_frozen() {
+  bool pending = false;
+  for (auto& p : pending_shards_) {
+    if (p.acked) continue;
+    if (!site_.execution_quiesced()) {
+      pending = true;
+      continue;
+    }
+    p.acked = true;
+    SDVM_DEBUG(site_.tag()) << "acking frozen epoch " << p.epoch
+                            << " to site " << p.coordinator;
+    ByteWriter w;
+    w.u64(p.epoch);
+    SdMessage msg;
+    msg.dst = p.coordinator;
+    msg.src_mgr = msg.dst_mgr = ManagerId::kCrash;
+    msg.type = MsgType::kCheckpointFrozen;
+    msg.program = p.pid;
+    msg.payload = w.take();
+    (void)site_.messages().send(std::move(msg));
+  }
+  if (pending) {
+    SDVM_DEBUG(site_.tag()) << "not quiesced yet (running "
+                            << site_.processing().running() << ", busy until "
+                            << site_.sim_busy_until() << " vs now "
+                            << site_.clock().now() << ")";
+    site_.schedule_after(500'000, [this] { try_ack_frozen(); });
+  }
+}
+
+void CrashManager::handle_take_shard(const SdMessage& msg) {
+  std::uint64_t epoch = 0;
+  try {
+    ByteReader r(msg.payload);
+    epoch = r.u64();
+  } catch (const DecodeError&) {
+    return;
+  }
+  for (const auto& p : pending_shards_) {
+    if (p.pid != msg.program || p.epoch != epoch) continue;
+    ByteWriter w;
+    w.u64(epoch);
+    w.blob(make_shard(p.pid));
+    SdMessage reply;
+    reply.dst = p.coordinator;
+    reply.src_mgr = reply.dst_mgr = ManagerId::kCrash;
+    reply.type = MsgType::kCheckpointData;
+    reply.program = p.pid;
+    reply.payload = w.take();
+    (void)site_.messages().send(std::move(reply));
+    return;
+  }
+}
+
+void CrashManager::handle_commit(const SdMessage& msg) {
+  std::uint64_t epoch = 0;
+  try {
+    ByteReader r(msg.payload);
+    epoch = r.u64();
+  } catch (const DecodeError&) {
+    return;
+  }
+  for (auto it = pending_shards_.begin(); it != pending_shards_.end(); ++it) {
+    if (it->pid == msg.program && it->epoch == epoch) {
+      pending_shards_.erase(it);
+      if (--freeze_depth_ <= 0) {
+        freeze_depth_ = 0;
+        site_.processing().set_frozen(false);
+        site_.scheduling().set_frozen(false);
+        site_.processing().kick();
+        site_.driver().notify_work();
+      }
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+void CrashManager::on_site_dead(SiteId dead) {
+  // Programs we coordinate: roll back to the last committed epoch (or
+  // restart from the initial state if none committed yet).
+  for (ProgramId pid : site_.programs().active_programs()) {
+    const ProgramInfo* info = site_.programs().find(pid);
+    if (info == nullptr) continue;
+    if (info->home_site == site_.id() &&
+        site_.config().checkpoints_enabled) {
+      begin_recovery(pid, dead);
+    }
+  }
+  // Programs whose home just died and whose replica we hold: take over.
+  for (auto& [pid, home] : replica_home_) {
+    if (home != dead) continue;
+    if (site_.programs().is_terminated(pid)) continue;
+    const ProgramInfo* info = site_.programs().find(pid);
+    if (info == nullptr) continue;
+    SDVM_WARN(site_.tag()) << "home site " << dead << " of program "
+                           << pid.value << " died; taking over from replica";
+    ProgramInfo updated = *info;
+    updated.home_site = site_.id();
+    site_.programs().register_info(updated);
+    committed_[pid] = replicas_[pid];
+    begin_recovery(pid, dead);
+  }
+}
+
+void CrashManager::begin_recovery(ProgramId pid, SiteId dead) {
+  // No committed epoch yet → "epoch 0": the initial state (the entry
+  // microframe) is always reconstructible at the home site, so the
+  // program restarts from scratch rather than hanging with lost frames.
+  Snapshot epoch0;
+  auto snap_it = committed_.find(pid);
+  const Snapshot& snap =
+      snap_it == committed_.end() ? epoch0 : snap_it->second;
+  ++recoveries;
+  SDVM_WARN(site_.tag()) << "recovering program " << pid.value
+                         << " from epoch " << snap.epoch << " after site "
+                         << dead << " died";
+
+  // Dead site's global addresses must stay routable: we inherit them.
+  site_.cluster().set_successor(dead, site_.id(), /*gossip=*/true);
+
+  const ProgramInfo* info = site_.programs().find(pid);
+  if (info == nullptr) return;
+
+  for (SiteId sid : site_.cluster().known_sites(/*alive_only=*/true)) {
+    ByteWriter w;
+    w.u64(snap.epoch);
+    w.site(dead);
+    info->serialize(w);
+    // The target's own shard; the dead site's shard goes to us.
+    std::vector<std::byte> shard;
+    if (auto it = snap.shards.find(sid); it != snap.shards.end()) {
+      shard = it->second;
+    }
+    w.blob(shard);
+    if (sid == site_.id()) {
+      if (auto it = snap.shards.find(dead); it != snap.shards.end()) {
+        w.blob(it->second);
+      } else {
+        w.blob(std::vector<std::byte>{});
+      }
+    } else {
+      w.blob(std::vector<std::byte>{});
+    }
+
+    SdMessage msg;
+    msg.dst = sid;
+    msg.src_mgr = msg.dst_mgr = ManagerId::kCrash;
+    msg.type = MsgType::kRecoveryRestore;
+    msg.program = pid;
+    msg.payload = w.take();
+    (void)site_.messages().send(std::move(msg));
+  }
+
+  if (snap.epoch == 0) {
+    // Epoch-0 restart: re-fire the entry microframe (our own restore ran
+    // synchronously above, so local state is already clean).
+    FrameId f = site_.memory().create_frame(pid, info->entry_thread,
+                                            /*nparams=*/1, /*priority=*/0);
+    (void)site_.memory().apply_param(f, 0, to_bytes(std::int64_t{0}));
+  }
+}
+
+void CrashManager::handle_restore(const SdMessage& msg) {
+  try {
+    ByteReader r(msg.payload);
+    std::uint64_t epoch = r.u64();
+    (void)epoch;
+    SiteId dead = r.site();
+    auto info = ProgramInfo::deserialize(r);
+    auto shard = r.blob();
+    auto extra = r.blob();
+
+    if (info.is_ok()) site_.programs().register_info(info.value());
+    site_.cluster().set_successor(dead, msg.src, /*gossip=*/false);
+
+    clear_program_state(msg.program);
+    install_shard(msg.program, shard);
+    if (!extra.empty()) install_shard(msg.program, extra);
+    SDVM_DEBUG(site_.tag()) << "restored program " << msg.program.value
+                            << ": now " << site_.memory().frame_count()
+                            << " stored frames, "
+                            << site_.scheduling().queued_total() << " queued";
+
+    SdMessage ack;
+    ack.src_mgr = ack.dst_mgr = ManagerId::kCrash;
+    ack.type = MsgType::kRecoveryAck;
+    ack.program = msg.program;
+    (void)site_.messages().respond(msg, std::move(ack));
+    site_.driver().notify_work();
+  } catch (const DecodeError& e) {
+    SDVM_ERROR(site_.tag()) << "bad recovery message: " << e.what();
+  }
+}
+
+void CrashManager::handle(const SdMessage& msg) {
+  switch (msg.type) {
+    case MsgType::kCheckpointFreeze:
+      handle_freeze(msg);
+      break;
+    case MsgType::kCheckpointFrozen: {
+      std::uint64_t epoch = 0;
+      try {
+        ByteReader r(msg.payload);
+        epoch = r.u64();
+      } catch (const DecodeError&) {
+        break;
+      }
+      auto it = active_rounds_.find(msg.program);
+      if (it == active_rounds_.end() || it->second.epoch != epoch) break;
+      Round& round = it->second;
+      round.frozen.insert(msg.src);
+      if (round.collecting ||
+          round.frozen.size() < round.expected.size()) {
+        break;
+      }
+      round.collecting = true;
+      // Everyone is quiesced; after the bounded drain the global state is
+      // stable and each site may serialize its shard.
+      ProgramId pid = msg.program;
+      site_.schedule_after(site_.config().checkpoint_drain,
+                           [this, pid, epoch] {
+        auto rit = active_rounds_.find(pid);
+        if (rit == active_rounds_.end() || rit->second.epoch != epoch) return;
+        ByteWriter w;
+        w.u64(epoch);
+        for (SiteId sid : rit->second.expected) {
+          SdMessage take;
+          take.dst = sid;
+          take.src_mgr = take.dst_mgr = ManagerId::kCrash;
+          take.type = MsgType::kCheckpointTakeShard;
+          take.program = pid;
+          take.payload = w.bytes();
+          (void)site_.messages().send(std::move(take));
+        }
+      });
+      break;
+    }
+    case MsgType::kCheckpointTakeShard:
+      handle_take_shard(msg);
+      break;
+    case MsgType::kCheckpointData: {
+      try {
+        ByteReader r(msg.payload);
+        std::uint64_t epoch = r.u64();
+        auto shard = r.blob();
+        auto it = active_rounds_.find(msg.program);
+        if (it != active_rounds_.end() && it->second.epoch == epoch) {
+          it->second.received[msg.src] = std::move(shard);
+          maybe_commit(msg.program);
+        }
+      } catch (const DecodeError&) {
+      }
+      break;
+    }
+    case MsgType::kCheckpointCommit:
+      handle_commit(msg);
+      break;
+    case MsgType::kCheckpointReplica: {
+      try {
+        ByteReader r(msg.payload);
+        Snapshot snap;
+        snap.epoch = r.u64();
+        std::uint32_t n = r.count(/*min_bytes_each=*/8);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          SiteId sid = r.site();
+          snap.shards[sid] = r.blob();
+        }
+        std::uint32_t nsrc = r.count(/*min_bytes_each=*/8);
+        std::vector<std::pair<MicrothreadId, std::string>> sources;
+        for (std::uint32_t i = 0; i < nsrc; ++i) {
+          MicrothreadId tid = r.u32();
+          sources.emplace_back(tid, r.str());
+        }
+        site_.code().import_sources(msg.program, sources);
+        replicas_[msg.program] = std::move(snap);
+        replica_home_[msg.program] = msg.src;
+      } catch (const DecodeError&) {
+      }
+      break;
+    }
+    case MsgType::kRecoveryRestore:
+      handle_restore(msg);
+      break;
+    case MsgType::kRecoveryAck:
+      break;  // informational
+    default:
+      SDVM_WARN(site_.tag()) << "crash manager: unexpected "
+                             << to_string(msg.type);
+  }
+}
+
+void CrashManager::drop_program(ProgramId pid) {
+  active_rounds_.erase(pid);
+  committed_.erase(pid);
+  last_checkpoint_.erase(pid);
+  next_epoch_.erase(pid);
+  backup_site_.erase(pid);
+  replicas_.erase(pid);
+  replica_home_.erase(pid);
+  bool changed = false;
+  for (auto it = pending_shards_.begin(); it != pending_shards_.end();) {
+    if (it->pid == pid) {
+      it = pending_shards_.erase(it);
+      --freeze_depth_;
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (changed && freeze_depth_ <= 0) {
+    freeze_depth_ = 0;
+    site_.processing().set_frozen(false);
+    site_.scheduling().set_frozen(false);
+  }
+}
+
+}  // namespace sdvm

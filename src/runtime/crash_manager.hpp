@@ -1,0 +1,111 @@
+// Crash management (paper §2.2/§6, and Haase/Eschmann GI 2004 [4]):
+// "automatic backup and recovery mechanism (which uses checkpointing)".
+//
+// Implementation: bounded-drain coordinated checkpointing. The program's
+// home site coordinates rounds:
+//   freeze → (sites quiesce execution, in-flight messages drain) →
+//   snapshot (frames + memory + queues per site) → replica to a backup
+//   site → commit (resume).
+// Failure detection comes from the cluster manager's heartbeat timeouts.
+// On a site death the coordinator restores the last committed epoch: every
+// site clears the program and reinstalls its shard; the dead site's shard
+// is adopted by the coordinator, which also becomes the dead site's
+// routing successor. If the *home* site dies, the backup replica holder
+// takes over as coordinator and new home.
+//
+// Guarantees: execution state is never lost once an epoch commits; output
+// side effects after the last commit may repeat (at-least-once I/O).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "runtime/message.hpp"
+
+namespace sdvm {
+
+class Site;
+
+class CrashManager {
+ public:
+  explicit CrashManager(Site& site) : site_(site) {}
+
+  /// Periodic driver: starts checkpoint rounds for programs homed here.
+  void on_tick();
+
+  /// Cluster manager verdict: `dead` stopped heartbeating.
+  void on_site_dead(SiteId dead);
+
+  void handle(const SdMessage& msg);
+  void drop_program(ProgramId pid);
+
+  [[nodiscard]] bool frozen() const { return freeze_depth_ > 0; }
+
+  std::uint64_t checkpoints_committed = 0;
+  std::uint64_t recoveries = 0;
+
+ private:
+  struct Snapshot {
+    std::uint64_t epoch = 0;
+    // Per contributing site: serialized state shard.
+    std::map<SiteId, std::vector<std::byte>> shards;
+  };
+
+  // -- coordinator side --
+  void begin_checkpoint(ProgramId pid);
+  void maybe_commit(ProgramId pid);
+  void begin_recovery(ProgramId pid, SiteId dead);
+
+  // -- participant side --
+  void handle_freeze(const SdMessage& msg);
+  /// Polls quiescence; once reached, acks the freeze (kCheckpointFrozen).
+  void try_ack_frozen();
+  void handle_take_shard(const SdMessage& msg);
+  void handle_commit(const SdMessage& msg);
+  void handle_restore(const SdMessage& msg);
+
+  /// Serializes this site's full state for `pid`: scheduler queues +
+  /// attraction memory (frames, objects, directory).
+  [[nodiscard]] std::vector<std::byte> make_shard(ProgramId pid) const;
+  void install_shard(ProgramId pid, std::span<const std::byte> shard);
+  void clear_program_state(ProgramId pid);
+
+  Site& site_;
+
+  // Coordinator state. Two phases: collect frozen-acks from every site,
+  // wait out the drain, then collect shards.
+  struct Round {
+    std::uint64_t epoch;
+    std::vector<SiteId> expected;
+    std::set<SiteId> frozen;
+    bool collecting = false;
+    std::map<SiteId, std::vector<std::byte>> received;
+    Nanos started;
+  };
+  std::map<ProgramId, Round> active_rounds_;
+  std::map<ProgramId, Snapshot> committed_;   // latest committed snapshot
+  std::map<ProgramId, Nanos> last_checkpoint_;
+  std::map<ProgramId, std::uint64_t> next_epoch_;
+  std::map<ProgramId, SiteId> backup_site_;
+
+  // Participant state.
+  int freeze_depth_ = 0;
+  struct PendingShard {
+    ProgramId pid;
+    std::uint64_t epoch;
+    SiteId coordinator;
+    bool acked = false;  // quiescence reported
+  };
+  std::vector<PendingShard> pending_shards_;
+
+  // Backup replicas we hold for programs homed elsewhere.
+  std::map<ProgramId, Snapshot> replicas_;
+  std::map<ProgramId, SiteId> replica_home_;
+};
+
+}  // namespace sdvm

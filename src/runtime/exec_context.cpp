@@ -1,0 +1,188 @@
+#include "runtime/exec_context.hpp"
+
+#include <mutex>
+
+#include "runtime/site.hpp"
+
+namespace sdvm {
+
+namespace {
+[[noreturn]] void abort_thread(const std::string& what) {
+  // Both native and bytecode microthreads unwind through this; the
+  // processing manager logs the trap and consumes the frame.
+  throw microc::IntrinsicError(what);
+}
+}  // namespace
+
+ExecContext::ExecContext(Site& site, Microframe frame, ProgramInfo info)
+    : site_(site), frame_(std::move(frame)), info_(std::move(info)) {}
+
+int ExecContext::num_params() const {
+  return static_cast<int>(frame_.params.size());
+}
+
+std::int64_t ExecContext::param_int(int index) const {
+  if (index < 0 || index >= num_params()) {
+    abort_thread("parameter index " + std::to_string(index) +
+                 " out of range");
+  }
+  try {
+    return frame_.param_int(static_cast<std::size_t>(index));
+  } catch (const DecodeError& e) {
+    abort_thread(e.what());
+  }
+}
+
+std::span<const std::byte> ExecContext::param_bytes(int index) const {
+  if (index < 0 || index >= num_params()) {
+    abort_thread("parameter index " + std::to_string(index) +
+                 " out of range");
+  }
+  return frame_.params[static_cast<std::size_t>(index)];
+}
+
+int ExecContext::num_args() const {
+  return static_cast<int>(info_.args.size());
+}
+
+std::int64_t ExecContext::arg(int index) const {
+  if (index < 0 || static_cast<std::size_t>(index) >= info_.args.size()) {
+    abort_thread("program argument index " + std::to_string(index) +
+                 " out of range");
+  }
+  return info_.args[static_cast<std::size_t>(index)];
+}
+
+GlobalAddress ExecContext::spawn(std::string_view thread_name, int nparams,
+                                 int priority) {
+  if (nparams < 0) abort_thread("negative parameter count");
+  auto tid = info_.thread_by_name(std::string(thread_name));
+  if (!tid.has_value()) {
+    abort_thread("spawn of unknown microthread '" + std::string(thread_name) +
+                 "'");
+  }
+  std::lock_guard lk(site_.lock());
+  return site_.memory().create_frame(info_.id, *tid,
+                                     static_cast<std::size_t>(nparams),
+                                     priority);
+}
+
+void ExecContext::send_int(GlobalAddress frame, int slot, std::int64_t value) {
+  send_bytes(frame, slot, to_bytes(value));
+}
+
+void ExecContext::send_bytes(GlobalAddress frame, int slot,
+                             std::span<const std::byte> value) {
+  if (slot < 0) abort_thread("negative slot");
+  std::lock_guard lk(site_.lock());
+  Status st = site_.memory().apply_param(
+      frame, static_cast<std::size_t>(slot),
+      std::vector<std::byte>(value.begin(), value.end()));
+  if (!st.is_ok()) {
+    SDVM_WARN(site_.tag()) << "send to frame " << frame.value
+                           << " slot " << slot << ": " << st.to_string();
+  }
+}
+
+GlobalAddress ExecContext::alloc_global(std::int64_t nwords) {
+  if (nwords < 0) abort_thread("negative allocation size");
+  std::lock_guard lk(site_.lock());
+  return site_.memory().alloc_object(info_.id, nwords);
+}
+
+std::int64_t ExecContext::mem_read(GlobalAddress addr, std::int64_t index) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::shared_ptr<AttractionMemory::FetchState> wait;
+    {
+      std::lock_guard lk(site_.lock());
+      auto r = site_.memory().try_read_word(addr, index, &wait);
+      if (wait == nullptr) {
+        if (!r.is_ok()) abort_thread(r.status().to_string());
+        return r.value();
+      }
+    }
+    wait->wait();
+    if (!wait->status.is_ok()) abort_thread(wait->status.to_string());
+    // Object may already have migrated away again; retry.
+  }
+  abort_thread("memory object ping-ponging, giving up");
+}
+
+void ExecContext::mem_write(GlobalAddress addr, std::int64_t index,
+                            std::int64_t value) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::shared_ptr<AttractionMemory::FetchState> wait;
+    {
+      std::lock_guard lk(site_.lock());
+      Status st = site_.memory().try_write_word(addr, index, value, &wait);
+      if (wait == nullptr) {
+        if (!st.is_ok()) abort_thread(st.to_string());
+        return;
+      }
+    }
+    wait->wait();
+    if (!wait->status.is_ok()) abort_thread(wait->status.to_string());
+  }
+  abort_thread("memory object ping-ponging, giving up");
+}
+
+void ExecContext::out(std::int64_t value) {
+  std::lock_guard lk(site_.lock());
+  site_.io().output_int(info_.id, value);
+}
+
+void ExecContext::out_str(std::string_view text) {
+  std::lock_guard lk(site_.lock());
+  site_.io().output_str(info_.id, std::string(text));
+}
+
+std::string ExecContext::file_read(std::string_view path) {
+  std::shared_ptr<IoManager::IoWait> wait;
+  {
+    std::lock_guard lk(site_.lock());
+    auto r = site_.io().try_file_read(std::string(path), &wait);
+    if (wait == nullptr) {
+      if (!r.is_ok()) abort_thread("file_read: " + r.status().to_string());
+      return std::move(r).value();
+    }
+  }
+  wait->wait();
+  if (!wait->status.is_ok()) {
+    abort_thread("file_read: " + wait->status.to_string());
+  }
+  return wait->data;
+}
+
+void ExecContext::file_write(std::string_view path, std::string_view data) {
+  std::shared_ptr<IoManager::IoWait> wait;
+  {
+    std::lock_guard lk(site_.lock());
+    Status st =
+        site_.io().try_file_write(std::string(path), std::string(data), &wait);
+    if (wait == nullptr) {
+      if (!st.is_ok()) abort_thread("file_write: " + st.to_string());
+      return;
+    }
+  }
+  wait->wait();
+  if (!wait->status.is_ok()) {
+    abort_thread("file_write: " + wait->status.to_string());
+  }
+}
+
+void ExecContext::exit_program(std::int64_t code) {
+  exit_requested_ = true;
+  exit_code_ = code;
+  std::lock_guard lk(site_.lock());
+  site_.programs().terminate(info_.id, code);
+}
+
+void ExecContext::charge(std::int64_t cycles) {
+  if (cycles > 0) charged_ += cycles;
+}
+
+SiteId ExecContext::site() const {
+  return site_.id();
+}
+
+}  // namespace sdvm

@@ -1,0 +1,111 @@
+// Microframes: "a data container ... containing space for the expected
+// parameters, a pointer to the owning microthread, and addresses to
+// microframes where the results have to be applied" (paper §3.1, Fig. 2).
+//
+// Result-target addresses are ordinary parameter values here — a creating
+// microthread passes target addresses into the frame's slots, which is how
+// the example in Fig. 2 uses them.
+//
+// Firing rule: a frame becomes *executable* exactly when its last missing
+// parameter arrives; it is consumed by exactly one execution and vanishes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace sdvm {
+
+enum class FrameState : std::uint8_t {
+  kIncomplete = 0,  // waiting for parameters, held by attraction memory
+  kExecutable,      // all parameters present, queued at the scheduler
+  kShipped,         // given away in a help reply; no longer ours
+  kConsumed,        // executed; kept only as a tombstone until GC
+};
+
+struct Microframe {
+  FrameId id;
+  ProgramId program;
+  MicrothreadId thread = kInvalidMicrothread;
+  int priority = 0;  // scheduling hint (CDAG / programmer supplied)
+  FrameState state = FrameState::kIncomplete;
+  std::vector<std::vector<std::byte>> params;
+  std::vector<std::uint8_t> filled;  // per-slot flag (vector<bool> is a trap)
+
+  Microframe() = default;
+  Microframe(FrameId fid, ProgramId pid, MicrothreadId tid, std::size_t nparams,
+             int prio = 0)
+      : id(fid),
+        program(pid),
+        thread(tid),
+        priority(prio),
+        params(nparams),
+        filled(nparams, 0) {}
+
+  [[nodiscard]] std::size_t missing() const {
+    std::size_t m = 0;
+    for (auto f : filled) m += (f == 0);
+    return m;
+  }
+  [[nodiscard]] bool executable() const { return missing() == 0; }
+
+  /// Fills one slot. Double-fill and out-of-range are application errors.
+  Status apply(std::size_t slot, std::vector<std::byte> value) {
+    if (slot >= params.size()) {
+      return Status::error(ErrorCode::kInvalidArgument,
+                           "slot " + std::to_string(slot) + " out of range (" +
+                               std::to_string(params.size()) + " params)");
+    }
+    if (filled[slot] != 0) {
+      return Status::error(ErrorCode::kAlreadyExists,
+                           "slot " + std::to_string(slot) + " already filled");
+    }
+    params[slot] = std::move(value);
+    filled[slot] = 1;
+    return Status::ok();
+  }
+
+  [[nodiscard]] std::int64_t param_int(std::size_t slot) const {
+    return from_bytes<std::int64_t>(params.at(slot));
+  }
+
+  void serialize(ByteWriter& w) const {
+    w.address(id);
+    w.program(program);
+    w.u32(thread);
+    w.i32(priority);
+    w.u32(static_cast<std::uint32_t>(params.size()));
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      w.u8(filled[i]);
+      w.blob(params[i]);
+    }
+  }
+
+  [[nodiscard]] static Result<Microframe> deserialize(ByteReader& r) {
+    try {
+      Microframe f;
+      f.id = r.address();
+      f.program = r.program();
+      f.thread = r.u32();
+      f.priority = r.i32();
+      std::uint32_t n = r.count(/*min_bytes_each=*/5);
+      f.params.resize(n);
+      f.filled.resize(n, 0);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        f.filled[i] = r.u8();
+        f.params[i] = r.blob();
+      }
+      return f;
+    } catch (const DecodeError& e) {
+      return Status::error(ErrorCode::kCorrupt,
+                           std::string("bad microframe: ") + e.what());
+    }
+  }
+};
+
+}  // namespace sdvm

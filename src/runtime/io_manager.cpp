@@ -1,0 +1,200 @@
+#include "runtime/io_manager.hpp"
+
+#include "runtime/site.hpp"
+
+namespace sdvm {
+
+void IoManager::output_int(ProgramId pid, std::int64_t value) {
+  output_str(pid, std::to_string(value));
+}
+
+void IoManager::output_str(ProgramId pid, std::string text) {
+  const ProgramInfo* info = site_.programs().find(pid);
+  SiteId frontend = info != nullptr ? info->home_site : pid.home_site();
+  frontend = site_.cluster().resolve_successor(frontend);
+
+  if (frontend == site_.id()) {
+    deliver_output(pid, std::move(text));
+    return;
+  }
+  // "The I/O manager sends all output and input requests to the front end."
+  ByteWriter w;
+  w.str(text);
+  SdMessage msg;
+  msg.dst = frontend;
+  msg.src_mgr = msg.dst_mgr = ManagerId::kIo;
+  msg.type = MsgType::kIoOutput;
+  msg.program = pid;
+  msg.payload = w.take();
+  (void)site_.messages().send(std::move(msg));
+}
+
+void IoManager::deliver_output(ProgramId pid, std::string line) {
+  outputs_[pid].push_back(line);
+  if (callback_) callback_(pid, line);
+}
+
+std::vector<std::string> IoManager::outputs(ProgramId pid) const {
+  auto it = outputs_.find(pid);
+  return it == outputs_.end() ? std::vector<std::string>{} : it->second;
+}
+
+void IoManager::vfs_put(const std::string& path, std::string data) {
+  vfs_[path] = std::move(data);
+}
+
+Result<std::string> IoManager::vfs_get(const std::string& path) const {
+  auto it = vfs_.find(path);
+  if (it == vfs_.end()) {
+    return Status::error(ErrorCode::kNotFound, "no file '" + path + "'");
+  }
+  return it->second;
+}
+
+std::pair<SiteId, std::string> IoManager::parse_path(
+    const std::string& path) const {
+  // "@<site>/rest" addresses another site's filesystem; the returned file
+  // handle semantics of the paper (handle embeds the owner's site id) map
+  // onto this textual form.
+  if (!path.empty() && path[0] == '@') {
+    auto slash = path.find('/');
+    if (slash != std::string::npos) {
+      try {
+        SiteId owner = static_cast<SiteId>(
+            std::stoul(path.substr(1, slash - 1)));
+        return {owner, path.substr(slash + 1)};
+      } catch (const std::exception&) {
+        // fall through: treat as a local path
+      }
+    }
+  }
+  return {site_.id(), path};
+}
+
+Result<std::string> IoManager::try_file_read(const std::string& path,
+                                             std::shared_ptr<IoWait>* wait) {
+  auto [owner, rest] = parse_path(path);
+  owner = site_.cluster().resolve_successor(owner);
+  if (owner == site_.id()) return vfs_get(rest);
+
+  ++rerouted_reads;
+  if (sim_file_) {
+    auto r = sim_file_(owner, rest, /*write=*/false, {});
+    site_.memory().add_sim_stall(r.stall);
+    if (!r.status.is_ok()) return r.status;
+    return r.data;
+  }
+  auto cell = std::make_shared<IoWait>();
+  *wait = cell;
+  ByteWriter w;
+  w.str(rest);
+  SdMessage req;
+  req.dst = owner;
+  req.src_mgr = req.dst_mgr = ManagerId::kIo;
+  req.type = MsgType::kFileRead;
+  req.payload = w.take();
+  (void)site_.messages().request(req, [cell](Result<SdMessage> r) {
+    if (!r.is_ok()) {
+      cell->signal(r.status());
+      return;
+    }
+    try {
+      ByteReader rd(r.value().payload);
+      bool ok = rd.boolean();
+      std::string data = rd.str();
+      cell->signal(ok ? Status::ok()
+                      : Status::error(ErrorCode::kNotFound, data),
+                   ok ? std::move(data) : std::string{});
+    } catch (const DecodeError& e) {
+      cell->signal(Status::error(ErrorCode::kCorrupt, e.what()));
+    }
+  });
+  return Status::error(ErrorCode::kUnavailable, "read in progress");
+}
+
+Status IoManager::try_file_write(const std::string& path, std::string data,
+                                 std::shared_ptr<IoWait>* wait) {
+  auto [owner, rest] = parse_path(path);
+  owner = site_.cluster().resolve_successor(owner);
+  if (owner == site_.id()) {
+    vfs_put(rest, std::move(data));
+    return Status::ok();
+  }
+
+  ++rerouted_writes;
+  if (sim_file_) {
+    auto r = sim_file_(owner, rest, /*write=*/true, std::move(data));
+    site_.memory().add_sim_stall(r.stall);
+    return r.status;
+  }
+  auto cell = std::make_shared<IoWait>();
+  *wait = cell;
+  ByteWriter w;
+  w.str(rest);
+  w.str(data);
+  SdMessage req;
+  req.dst = owner;
+  req.src_mgr = req.dst_mgr = ManagerId::kIo;
+  req.type = MsgType::kFileWrite;
+  req.payload = w.take();
+  (void)site_.messages().request(req, [cell](Result<SdMessage> r) {
+    cell->signal(r.is_ok() ? Status::ok() : r.status());
+  });
+  return Status::error(ErrorCode::kUnavailable, "write in progress");
+}
+
+void IoManager::handle(const SdMessage& msg) {
+  switch (msg.type) {
+    case MsgType::kIoOutput: {
+      try {
+        ByteReader r(msg.payload);
+        deliver_output(msg.program, r.str());
+      } catch (const DecodeError&) {
+      }
+      break;
+    }
+    case MsgType::kFileRead: {
+      SdMessage reply;
+      reply.src_mgr = reply.dst_mgr = ManagerId::kIo;
+      reply.type = MsgType::kFileReadReply;
+      ByteWriter w;
+      try {
+        ByteReader r(msg.payload);
+        auto data = vfs_get(r.str());
+        w.boolean(data.is_ok());
+        w.str(data.is_ok() ? data.value() : data.status().message());
+      } catch (const DecodeError&) {
+        w.boolean(false);
+        w.str("malformed request");
+      }
+      reply.payload = w.take();
+      (void)site_.messages().respond(msg, std::move(reply));
+      break;
+    }
+    case MsgType::kFileWrite: {
+      try {
+        ByteReader r(msg.payload);
+        std::string path = r.str();
+        std::string data = r.str();
+        vfs_put(path, std::move(data));
+      } catch (const DecodeError&) {
+      }
+      SdMessage ack;
+      ack.src_mgr = ack.dst_mgr = ManagerId::kIo;
+      ack.type = MsgType::kFileWriteAck;
+      (void)site_.messages().respond(msg, std::move(ack));
+      break;
+    }
+    default:
+      SDVM_WARN(site_.tag()) << "io manager: unexpected "
+                             << to_string(msg.type);
+  }
+}
+
+void IoManager::drop_program(ProgramId pid) {
+  // Outputs stay available on the frontend until the user collects them;
+  // only the frontend keeps them, so this is a no-op elsewhere. Keep them.
+  (void)pid;
+}
+
+}  // namespace sdvm

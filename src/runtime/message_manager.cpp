@@ -1,0 +1,121 @@
+#include "runtime/message_manager.hpp"
+
+#include "runtime/site.hpp"
+
+namespace sdvm {
+
+Status MessageManager::send(SdMessage msg) {
+  msg.src = site_.cluster().local_id();
+  if (msg.seq == 0) msg.seq = next_seq();
+  // Sim mode: a running microthread's results — including loopback ones —
+  // leave the microthread only at its virtual completion time (§3.2
+  // step 4); otherwise a consumer stolen by another site could start
+  // before its producer virtually finished.
+  if (defer_ != nullptr) {
+    defer_->push_back(std::move(msg));
+    return Status::ok();
+  }
+  return transmit(std::move(msg));
+}
+
+Status MessageManager::request(SdMessage msg, ReplyHandler on_reply) {
+  msg.src = site_.cluster().local_id();
+  msg.seq = next_seq();
+  pending_[msg.seq] = Pending{msg.dst, std::move(on_reply)};
+  std::uint64_t seq = msg.seq;
+  if (defer_ != nullptr) {
+    defer_->push_back(std::move(msg));
+    return Status::ok();
+  }
+  Status st = transmit(std::move(msg));
+  if (!st.is_ok()) {
+    auto node = pending_.extract(seq);
+    if (!node.empty()) node.mapped().handler(st);
+  }
+  return st;
+}
+
+Status MessageManager::respond(const SdMessage& request, SdMessage msg) {
+  msg.dst = request.src;
+  msg.reply_to = request.seq;
+  if (msg.program.value == 0) msg.program = request.program;
+  return send(std::move(msg));
+}
+
+Status MessageManager::transmit(SdMessage msg) {
+  SiteId local = site_.cluster().local_id();
+  if (msg.dst == local && local != kInvalidSite) {
+    // Loopback: skip the wire entirely (Figure 4: the execution layer
+    // "alone would suffice to run an SDVM on one site only").
+    ++sent_count;
+    ++received_count;
+    deliver(msg);
+    return Status::ok();
+  }
+
+  auto addr = site_.cluster().physical_address(msg.dst);
+  if (!addr.is_ok()) return addr.status();
+  if (site_.transport() == nullptr) {
+    return Status::error(ErrorCode::kFailedPrecondition, "no transport");
+  }
+  ++sent_count;
+  return site_.transport()->send(addr.value(),
+                                 site_.security().protect(msg));
+}
+
+Status MessageManager::send_to_address(const std::string& physical,
+                                       SdMessage msg) {
+  msg.src = site_.cluster().local_id();
+  if (msg.seq == 0) msg.seq = next_seq();
+  if (site_.transport() == nullptr) {
+    return Status::error(ErrorCode::kFailedPrecondition, "no transport");
+  }
+  ++sent_count;
+  return site_.transport()->send(physical, site_.security().protect(msg));
+}
+
+void MessageManager::on_raw(std::span<const std::byte> wire) {
+  auto msg = site_.security().unprotect(wire);
+  if (!msg.is_ok()) {
+    SDVM_WARN(site_.tag()) << "dropping bad wire frame: "
+                           << msg.status().to_string();
+    return;
+  }
+  ++received_count;
+  deliver(msg.value());
+}
+
+void MessageManager::deliver(const SdMessage& msg) {
+  site_.cluster().note_heard(msg.src);
+
+  if (msg.reply_to != 0) {
+    auto node = pending_.extract(msg.reply_to);
+    if (!node.empty()) {
+      node.mapped().handler(msg);
+      return;
+    }
+    // Reply to an expired/duplicate request: fall through only for types
+    // that are meaningful unsolicited; otherwise drop.
+    SDVM_DEBUG(site_.tag()) << "orphan reply " << to_string(msg.type);
+    return;
+  }
+  site_.dispatch(msg);
+}
+
+void MessageManager::fail_pending_to(SiteId dead) {
+  std::vector<ReplyHandler> failed;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.target == dead) {
+      failed.push_back(std::move(it->second.handler));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& h : failed) {
+    h(Status::error(ErrorCode::kUnavailable,
+                    "site " + std::to_string(dead) + " is dead"));
+  }
+}
+
+}  // namespace sdvm

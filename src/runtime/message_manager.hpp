@@ -1,0 +1,71 @@
+// Message manager: "the central hub for information interchange with other
+// sites" (paper §4, Figure 6). Serializes SDMessages, resolves logical →
+// physical addresses through the cluster manager, passes frames through
+// the security manager to the network manager, and dispatches inbound
+// messages to the addressed manager. Also provides request/reply pairing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/status.hpp"
+#include "runtime/message.hpp"
+
+namespace sdvm {
+
+class Site;
+
+class MessageManager {
+ public:
+  explicit MessageManager(Site& site) : site_(site) {}
+
+  /// Fire-and-forget send. Fills in src and a fresh seq. Messages to the
+  /// local site are dispatched directly (loopback).
+  Status send(SdMessage msg);
+
+  /// Request expecting a reply (matched on reply_to == seq). The handler
+  /// runs under the site lock when the reply (or a failure) arrives.
+  using ReplyHandler = std::function<void(Result<SdMessage>)>;
+  Status request(SdMessage msg, ReplyHandler on_reply);
+
+  /// Convenience: reply to `request` with `msg` (sets dst/reply_to).
+  Status respond(const SdMessage& request, SdMessage msg);
+
+  /// Sends straight to a physical address, bypassing the cluster list.
+  /// Needed for sign-on, when the joiner has no logical id yet.
+  Status send_to_address(const std::string& physical, SdMessage msg);
+
+  /// Entry point for raw wire data (called under the site lock).
+  void on_raw(std::span<const std::byte> wire);
+
+  /// Fails every pending request addressed to a site now believed dead.
+  void fail_pending_to(SiteId dead);
+
+  /// Sim mode: while a microthread executes, non-loopback sends are
+  /// buffered here and released at the thread's virtual completion time.
+  void set_defer(std::vector<SdMessage>* buffer) { defer_ = buffer; }
+  [[nodiscard]] bool defer_active() const { return defer_ != nullptr; }
+  Status transmit_deferred(SdMessage msg) { return transmit(std::move(msg)); }
+
+  [[nodiscard]] std::uint64_t next_seq() { return ++seq_; }
+
+  std::uint64_t sent_count = 0;
+  std::uint64_t received_count = 0;
+
+ private:
+  Status transmit(SdMessage msg);
+  void deliver(const SdMessage& msg);
+
+  struct Pending {
+    SiteId target;
+    ReplyHandler handler;
+  };
+
+  Site& site_;
+  std::uint64_t seq_ = 0;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::vector<SdMessage>* defer_ = nullptr;
+};
+
+}  // namespace sdvm

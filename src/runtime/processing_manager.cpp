@@ -1,0 +1,165 @@
+#include "runtime/processing_manager.hpp"
+
+#include <chrono>
+
+#include "runtime/exec_context.hpp"
+#include "runtime/site.hpp"
+
+namespace sdvm {
+
+void ProcessingManager::start_workers(int slots) {
+  std::lock_guard lk(worker_mu_);
+  if (!workers_.empty()) return;
+  stopping_ = false;
+  for (int i = 0; i < std::max(slots, 1); ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ProcessingManager::stop() {
+  {
+    std::lock_guard lk(worker_mu_);
+    stopping_ = true;
+  }
+  worker_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void ProcessingManager::kick() {
+  worker_cv_.notify_all();
+}
+
+void ProcessingManager::worker_loop() {
+  std::unique_lock lk(worker_mu_);
+  while (!stopping_) {
+    lk.unlock();
+    bool did_work = execute_once();
+    lk.lock();
+    if (!did_work && !stopping_) {
+      // Nothing ready; sleep until kicked (bounded, as a safety net
+      // against missed wakeups during shutdown races).
+      worker_cv_.wait_for(lk, std::chrono::milliseconds(2));
+    }
+  }
+}
+
+namespace {
+
+/// Runs the microthread body; returns (status, vm cycles).
+std::pair<Status, std::uint64_t> run_body(const Executable& exec,
+                                          ExecContext& ctx) {
+  if (exec.native != nullptr) {
+    try {
+      exec.native(ctx);
+      return {Status::ok(), 0};
+    } catch (const microc::IntrinsicError& e) {
+      return {Status::error(ErrorCode::kInternal, e.what()), 0};
+    } catch (const std::exception& e) {
+      return {Status::error(ErrorCode::kInternal,
+                            std::string("native microthread threw: ") +
+                                e.what()),
+              0};
+    }
+  }
+  auto result = microc::Vm::run(*exec.bytecode, ctx);
+  return {result.status, result.cycles};
+}
+
+}  // namespace
+
+bool ProcessingManager::execute_once() {
+  Microframe frame;
+  Executable exec;
+  ProgramInfo info;
+  {
+    std::lock_guard lk(site_.lock());
+    if (frozen_.load()) return false;
+    auto work = site_.scheduling().take_ready();
+    if (!work.has_value()) return false;
+    frame = std::move(work->frame);
+    exec = std::move(work->exec);
+    const ProgramInfo* pi = site_.programs().find(frame.program);
+    if (pi == nullptr) return true;  // program vanished; consume the frame
+    info = *pi;
+    running_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  {
+    std::lock_guard lk(site_.lock());
+    site_.trace(FrameEvent::kExecutionStarted, frame.id, frame.thread);
+  }
+  ExecContext ctx(site_, std::move(frame), std::move(info));
+  auto [status, cycles] = run_body(exec, ctx);
+
+  {
+    std::lock_guard lk(site_.lock());
+    running_.fetch_sub(1, std::memory_order_relaxed);
+    ++executed_total;
+    AccountEntry& acct = ledger_[ctx.program()];
+    acct.microthreads += 1;
+    acct.vm_instructions += cycles;
+    acct.charged_cycles += static_cast<std::uint64_t>(ctx.charged_cycles());
+    site_.trace(FrameEvent::kConsumed, ctx.frame().id, ctx.frame().thread);
+    if (!status.is_ok()) {
+      ++trapped_total;
+      SDVM_WARN(site_.tag()) << "microthread failed: " << status.to_string();
+    }
+  }
+  site_.driver().notify_work();
+  return true;
+}
+
+Nanos ProcessingManager::execute_one_sim() {
+  // Called under the site lock by the pump; single-threaded by design.
+  if (frozen_.load()) return -1;
+  auto work = site_.scheduling().take_ready();
+  if (!work.has_value()) return -1;
+  const ProgramInfo* pi = site_.programs().find(work->frame.program);
+  if (pi == nullptr) return 1;  // consumed a stale frame: negligible cost
+
+  ExecContext ctx(site_, std::move(work->frame), *pi);
+  site_.trace(FrameEvent::kExecutionStarted, ctx.frame().id,
+              ctx.frame().thread);
+  site_.messages().set_defer(&ctx.deferred);
+  running_.store(1, std::memory_order_relaxed);
+  auto [status, cycles] = run_body(work->exec, ctx);
+  running_.store(0, std::memory_order_relaxed);
+  site_.messages().set_defer(nullptr);
+
+  ++executed_total;
+  AccountEntry& acct = ledger_[ctx.program()];
+  acct.microthreads += 1;
+  acct.vm_instructions += cycles;
+  acct.charged_cycles += static_cast<std::uint64_t>(ctx.charged_cycles());
+  site_.trace(FrameEvent::kConsumed, ctx.frame().id, ctx.frame().thread);
+  if (!status.is_ok()) {
+    ++trapped_total;
+    SDVM_WARN(site_.tag()) << "microthread failed: " << status.to_string();
+  }
+
+  double speed = std::max(site_.config().speed, 1e-6);
+  Nanos compute = static_cast<Nanos>(
+      (static_cast<double>(cycles) * site_.config().sim_nanos_per_instr +
+       static_cast<double>(ctx.charged_cycles())) /
+      speed);
+  Nanos stall = site_.memory().take_sim_stall();
+  Nanos cost = std::max<Nanos>(compute + stall, 1);
+
+  // Results leave the site when the microthread (virtually) completes
+  // (paper §3.2 step 4: "send the results").
+  if (!ctx.deferred.empty()) {
+    auto msgs = std::make_shared<std::vector<SdMessage>>(
+        std::move(ctx.deferred));
+    site_.schedule_after(cost, [this, msgs] {
+      for (auto& m : *msgs) {
+        (void)site_.messages().transmit_deferred(std::move(m));
+      }
+    });
+  }
+  return cost;
+}
+
+}  // namespace sdvm

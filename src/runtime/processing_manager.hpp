@@ -1,0 +1,78 @@
+// Processing manager (paper §4): executes microthreads. "If it is idle, it
+// requests a pair of an executable microframe and its corresponding
+// microthread from the scheduling manager." Latency hiding: up to
+// `executor_slots` microthreads run in (virtual) parallel — the paper
+// found "a number of about 5 ... produce good results".
+//
+// In threaded modes the slots are real worker threads; a microthread that
+// blocks on remote memory parks its worker while the others keep running.
+// In sim mode the event loop serializes execution: one microthread per
+// site at a time, with virtual-time cost accounting.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "runtime/accounting.hpp"
+#include "runtime/code_manager.hpp"
+#include "runtime/frame.hpp"
+
+namespace sdvm {
+
+class Site;
+
+class ProcessingManager {
+ public:
+  explicit ProcessingManager(Site& site) : site_(site) {}
+  ~ProcessingManager() { stop(); }
+
+  /// Threaded modes: spins up the worker pool.
+  void start_workers(int slots);
+  void stop();
+
+  /// New ready work may be available — wake an idle worker.
+  void kick();
+
+  /// Sim mode: executes one ready microthread synchronously (called by the
+  /// pump under the site lock). Returns the virtual cost, or -1 if there
+  /// was nothing to run.
+  Nanos execute_one_sim();
+
+  /// Executes one unit of work in the caller's thread (worker body and the
+  /// sim path share this). Returns false if no work was available.
+  bool execute_once();
+
+  [[nodiscard]] int running() const {
+    return running_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool idle() const { return running() == 0; }
+
+  void set_frozen(bool frozen) { frozen_.store(frozen); }
+  [[nodiscard]] bool frozen() const { return frozen_.load(); }
+
+  std::uint64_t executed_total = 0;    // guarded by the site lock
+  std::uint64_t trapped_total = 0;
+
+  /// Per-program contribution ledger (guarded by the site lock).
+  [[nodiscard]] const AccountLedger& accounting() const { return ledger_; }
+
+ private:
+  void worker_loop();
+
+  Site& site_;
+  std::vector<std::thread> workers_;
+  std::mutex worker_mu_;
+  std::condition_variable worker_cv_;
+  bool stopping_ = false;
+  std::atomic<int> running_{0};
+  std::atomic<bool> frozen_{false};
+  Nanos last_sim_cost_ = 0;
+  AccountLedger ledger_;
+};
+
+}  // namespace sdvm

@@ -1,0 +1,66 @@
+#include "runtime/program.hpp"
+
+namespace sdvm {
+
+void ProgramInfo::serialize(ByteWriter& w) const {
+  w.program(id);
+  w.str(name);
+  w.site(home_site);
+  w.u32(entry_thread);
+  w.u32(static_cast<std::uint32_t>(thread_names.size()));
+  for (const auto& t : thread_names) w.str(t);
+  w.u32(static_cast<std::uint32_t>(args.size()));
+  for (auto a : args) w.i64(a);
+}
+
+Result<ProgramInfo> ProgramInfo::deserialize(ByteReader& r) {
+  try {
+    ProgramInfo info;
+    info.id = r.program();
+    info.name = r.str();
+    info.home_site = r.site();
+    info.entry_thread = r.u32();
+    std::uint32_t nt = r.count(/*min_bytes_each=*/4);
+    info.thread_names.reserve(nt);
+    for (std::uint32_t i = 0; i < nt; ++i) info.thread_names.push_back(r.str());
+    std::uint32_t na = r.count(/*min_bytes_each=*/8);
+    info.args.reserve(na);
+    for (std::uint32_t i = 0; i < na; ++i) info.args.push_back(r.i64());
+    return info;
+  } catch (const DecodeError& e) {
+    return Status::error(ErrorCode::kCorrupt,
+                         std::string("bad ProgramInfo: ") + e.what());
+  }
+}
+
+NativeRegistry& NativeRegistry::instance() {
+  static NativeRegistry r;
+  return r;
+}
+
+void NativeRegistry::register_fn(const std::string& program_name,
+                                 const std::string& thread_name, NativeFn fn) {
+  std::lock_guard lock(mu_);
+  fns_[program_name + "\x1f" + thread_name] = std::move(fn);
+}
+
+NativeFn NativeRegistry::find(const std::string& program_name,
+                              const std::string& thread_name) const {
+  std::lock_guard lock(mu_);
+  auto it = fns_.find(program_name + "\x1f" + thread_name);
+  return it == fns_.end() ? nullptr : it->second;
+}
+
+void NativeRegistry::clear_program(const std::string& program_name) {
+  std::lock_guard lock(mu_);
+  std::string prefix = program_name + "\x1f";
+  for (auto it = fns_.begin(); it != fns_.end();) {
+    if (it->first.starts_with(prefix)) {
+      it = fns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace sdvm

@@ -1,0 +1,34 @@
+// Site manager (paper §4): "focuses on the local site ... collects
+// performance data about the local site, e.g. the workload, memory load,
+// number of executable microframes in the queue, the number of programs
+// the local site works on" and answers status queries about all local
+// managers.
+#pragma once
+
+#include <string>
+
+#include "runtime/cluster_info.hpp"
+#include "runtime/message.hpp"
+
+namespace sdvm {
+
+class Site;
+
+class SiteManager {
+ public:
+  explicit SiteManager(Site& site) : site_(site) {}
+
+  /// Snapshot of the local load for gossip piggybacking.
+  [[nodiscard]] LoadStats collect_load() const;
+
+  /// Human-readable status of every local manager (the frontend's "query
+  /// the status of the local site").
+  [[nodiscard]] std::string status_string() const;
+
+  void handle(const SdMessage& msg);
+
+ private:
+  Site& site_;
+};
+
+}  // namespace sdvm

@@ -1,0 +1,44 @@
+// Frame-career tracing: the observable version of the paper's Figure 5
+// ("The career of microframes"). Each lifecycle transition of a
+// microframe emits one event; tests assert the exact legal sequence and
+// tools can visualize a run. Zero cost when no hook is installed.
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace sdvm {
+
+enum class FrameEvent : std::uint8_t {
+  kCreated = 0,        // allocated in the attraction memory
+  kParamApplied,       // one parameter arrived
+  kBecameExecutable,   // last parameter arrived (dataflow firing rule)
+  kCodeRequested,      // scheduling manager asked the code manager
+  kBecameReady,        // microthread resolved; queued for execution
+  kExecutionStarted,   // processing manager picked it up
+  kConsumed,           // executed; the frame vanishes
+  kGivenAway,          // shipped in a help reply (leaves this site)
+  kAdopted,            // arrived from another site (help reply / import)
+};
+
+[[nodiscard]] inline const char* to_string(FrameEvent e) {
+  switch (e) {
+    case FrameEvent::kCreated:          return "created";
+    case FrameEvent::kParamApplied:     return "param-applied";
+    case FrameEvent::kBecameExecutable: return "executable";
+    case FrameEvent::kCodeRequested:    return "code-requested";
+    case FrameEvent::kBecameReady:      return "ready";
+    case FrameEvent::kExecutionStarted: return "executing";
+    case FrameEvent::kConsumed:         return "consumed";
+    case FrameEvent::kGivenAway:        return "given-away";
+    case FrameEvent::kAdopted:          return "adopted";
+  }
+  return "?";
+}
+
+/// Installed per site; invoked under the site lock — keep it cheap.
+using FrameTraceHook =
+    std::function<void(FrameEvent event, FrameId frame, MicrothreadId thread)>;
+
+}  // namespace sdvm

@@ -1,0 +1,152 @@
+#include "sched_graph/cdag.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+namespace sdvm::sched_graph {
+
+NodeId Cdag::add_node(std::string name, std::int64_t cost) {
+  nodes_.push_back(Node{std::move(name), cost, {}, {}});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Status Cdag::add_dependency(NodeId from, NodeId to) {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    return Status::error(ErrorCode::kInvalidArgument, "node id out of range");
+  }
+  if (from == to) {
+    return Status::error(ErrorCode::kInvalidArgument, "self-dependency");
+  }
+  nodes_[from].successors.push_back(to);
+  nodes_[to].predecessors.push_back(from);
+  return Status::ok();
+}
+
+Result<std::vector<NodeId>> Cdag::topological_order() const {
+  std::vector<std::size_t> indegree(nodes_.size(), 0);
+  for (const auto& n : nodes_) {
+    for (NodeId s : n.successors) indegree[s]++;
+  }
+  std::deque<NodeId> frontier;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (indegree[i] == 0) frontier.push_back(i);
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!frontier.empty()) {
+    NodeId n = frontier.front();
+    frontier.pop_front();
+    order.push_back(n);
+    for (NodeId s : nodes_[n].successors) {
+      if (--indegree[s] == 0) frontier.push_back(s);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    return Status::error(ErrorCode::kFailedPrecondition,
+                         "graph contains a cycle");
+  }
+  return order;
+}
+
+std::vector<std::int64_t> Cdag::bottom_levels() const {
+  auto order = topological_order();
+  if (!order.is_ok()) return {};
+  std::vector<std::int64_t> level(nodes_.size(), 0);
+  // Process in reverse topological order: successors are final first.
+  for (auto it = order.value().rbegin(); it != order.value().rend(); ++it) {
+    NodeId n = *it;
+    std::int64_t best = 0;
+    for (NodeId s : nodes_[n].successors) {
+      best = std::max(best, level[s]);
+    }
+    level[n] = nodes_[n].cost + best;
+  }
+  return level;
+}
+
+std::int64_t Cdag::critical_path_length() const {
+  auto levels = bottom_levels();
+  std::int64_t best = 0;
+  for (auto l : levels) best = std::max(best, l);
+  return best;
+}
+
+std::vector<NodeId> Cdag::critical_path() const {
+  auto levels = bottom_levels();
+  if (levels.empty()) return {};
+  // Start at the source with the highest bottom level, then repeatedly
+  // follow the successor with the highest level.
+  NodeId current = 0;
+  std::int64_t best = -1;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].predecessors.empty() && levels[i] > best) {
+      best = levels[i];
+      current = i;
+    }
+  }
+  if (best < 0) return {};
+  std::vector<NodeId> path{current};
+  while (!nodes_[current].successors.empty()) {
+    NodeId next = nodes_[current].successors.front();
+    for (NodeId s : nodes_[current].successors) {
+      if (levels[s] > levels[next]) next = s;
+    }
+    path.push_back(next);
+    current = next;
+  }
+  return path;
+}
+
+std::vector<int> Cdag::priorities(int max_priority) const {
+  auto levels = bottom_levels();
+  std::vector<int> out(nodes_.size(), 0);
+  if (levels.empty()) return out;
+  std::int64_t top = *std::max_element(levels.begin(), levels.end());
+  if (top <= 0) return out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    out[i] = static_cast<int>(levels[i] * max_priority / top);
+  }
+  return out;
+}
+
+std::int64_t Cdag::list_schedule_makespan(int sites) const {
+  auto order = topological_order();
+  if (!order.is_ok() || sites <= 0) return -1;
+  auto levels = bottom_levels();
+
+  std::vector<std::int64_t> node_finish(nodes_.size(), 0);
+  std::vector<std::size_t> pending_preds(nodes_.size());
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    pending_preds[i] = nodes_[i].predecessors.size();
+  }
+
+  // Ready list ordered by bottom level (critical path first).
+  auto cmp = [&](NodeId a, NodeId b) { return levels[a] < levels[b]; };
+  std::priority_queue<NodeId, std::vector<NodeId>, decltype(cmp)> ready(cmp);
+  // Earliest time each ready node may start (max of predecessors' finish).
+  std::vector<std::int64_t> earliest(nodes_.size(), 0);
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (pending_preds[i] == 0) ready.push(i);
+  }
+
+  std::vector<std::int64_t> site_free(static_cast<std::size_t>(sites), 0);
+  std::int64_t makespan = 0;
+  while (!ready.empty()) {
+    NodeId n = ready.top();
+    ready.pop();
+    auto it = std::min_element(site_free.begin(), site_free.end());
+    std::int64_t start = std::max(*it, earliest[n]);
+    std::int64_t finish = start + nodes_[n].cost;
+    *it = finish;
+    node_finish[n] = finish;
+    makespan = std::max(makespan, finish);
+    for (NodeId s : nodes_[n].successors) {
+      earliest[s] = std::max(earliest[s], finish);
+      if (--pending_preds[s] == 0) ready.push(s);
+    }
+  }
+  return makespan;
+}
+
+}  // namespace sdvm::sched_graph

@@ -1,0 +1,70 @@
+// CDAG — Controlflow Dataflow Allocation Graph (Klauer et al., PDP 2002;
+// paper §3.3). Static task-graph analysis used to derive scheduling hints:
+// "microthreads in the critical path of the application can be identified,
+// which are then executed with higher priority", and "it is possible to
+// attach scheduling hints to microframes using information from the CDAG".
+//
+// This module is deliberately offline: applications (or a compiler) build
+// the CDAG, derive per-microthread priorities, and pass them to spawn().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace sdvm::sched_graph {
+
+using NodeId = std::uint32_t;
+
+class Cdag {
+ public:
+  /// Adds a task node with an estimated execution cost (any consistent
+  /// unit — cycles, nanos).
+  NodeId add_node(std::string name, std::int64_t cost);
+
+  /// `from`'s result feeds `to` (a dataflow edge: `to` cannot fire before
+  /// `from` completed).
+  Status add_dependency(NodeId from, NodeId to);
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const std::string& name(NodeId id) const {
+    return nodes_[id].name;
+  }
+  [[nodiscard]] std::int64_t cost(NodeId id) const { return nodes_[id].cost; }
+
+  /// Kahn topological order; fails with kFailedPrecondition on a cycle
+  /// (a cyclic "DAG" is a programming error worth catching loudly).
+  [[nodiscard]] Result<std::vector<NodeId>> topological_order() const;
+
+  /// Bottom level per node: cost(n) + max over successors — the classic
+  /// critical-path metric. Empty on a cyclic graph.
+  [[nodiscard]] std::vector<std::int64_t> bottom_levels() const;
+
+  /// Length of the whole critical path (max bottom level).
+  [[nodiscard]] std::int64_t critical_path_length() const;
+
+  /// The node sequence of one critical path, source to sink.
+  [[nodiscard]] std::vector<NodeId> critical_path() const;
+
+  /// Scheduling hints: per-node priority scaled to [0, max_priority],
+  /// proportional to bottom level (critical-path nodes get the highest).
+  [[nodiscard]] std::vector<int> priorities(int max_priority = 100) const;
+
+  /// Ideal parallel makespan on `sites` identical sites with zero
+  /// communication cost (greedy list scheduling by bottom level) — a lower
+  /// bound useful for judging measured schedules.
+  [[nodiscard]] std::int64_t list_schedule_makespan(int sites) const;
+
+ private:
+  struct Node {
+    std::string name;
+    std::int64_t cost;
+    std::vector<NodeId> successors;
+    std::vector<NodeId> predecessors;
+  };
+  std::vector<Node> nodes_;
+};
+
+}  // namespace sdvm::sched_graph

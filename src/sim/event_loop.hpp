@@ -1,0 +1,71 @@
+// Discrete-event loop with a virtual clock. Single-threaded: every event
+// handler runs to completion before time advances to the next event. This
+// is what lets an 8-site "Pentium-IV cluster" run faithfully on any host.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+
+#include "common/clock.hpp"
+#include "common/types.hpp"
+
+namespace sdvm::sim {
+
+class EventLoop {
+ public:
+  void schedule(Nanos delay, std::function<void()> fn) {
+    events_.push(Event{clock_.now() + std::max<Nanos>(delay, 0), ++seq_,
+                       std::move(fn)});
+  }
+
+  /// Runs one event; returns false when the queue is empty.
+  bool step() {
+    if (events_.empty()) return false;
+    Event e = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    clock_.advance_to(e.at);
+    if (e.fn) e.fn();
+    return true;
+  }
+
+  /// Runs until `pred()` is true or virtual `deadline` passes (deadline <0
+  /// = unbounded). Returns whether the predicate was met.
+  bool run_until(const std::function<bool()>& pred, Nanos deadline = -1) {
+    while (!pred()) {
+      if (events_.empty()) return false;
+      if (deadline >= 0 && events_.top().at > deadline) {
+        clock_.advance_to(deadline);
+        return false;
+      }
+      step();
+    }
+    return true;
+  }
+
+  /// Advances exactly `duration` of virtual time, draining due events.
+  void run_for(Nanos duration) {
+    Nanos deadline = clock_.now() + duration;
+    while (!events_.empty() && events_.top().at <= deadline) step();
+    clock_.advance_to(deadline);
+  }
+
+  [[nodiscard]] Nanos now() const { return clock_.now(); }
+  [[nodiscard]] VirtualClock& clock() { return clock_; }
+  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+
+ private:
+  struct Event {
+    Nanos at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      return std::tie(at, seq) > std::tie(o.at, o.seq);
+    }
+  };
+  VirtualClock clock_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace sdvm::sim

@@ -1,0 +1,227 @@
+#include "sim/sim_cluster.hpp"
+
+namespace sdvm::sim {
+
+/// Driver wiring a Site into the event loop: wakeups and work notifications
+/// become events; execution is serialized by Site::pump itself.
+class SimCluster::SimDriver final : public Driver {
+ public:
+  SimDriver(EventLoop& loop) : loop_(loop) {}
+
+  void bind(Site* site, bool* killed) {
+    site_ = site;
+    killed_ = killed;
+  }
+
+  void request_wakeup(Nanos delay) override { schedule_pump(delay); }
+  void notify_work() override { schedule_pump(0); }
+  [[nodiscard]] bool simulated() const override { return true; }
+
+ private:
+  void schedule_pump(Nanos delay) {
+    // Coalesce: at most one outstanding zero-delay pump; timed wakeups are
+    // cheap enough to just schedule.
+    if (delay == 0) {
+      if (pump_pending_) return;
+      pump_pending_ = true;
+    }
+    loop_.schedule(delay, [this, timed = delay != 0] {
+      if (!timed) pump_pending_ = false;
+      if (site_ != nullptr && !*killed_) (void)site_->pump();
+    });
+  }
+
+  EventLoop& loop_;
+  Site* site_ = nullptr;
+  bool* killed_ = nullptr;
+  bool pump_pending_ = false;
+};
+
+SimCluster::SimCluster(Options options)
+    : options_(std::move(options)), network_(options_.seed) {
+  network_.set_default_link(options_.link);
+  network_.set_delivery_scheduler(
+      [this](Nanos delay, std::function<void()> fn) {
+        loop_.schedule(delay, std::move(fn));
+      });
+}
+
+SimCluster::~SimCluster() = default;
+
+Site& SimCluster::add_site(SiteConfig config, int contact_index) {
+  auto entry = std::make_unique<Entry>();
+  Entry* e = entry.get();
+  e->config = config;
+  e->driver = std::make_unique<SimDriver>(loop_);
+  e->site = std::make_unique<Site>(config, loop_.clock(), *e->driver);
+  e->driver->bind(e->site.get(), &e->killed);
+  e->endpoint = network_.attach(
+      [site = e->site.get()](std::vector<std::byte> bytes) {
+        site->on_network_data(std::move(bytes));
+      });
+  // The Site owns a Transport; wrap the endpoint in a thin forwarder so
+  // the endpoint's lifetime stays with the entry (kill() needs its
+  // address).
+  struct Forwarder final : net::Transport {
+    net::InProcEndpoint* ep;
+    explicit Forwarder(net::InProcEndpoint* e) : ep(e) {}
+    std::string local_address() const override { return ep->local_address(); }
+    Status send(const std::string& to, std::vector<std::byte> b) override {
+      return ep->send(to, std::move(b));
+    }
+    void close() override {}
+  };
+  e->site->attach_transport(std::make_unique<Forwarder>(e->endpoint.get()));
+
+  entries_.push_back(std::move(entry));
+
+  if (entries_.size() == 1) {
+    e->site->bootstrap();
+  } else {
+    std::size_t idx = std::min<std::size_t>(
+        static_cast<std::size_t>(std::max(contact_index, 0)),
+        entries_.size() - 2);
+    std::string contact = entries_[idx]->endpoint->local_address();
+    e->site->join(contact);
+    bool ok = loop_.run_until([e] { return e->site->joined(); },
+                              loop_.now() + 10 * kNanosPerSecond);
+    if (!ok) {
+      SDVM_ERROR("sim") << "site failed to join within virtual 10s";
+    }
+  }
+  install_memory_oracle(*e->site);
+  install_file_oracle(*e->site);
+  return *e->site;
+}
+
+void SimCluster::add_sites(int n, double speed, const SiteConfig& base) {
+  for (int i = 0; i < n; ++i) {
+    SiteConfig cfg = base;
+    cfg.name = "site" + std::to_string(entries_.size() + 1);
+    cfg.speed = speed;
+    add_site(cfg);
+  }
+}
+
+void SimCluster::install_memory_oracle(Site& site) {
+  Site* requester = &site;
+  site.memory().set_sim_fetch_hook(
+      [this, requester](GlobalAddress addr,
+                        MemObject* out) -> Result<Nanos> {
+        SiteId home_id =
+            requester->cluster().resolve_successor(addr.home_site());
+        Site* home = site_by_id(home_id);
+        if (home == nullptr) {
+          return Status::error(ErrorCode::kUnavailable,
+                               "homesite unreachable");
+        }
+        SiteId owner_id = home->memory().directory_owner(addr);
+        if (owner_id == kInvalidSite) {
+          return Status::error(ErrorCode::kNotFound, "no such object");
+        }
+        Site* owner = site_by_id(owner_id);
+        if (owner == nullptr) {
+          return Status::error(ErrorCode::kUnavailable, "owner unreachable");
+        }
+        MemObject* obj = owner->memory().local_object(addr);
+        if (obj == nullptr) {
+          return Status::error(ErrorCode::kNotFound, "object in transit");
+        }
+        *out = *obj;
+        owner->memory().evict_object(addr);
+        owner->memory().migrations_out++;
+        home->memory().set_directory_owner(addr, requester->id());
+
+        // Stall model: request to homesite, forward to owner, object back —
+        // three one-way hops plus serialization of the object itself.
+        Nanos hop = options_.link.latency;
+        Nanos bytes = static_cast<Nanos>(obj->words.size() * 8 + 64) *
+                      options_.link.per_byte;
+        return 3 * hop + bytes;
+      });
+}
+
+void SimCluster::install_file_oracle(Site& site) {
+  site.io().set_sim_file_hook(
+      [this](SiteId owner, const std::string& path, bool write,
+             std::string data) -> IoManager::SimFileResult {
+        IoManager::SimFileResult r;
+        Site* target = site_by_id(owner);
+        if (target == nullptr) {
+          r.status = Status::error(ErrorCode::kUnavailable,
+                                   "file owner site unreachable");
+          return r;
+        }
+        Nanos hop = options_.link.latency;
+        if (write) {
+          std::size_t n = data.size();
+          target->io().vfs_put(path, std::move(data));
+          r.stall = 2 * hop + static_cast<Nanos>(n) * options_.link.per_byte;
+          return r;
+        }
+        auto got = target->io().vfs_get(path);
+        if (!got.is_ok()) {
+          r.status = got.status();
+          r.stall = 2 * hop;
+          return r;
+        }
+        r.data = std::move(got).value();
+        r.stall =
+            2 * hop + static_cast<Nanos>(r.data.size()) * options_.link.per_byte;
+        return r;
+      });
+}
+
+Site* SimCluster::site_by_id(SiteId id) {
+  for (auto& e : entries_) {
+    if (e->site->id() == id) return e->site.get();
+  }
+  return nullptr;
+}
+
+Result<ProgramId> SimCluster::start_program(const ProgramSpec& spec,
+                                            std::size_t home_index) {
+  return entries_.at(home_index)->site->start_program(spec);
+}
+
+Result<std::int64_t> SimCluster::run_program(ProgramId pid, Nanos deadline) {
+  // Any live site learning of the termination settles the wait — the home
+  // site itself may die and be replaced by its checkpoint backup.
+  auto find_verdict = [this, pid]() -> std::optional<std::int64_t> {
+    for (auto& e : entries_) {
+      if (e->killed || e->site->signed_off()) continue;
+      if (e->site->programs().is_terminated(pid)) {
+        return e->site->programs().exit_code(pid).value_or(0);
+      }
+    }
+    return std::nullopt;
+  };
+  bool ok =
+      loop_.run_until([&] { return find_verdict().has_value(); },
+                      deadline < 0 ? -1 : loop_.now() + deadline);
+  if (!ok) {
+    return Status::error(ErrorCode::kUnavailable,
+                         "program did not terminate in time");
+  }
+  return *find_verdict();
+}
+
+Result<SiteId> SimCluster::sign_off(std::size_t index) {
+  auto result = entries_.at(index)->site->sign_off();
+  // Let the relocation and notices drain.
+  loop_.run_for(options_.link.latency * 10 + kNanosPerSecond / 100);
+  return result;
+}
+
+void SimCluster::kill(std::size_t index) {
+  Entry* e = entries_.at(index).get();
+  e->killed = true;
+  network_.kill(e->endpoint->local_address());
+}
+
+std::vector<std::string> SimCluster::outputs(std::size_t frontend_index,
+                                             ProgramId pid) {
+  return entries_.at(frontend_index)->site->io().outputs(pid);
+}
+
+}  // namespace sdvm::sim

@@ -1,0 +1,93 @@
+// SimCluster: a whole SDVM cluster under the discrete-event simulator.
+// Each site runs the exact same manager code as the threaded/TCP modes;
+// only the clock (virtual), the transport (InProcNetwork routed through
+// the event loop), and microthread execution (serialized, cost-accounted)
+// differ. Used for Table 1 and every parameter-sweep bench.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/inproc.hpp"
+#include "runtime/site.hpp"
+#include "sim/event_loop.hpp"
+
+namespace sdvm::sim {
+
+class SimCluster {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    net::LinkModel link;  // default latency/bandwidth between all sites
+
+    Options() {
+      link.latency = 100'000;  // 100 us, intranet class
+      link.per_byte = 10;      // ~100 MB/s
+    }
+  };
+
+  explicit SimCluster(Options options = Options{});
+  ~SimCluster();
+
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  /// Adds a site. The first bootstraps the cluster; later ones sign on via
+  /// an existing site (default: the first) and this call runs the loop
+  /// until the join completes. `contact_index` picks which member the new
+  /// site knows — paper §3.4: "the one site it already knows".
+  Site& add_site(SiteConfig config, int contact_index = 0);
+
+  /// Convenience: n identical sites of the given speed.
+  void add_sites(int n, double speed = 1.0, const SiteConfig& base = {});
+
+  [[nodiscard]] Site& site(std::size_t index) { return *entries_[index]->site; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Starts a program on `home_index` and returns its id.
+  Result<ProgramId> start_program(const ProgramSpec& spec,
+                                  std::size_t home_index = 0);
+
+  /// Runs until the program terminates (or virtual deadline, <0 = none).
+  /// Returns the exit code.
+  Result<std::int64_t> run_program(ProgramId pid, Nanos deadline = -1);
+
+  /// Graceful departure of a site mid-run.
+  Result<SiteId> sign_off(std::size_t index);
+  /// Uncontrolled crash: the site stops pumping and its traffic black-holes.
+  void kill(std::size_t index);
+
+  /// Output lines collected at the program's frontend.
+  [[nodiscard]] std::vector<std::string> outputs(std::size_t frontend_index,
+                                                 ProgramId pid);
+
+  [[nodiscard]] EventLoop& loop() { return loop_; }
+  [[nodiscard]] net::InProcNetwork& network() { return network_; }
+  [[nodiscard]] Nanos now() const { return loop_.now(); }
+
+  /// Looks a site up by logical id (dead sites included).
+  [[nodiscard]] Site* site_by_id(SiteId id);
+
+ private:
+  class SimDriver;
+
+  void install_memory_oracle(Site& site);
+  void install_file_oracle(Site& site);
+
+  Options options_;
+  EventLoop loop_;
+  net::InProcNetwork network_;
+
+  struct Entry {
+    SiteConfig config;
+    std::unique_ptr<SimDriver> driver;
+    std::unique_ptr<net::InProcEndpoint> endpoint;
+    std::unique_ptr<Site> site;
+    bool killed = false;
+  };
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace sdvm::sim

@@ -1,0 +1,99 @@
+// Correctness of the bundled applications across cluster shapes: N-Queens
+// (irregular recursion, variable-arity joins) and the streaming pipeline.
+#include <gtest/gtest.h>
+
+#include "apps/nqueens.hpp"
+#include "apps/pipeline.hpp"
+#include "sim/sim_cluster.hpp"
+
+namespace sdvm {
+namespace {
+
+using sim::SimCluster;
+
+class NQueensTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(NQueensTest, CountMatchesReference) {
+  auto [n, sites] = GetParam();
+  SimCluster cluster;
+  SiteConfig cfg;
+  cfg.help_retry_interval = 100'000;
+  cluster.add_sites(sites, 1.0, cfg);
+  apps::NQueensParams params;
+  params.n = n;
+  params.node_work = 200'000;
+  auto pid = cluster.start_program(apps::make_nqueens_program(params));
+  ASSERT_TRUE(pid.is_ok()) << pid.status().to_string();
+  auto code = cluster.run_program(pid.value(), 3000 * kNanosPerSecond);
+  ASSERT_TRUE(code.is_ok()) << code.status().to_string();
+  auto out = cluster.outputs(0, pid.value());
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.back(), std::to_string(apps::nqueens_reference(n)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boards, NQueensTest,
+    ::testing::Values(std::pair{4, 1}, std::pair{5, 2}, std::pair{6, 3},
+                      std::pair{6, 1}, std::pair{7, 4}, std::pair{8, 6}));
+
+TEST(NQueensTest, ReferenceKnownValues) {
+  EXPECT_EQ(apps::nqueens_reference(1), 1);
+  EXPECT_EQ(apps::nqueens_reference(4), 2);
+  EXPECT_EQ(apps::nqueens_reference(6), 4);
+  EXPECT_EQ(apps::nqueens_reference(7), 40);
+  EXPECT_EQ(apps::nqueens_reference(8), 92);
+}
+
+class PipelineTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(PipelineTest, ChecksumMatchesReference) {
+  auto [items, stages, sites] = GetParam();
+  SimCluster cluster;
+  SiteConfig cfg;
+  cfg.help_retry_interval = 100'000;
+  cluster.add_sites(sites, 1.0, cfg);
+  apps::PipelineParams params;
+  params.items = items;
+  params.stages = stages;
+  params.stage_work = 500'000;
+  auto pid = cluster.start_program(apps::make_pipeline_program(params));
+  ASSERT_TRUE(pid.is_ok());
+  auto code = cluster.run_program(pid.value(), 3000 * kNanosPerSecond);
+  ASSERT_TRUE(code.is_ok()) << code.status().to_string();
+  auto out = cluster.outputs(0, pid.value());
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.back(), std::to_string(apps::pipeline_reference(params)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PipelineTest,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{8, 3, 1},
+                      std::tuple{16, 4, 2}, std::tuple{24, 4, 4},
+                      std::tuple{32, 6, 3}, std::tuple{48, 2, 8}));
+
+TEST(PipelineTest, PipelineOverlapBeatsSerial) {
+  // With many stages and items, parallel sites must beat a single site
+  // (the whole point of pipelining across the cluster).
+  apps::PipelineParams params;
+  params.items = 32;
+  params.stages = 4;
+  params.stage_work = 20'000'000;
+  auto run = [&](int sites) {
+    SimCluster cluster;
+    SiteConfig cfg;
+    cfg.help_retry_interval = 100'000;
+    cluster.add_sites(sites, 1.0, cfg);
+    auto pid = cluster.start_program(apps::make_pipeline_program(params));
+    EXPECT_TRUE(pid.is_ok());
+    EXPECT_TRUE(
+        cluster.run_program(pid.value(), 3000 * kNanosPerSecond).is_ok());
+    return cluster.now();
+  };
+  Nanos one = run(1);
+  Nanos four = run(4);
+  EXPECT_LT(four, one * 2 / 3) << "pipeline did not parallelize";
+}
+
+}  // namespace
+}  // namespace sdvm

@@ -1,0 +1,171 @@
+// CDAG (scheduling-hint substrate) tests: topology, critical path,
+// priorities, list-schedule bounds.
+#include <gtest/gtest.h>
+
+#include "sched_graph/cdag.hpp"
+
+namespace sdvm::sched_graph {
+namespace {
+
+// Diamond: a → {b, c} → d, with b much heavier than c.
+Cdag diamond() {
+  Cdag g;
+  NodeId a = g.add_node("a", 10);
+  NodeId b = g.add_node("b", 100);
+  NodeId c = g.add_node("c", 5);
+  NodeId d = g.add_node("d", 10);
+  EXPECT_TRUE(g.add_dependency(a, b).is_ok());
+  EXPECT_TRUE(g.add_dependency(a, c).is_ok());
+  EXPECT_TRUE(g.add_dependency(b, d).is_ok());
+  EXPECT_TRUE(g.add_dependency(c, d).is_ok());
+  return g;
+}
+
+TEST(CdagTest, TopologicalOrderRespectsEdges) {
+  Cdag g = diamond();
+  auto order = g.topological_order();
+  ASSERT_TRUE(order.is_ok());
+  auto pos = [&](NodeId n) {
+    for (std::size_t i = 0; i < order.value().size(); ++i) {
+      if (order.value()[i] == n) return i;
+    }
+    return std::size_t{99};
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(0), pos(2));
+  EXPECT_LT(pos(1), pos(3));
+  EXPECT_LT(pos(2), pos(3));
+}
+
+TEST(CdagTest, CycleDetected) {
+  Cdag g;
+  NodeId a = g.add_node("a", 1);
+  NodeId b = g.add_node("b", 1);
+  ASSERT_TRUE(g.add_dependency(a, b).is_ok());
+  ASSERT_TRUE(g.add_dependency(b, a).is_ok());
+  EXPECT_FALSE(g.topological_order().is_ok());
+  EXPECT_TRUE(g.bottom_levels().empty());
+}
+
+TEST(CdagTest, SelfEdgeRejected) {
+  Cdag g;
+  NodeId a = g.add_node("a", 1);
+  EXPECT_FALSE(g.add_dependency(a, a).is_ok());
+  EXPECT_FALSE(g.add_dependency(a, 99).is_ok());
+}
+
+TEST(CdagTest, CriticalPathLength) {
+  Cdag g = diamond();
+  // a(10) → b(100) → d(10) = 120.
+  EXPECT_EQ(g.critical_path_length(), 120);
+}
+
+TEST(CdagTest, CriticalPathNodes) {
+  Cdag g = diamond();
+  auto path = g.critical_path();
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(g.name(path[0]), "a");
+  EXPECT_EQ(g.name(path[1]), "b");
+  EXPECT_EQ(g.name(path[2]), "d");
+}
+
+TEST(CdagTest, PrioritiesFavorCriticalPath) {
+  Cdag g = diamond();
+  auto prio = g.priorities(100);
+  ASSERT_EQ(prio.size(), 4u);
+  EXPECT_EQ(prio[0], 100);        // "a" heads the critical path
+  EXPECT_GT(prio[1], prio[2]);    // heavy branch over light branch
+  EXPECT_GT(prio[1], prio[3]);
+}
+
+TEST(CdagTest, ChainPrioritiesDecrease) {
+  Cdag g;
+  NodeId prev = g.add_node("n0", 10);
+  for (int i = 1; i < 5; ++i) {
+    NodeId next = g.add_node("n" + std::to_string(i), 10);
+    ASSERT_TRUE(g.add_dependency(prev, next).is_ok());
+    prev = next;
+  }
+  auto prio = g.priorities(100);
+  for (std::size_t i = 1; i < prio.size(); ++i) {
+    EXPECT_LT(prio[i], prio[i - 1]);
+  }
+}
+
+TEST(CdagTest, ListScheduleSequentialEqualsTotal) {
+  Cdag g = diamond();
+  EXPECT_EQ(g.list_schedule_makespan(1), 125);  // sum of all costs
+}
+
+TEST(CdagTest, ListScheduleParallelBoundedByCriticalPath) {
+  Cdag g = diamond();
+  std::int64_t makespan = g.list_schedule_makespan(2);
+  EXPECT_GE(makespan, g.critical_path_length());
+  EXPECT_LE(makespan, g.list_schedule_makespan(1));
+  EXPECT_EQ(makespan, 120);  // c(5) hides under b(100)
+}
+
+TEST(CdagTest, WideFanOutScalesWithSites) {
+  Cdag g;
+  NodeId src = g.add_node("src", 1);
+  NodeId sink = g.add_node("sink", 1);
+  for (int i = 0; i < 16; ++i) {
+    NodeId w = g.add_node("w" + std::to_string(i), 100);
+    ASSERT_TRUE(g.add_dependency(src, w).is_ok());
+    ASSERT_TRUE(g.add_dependency(w, sink).is_ok());
+  }
+  std::int64_t one = g.list_schedule_makespan(1);
+  std::int64_t four = g.list_schedule_makespan(4);
+  std::int64_t sixteen = g.list_schedule_makespan(16);
+  EXPECT_EQ(one, 2 + 16 * 100);
+  EXPECT_EQ(four, 2 + 4 * 100);
+  EXPECT_EQ(sixteen, 2 + 100);
+}
+
+TEST(CdagTest, EmptyGraph) {
+  Cdag g;
+  EXPECT_TRUE(g.topological_order().is_ok());
+  EXPECT_EQ(g.critical_path_length(), 0);
+  EXPECT_TRUE(g.critical_path().empty());
+  EXPECT_EQ(g.list_schedule_makespan(4), 0);
+}
+
+// Property: for random DAGs, makespan(k) is monotone in k and bounded by
+// [critical path, sequential sum].
+class CdagPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CdagPropertyTest, MakespanBounds) {
+  std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  Cdag g;
+  constexpr int kNodes = 40;
+  std::int64_t total = 0;
+  for (int i = 0; i < kNodes; ++i) {
+    std::int64_t cost = 1 + (seed * 2654435761u + static_cast<std::uint64_t>(i) * 97) % 50;
+    total += cost;
+    g.add_node("n" + std::to_string(i), cost);
+  }
+  // Edges only forward: guaranteed acyclic.
+  for (int i = 0; i < kNodes; ++i) {
+    for (int j = i + 1; j < kNodes; ++j) {
+      if ((seed + static_cast<std::uint64_t>(i * 31 + j)) % 7 == 0) {
+        ASSERT_TRUE(g.add_dependency(static_cast<NodeId>(i),
+                                     static_cast<NodeId>(j))
+                        .is_ok());
+      }
+    }
+  }
+  std::int64_t cp = g.critical_path_length();
+  std::int64_t m1 = g.list_schedule_makespan(1);
+  std::int64_t m4 = g.list_schedule_makespan(4);
+  std::int64_t m16 = g.list_schedule_makespan(16);
+  EXPECT_EQ(m1, total);
+  EXPECT_GE(m4, cp);
+  EXPECT_GE(m16, cp);
+  EXPECT_LE(m4, m1);
+  EXPECT_LE(m16, m4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdagPropertyTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace sdvm::sched_graph

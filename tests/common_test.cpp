@@ -1,0 +1,183 @@
+// Unit tests for sdvm_common: ids, global addresses, serialization,
+// Status/Result, PRNG determinism, clocks.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace sdvm {
+namespace {
+
+TEST(ProgramIdTest, PacksHomeSiteAndCounter) {
+  ProgramId p(/*home=*/7, /*counter=*/42);
+  EXPECT_EQ(p.home_site(), 7u);
+  EXPECT_EQ(p.counter(), 42u);
+  EXPECT_TRUE(p.valid());
+  EXPECT_FALSE(ProgramId{}.valid());
+}
+
+TEST(GlobalAddressTest, PacksHomeSiteAndLocalId) {
+  GlobalAddress a(/*home=*/3, /*local_counter=*/0x12345);
+  EXPECT_EQ(a.home_site(), 3u);
+  EXPECT_EQ(a.local_id(), 0x12345u);
+  EXPECT_TRUE(a.valid());
+}
+
+TEST(GlobalAddressTest, LocalIdMasksTo40Bits) {
+  GlobalAddress a(/*home=*/1, GlobalAddress::kLocalMask);
+  EXPECT_EQ(a.local_id(), GlobalAddress::kLocalMask);
+  EXPECT_EQ(a.home_site(), 1u);
+}
+
+TEST(GlobalAddressTest, DistinctHomesDistinctAddresses) {
+  EXPECT_NE(GlobalAddress(1, 5), GlobalAddress(2, 5));
+  EXPECT_NE(GlobalAddress(1, 5), GlobalAddress(1, 6));
+  EXPECT_EQ(GlobalAddress(1, 5), GlobalAddress(1, 5));
+}
+
+TEST(SerializeTest, RoundTripsScalars) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-12345);
+  w.i64(std::numeric_limits<std::int64_t>::min());
+  w.f64(3.14159);
+  w.boolean(true);
+  w.str("hello sdvm");
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -12345);
+  EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.str(), "hello sdvm");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(SerializeTest, RoundTripsIds) {
+  ByteWriter w;
+  w.site(99);
+  w.program(ProgramId(4, 7));
+  w.address(GlobalAddress(2, 1000));
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.site(), 99u);
+  EXPECT_EQ(r.program(), ProgramId(4, 7));
+  EXPECT_EQ(r.address(), GlobalAddress(2, 1000));
+}
+
+TEST(SerializeTest, BlobRoundTrip) {
+  std::vector<std::byte> data;
+  for (int i = 0; i < 300; ++i) data.push_back(std::byte{static_cast<unsigned char>(i)});
+  ByteWriter w;
+  w.blob(data);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.blob(), data);
+}
+
+TEST(SerializeTest, TruncatedInputThrows) {
+  ByteWriter w;
+  w.u32(5);  // claims 5-byte payload that isn't there
+  ByteReader r(w.bytes());
+  EXPECT_THROW((void)r.str(), DecodeError);
+}
+
+TEST(SerializeTest, ReadPastEndThrows) {
+  ByteWriter w;
+  w.u16(1);
+  ByteReader r(w.bytes());
+  (void)r.u16();
+  EXPECT_THROW((void)r.u8(), DecodeError);
+}
+
+TEST(SerializeTest, EmptyStringAndBlob) {
+  ByteWriter w;
+  w.str("");
+  w.blob({});
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.blob().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(SerializeTest, PodValueHelpers) {
+  std::int64_t v = -987654321;
+  auto bytes = to_bytes(v);
+  EXPECT_EQ(from_bytes<std::int64_t>(bytes), v);
+  EXPECT_THROW((void)from_bytes<std::int32_t>(bytes), DecodeError);
+}
+
+TEST(StatusTest, OkAndError) {
+  Status ok = Status::ok();
+  EXPECT_TRUE(ok.is_ok());
+  Status err = Status::error(ErrorCode::kNotFound, "missing frame");
+  EXPECT_FALSE(err.is_ok());
+  EXPECT_EQ(err.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(err.to_string(), "not-found: missing frame");
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> good = 42;
+  ASSERT_TRUE(good.is_ok());
+  EXPECT_EQ(good.value(), 42);
+
+  Result<int> bad = Status::error(ErrorCode::kUnavailable, "site gone");
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.status().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(RngTest, Deterministic) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_LT(rng.below(10), 10u);
+  }
+}
+
+TEST(ClockTest, VirtualClockAdvances) {
+  VirtualClock c;
+  EXPECT_EQ(c.now(), 0);
+  c.advance_to(12345);
+  EXPECT_EQ(c.now(), 12345);
+}
+
+TEST(ClockTest, WallClockMonotone) {
+  WallClock& c = WallClock::instance();
+  Nanos a = c.now();
+  Nanos b = c.now();
+  EXPECT_LE(a, b);
+}
+
+TEST(ManagerIdTest, Names) {
+  EXPECT_STREQ(to_string(ManagerId::kScheduling), "scheduling");
+  EXPECT_STREQ(to_string(ManagerId::kAttractionMemory), "attraction-memory");
+}
+
+}  // namespace
+}  // namespace sdvm

@@ -1,0 +1,218 @@
+// Known-answer and property tests for the crypto substrate backing the
+// security manager: SHA-256 (NIST FIPS 180-4 vectors), HMAC-SHA256
+// (RFC 4231), ChaCha20 (RFC 8439), and the sealed-message format.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/rng.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/cipher.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sdvm::crypto {
+namespace {
+
+std::string sha_hex(std::string_view msg) {
+  auto d = Sha256::hash(msg);
+  return hex(d);
+}
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(sha_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(sha_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(sha_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  // Splitting input at every possible boundary must not change the digest.
+  std::string msg = "The SDVM distributes data and code automatically.";
+  auto expect = Sha256::hash(msg);
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(std::string_view(msg).substr(0, split));
+    h.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(h.finish(), expect) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, ExactBlockBoundaries) {
+  // 55/56/63/64/65 bytes straddle the padding edge cases.
+  for (std::size_t n : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string msg(n, 'x');
+    Sha256 a;
+    a.update(msg);
+    auto one = a.finish();
+    Sha256 b;
+    for (char c : msg) b.update(std::string_view(&c, 1));
+    EXPECT_EQ(b.finish(), one) << "n=" << n;
+  }
+}
+
+TEST(HmacTest, Rfc4231Case1) {
+  std::uint8_t key[20];
+  std::memset(key, 0x0b, sizeof(key));
+  std::string msg = "Hi There";
+  auto mac = hmac_sha256(
+      {reinterpret_cast<const std::byte*>(key), sizeof(key)},
+      {reinterpret_cast<const std::byte*>(msg.data()), msg.size()});
+  EXPECT_EQ(hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  std::string key = "Jefe";
+  std::string msg = "what do ya want for nothing?";
+  auto mac = hmac_sha256(
+      {reinterpret_cast<const std::byte*>(key.data()), key.size()},
+      {reinterpret_cast<const std::byte*>(msg.data()), msg.size()});
+  EXPECT_EQ(hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  std::uint8_t key[131];
+  std::memset(key, 0xaa, sizeof(key));
+  std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  auto mac = hmac_sha256(
+      {reinterpret_cast<const std::byte*>(key), sizeof(key)},
+      {reinterpret_cast<const std::byte*>(msg.data()), msg.size()});
+  EXPECT_EQ(hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(ChaCha20Test, Rfc8439BlockFunction) {
+  ChaCha20::Key key;
+  for (int i = 0; i < 32; ++i) key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  ChaCha20::Nonce nonce = {0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+  auto ks = ChaCha20::block(key, nonce, 1);
+  EXPECT_EQ(hex(ks),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20Test, Rfc8439Encryption) {
+  ChaCha20::Key key;
+  for (int i = 0; i < 32; ++i) key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  ChaCha20::Nonce nonce = {0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+  std::string plain =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  std::vector<std::byte> buf(plain.size());
+  std::memcpy(buf.data(), plain.data(), plain.size());
+  ChaCha20::apply(key, nonce, 1, buf);
+  std::string got = hex(std::span{
+      reinterpret_cast<const std::uint8_t*>(buf.data()), buf.size()});
+  EXPECT_EQ(got.substr(0, 64),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b");
+}
+
+TEST(ChaCha20Test, ApplyIsAnInvolution) {
+  ChaCha20::Key key{};
+  key[0] = 1;
+  ChaCha20::Nonce nonce{};
+  nonce[5] = 7;
+  std::vector<std::byte> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::byte{static_cast<unsigned char>(i * 31)};
+  }
+  auto original = data;
+  ChaCha20::apply(key, nonce, 0, data);
+  EXPECT_NE(data, original);
+  ChaCha20::apply(key, nonce, 0, data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(CipherTest, SealOpenRoundTrip) {
+  auto master = derive_master_key("cluster-password");
+  auto key = derive_pair_key(master, 1, 2);
+  std::string msg = "help request: site 3 is idle";
+  std::vector<std::byte> plain(msg.size());
+  std::memcpy(plain.data(), msg.data(), msg.size());
+
+  auto sealed = seal(key, /*nonce_seed=*/42, plain);
+  auto opened = open(key, sealed);
+  ASSERT_TRUE(opened.is_ok()) << opened.status().to_string();
+  EXPECT_EQ(opened.value(), plain);
+}
+
+TEST(CipherTest, PairKeySymmetric) {
+  auto master = derive_master_key("pw");
+  EXPECT_EQ(derive_pair_key(master, 1, 2), derive_pair_key(master, 2, 1));
+  EXPECT_NE(derive_pair_key(master, 1, 2), derive_pair_key(master, 1, 3));
+}
+
+TEST(CipherTest, DifferentPasswordsDifferentKeys) {
+  EXPECT_NE(derive_master_key("alpha"), derive_master_key("beta"));
+}
+
+TEST(CipherTest, TamperedCiphertextRejected) {
+  auto key = derive_pair_key(derive_master_key("pw"), 5, 6);
+  std::vector<std::byte> plain(64, std::byte{0x5a});
+  auto sealed = seal(key, 1, plain);
+  sealed[sealed.size() / 2] ^= std::byte{1};
+  EXPECT_FALSE(open(key, sealed).is_ok());
+}
+
+TEST(CipherTest, WrongKeyRejected) {
+  auto master = derive_master_key("pw");
+  auto k12 = derive_pair_key(master, 1, 2);
+  auto k13 = derive_pair_key(master, 1, 3);
+  std::vector<std::byte> plain(16, std::byte{7});
+  auto sealed = seal(k12, 1, plain);
+  EXPECT_FALSE(open(k13, sealed).is_ok());
+}
+
+TEST(CipherTest, TruncatedBlobRejected) {
+  auto key = derive_pair_key(derive_master_key("pw"), 1, 2);
+  EXPECT_FALSE(open(key, std::vector<std::byte>(10)).is_ok());
+}
+
+TEST(CipherTest, EmptyPayloadRoundTrip) {
+  auto key = derive_pair_key(derive_master_key("pw"), 1, 2);
+  auto sealed = seal(key, 9, {});
+  auto opened = open(key, sealed);
+  ASSERT_TRUE(opened.is_ok());
+  EXPECT_TRUE(opened.value().empty());
+}
+
+// Property sweep: random payload sizes survive the round trip.
+class CipherPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CipherPropertyTest, RandomPayloadRoundTrip) {
+  Xoshiro256 rng(GetParam());
+  auto key = derive_pair_key(derive_master_key("prop"), 10, 20);
+  std::size_t n = GetParam();
+  std::vector<std::byte> plain(n);
+  for (auto& b : plain) b = std::byte{static_cast<unsigned char>(rng())};
+  auto sealed = seal(key, n, plain);
+  EXPECT_GT(sealed.size(), plain.size());  // nonce + MAC overhead
+  auto opened = open(key, sealed);
+  ASSERT_TRUE(opened.is_ok());
+  EXPECT_EQ(opened.value(), plain);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CipherPropertyTest,
+                         ::testing::Values(1, 2, 63, 64, 65, 127, 128, 1000,
+                                           4096, 100000));
+
+}  // namespace
+}  // namespace sdvm::crypto

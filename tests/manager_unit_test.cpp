@@ -1,0 +1,216 @@
+// Manager-level behaviour tests on small live clusters: status queries,
+// gossip propagation, help-target selection, io path parsing, program
+// manager lifecycle, sign-off successor routing.
+#include <gtest/gtest.h>
+
+#include "api/program_builder.hpp"
+#include "apps/primes.hpp"
+#include "runtime/context.hpp"
+#include "sim/sim_cluster.hpp"
+
+namespace sdvm {
+namespace {
+
+using sim::SimCluster;
+
+TEST(StatusQueryTest, RemoteStatusReplyArrives) {
+  SimCluster cluster;
+  cluster.add_sites(2);
+
+  // Site 1 asks site 2 for its status via the site manager protocol.
+  std::string got;
+  SdMessage q;
+  q.dst = 2;
+  q.src_mgr = q.dst_mgr = ManagerId::kSite;
+  q.type = MsgType::kStatusQuery;
+  (void)cluster.site(0).messages().request(q, [&](Result<SdMessage> r) {
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    ByteReader rd(r.value().payload);
+    got = rd.str();
+  });
+  cluster.loop().run_for(kNanosPerSecond / 100);
+  EXPECT_NE(got.find("site 2"), std::string::npos) << got;
+  EXPECT_NE(got.find("scheduling:"), std::string::npos);
+  EXPECT_NE(got.find("memory:"), std::string::npos);
+}
+
+TEST(StatusQueryTest, LocalStatusMentionsAllManagers) {
+  SimCluster cluster;
+  cluster.add_sites(1);
+  std::string s = cluster.site(0).site_manager().status_string();
+  for (const char* section : {"cluster:", "scheduling:", "processing:",
+                              "memory:", "code:", "programs:", "messages:"}) {
+    EXPECT_NE(s.find(section), std::string::npos) << "missing " << section;
+  }
+}
+
+TEST(GossipTest, LateSiteLearnsWholeClusterEventually) {
+  SimCluster cluster;
+  cluster.add_sites(5);
+  // The 5th site joined via site 1 and initially may know only the
+  // snapshot; heartbeats and gossip rounds must spread everything.
+  cluster.loop().run_for(3 * kNanosPerSecond);
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    EXPECT_EQ(cluster.site(i).cluster().cluster_size(), 5u)
+        << "site index " << i << " has an incomplete cluster list";
+  }
+}
+
+TEST(GossipTest, LoadStatisticsPropagate) {
+  SimCluster cluster;
+  cluster.add_sites(3);
+  apps::PrimesParams params;
+  params.p = 40;
+  params.width = 10;
+  params.work_mult = 50'000'000;
+  auto pid = cluster.start_program(apps::make_primes_program(params));
+  ASSERT_TRUE(pid.is_ok());
+  cluster.loop().run_for(2 * kNanosPerSecond);
+  // Site 3 must have heard a nonzero executed_total for some peer.
+  bool heard_load = false;
+  for (SiteId sid : cluster.site(2).cluster().known_sites()) {
+    const SiteInfo* info = cluster.site(2).cluster().find(sid);
+    if (info != nullptr && sid != cluster.site(2).id() &&
+        info->load.executed_total > 0) {
+      heard_load = true;
+    }
+  }
+  EXPECT_TRUE(heard_load);
+  (void)cluster.run_program(pid.value(), 3000 * kNanosPerSecond);
+}
+
+TEST(SuccessorRoutingTest, ChainOfSignOffsStillRoutes) {
+  SimCluster cluster;
+  cluster.add_sites(4);
+  // Sites 4 then 3 sign off; 4's successor may be 3, which is then also
+  // gone — resolve_successor must follow the chain to a live site.
+  ASSERT_TRUE(cluster.sign_off(3).is_ok());
+  ASSERT_TRUE(cluster.sign_off(2).is_ok());
+  cluster.loop().run_for(kNanosPerSecond);
+  SiteId resolved4 = cluster.site(0).cluster().resolve_successor(4);
+  SiteId resolved3 = cluster.site(0).cluster().resolve_successor(3);
+  const SiteInfo* info4 = cluster.site(0).cluster().find(resolved4);
+  const SiteInfo* info3 = cluster.site(0).cluster().find(resolved3);
+  ASSERT_NE(info4, nullptr);
+  ASSERT_NE(info3, nullptr);
+  EXPECT_TRUE(info4->alive);
+  EXPECT_TRUE(info3->alive);
+}
+
+TEST(ProgramManagerTest, InfoFetchedOnDemand) {
+  SimCluster cluster;
+  cluster.add_sites(2);
+  auto spec = ProgramBuilder("ondemand")
+                  .thread("entry", "out(1); exit(0);")
+                  .entry("entry")
+                  .build();
+  auto pid = cluster.start_program(spec, /*home_index=*/0);
+  ASSERT_TRUE(pid.is_ok());
+  ASSERT_TRUE(cluster.run_program(pid.value(), 60 * kNanosPerSecond).is_ok());
+
+  // Site 2 never executed anything of this trivial program; ensure_known
+  // must fetch the description from the home site on demand.
+  bool known = false;
+  Status got = Status::error(ErrorCode::kInternal, "pending");
+  cluster.site(1).programs().ensure_known(pid.value(), /*hint=*/1,
+                                          [&](Status st) {
+                                            known = true;
+                                            got = st;
+                                          });
+  cluster.loop().run_for(kNanosPerSecond / 100);
+  ASSERT_TRUE(known);
+  EXPECT_TRUE(got.is_ok()) << got.to_string();
+  EXPECT_NE(cluster.site(1).programs().find(pid.value()), nullptr);
+}
+
+TEST(ProgramManagerTest, DuplicateStartValidation) {
+  SimCluster cluster;
+  cluster.add_sites(1);
+  ProgramSpec bad;
+  bad.name = "bad";
+  bad.entry = "missing";
+  MicrothreadSpec t;
+  t.name = "a";
+  t.source = "out(1);";
+  bad.threads.push_back(t);
+  EXPECT_FALSE(cluster.site(0).start_program(bad).is_ok());
+
+  ProgramSpec dup;
+  dup.name = "dup";
+  dup.entry = "a";
+  dup.threads.push_back(t);
+  dup.threads.push_back(t);  // duplicate name
+  EXPECT_FALSE(cluster.site(0).start_program(dup).is_ok());
+
+  ProgramSpec empty_thread;
+  empty_thread.name = "e";
+  empty_thread.entry = "a";
+  MicrothreadSpec bodyless;
+  bodyless.name = "a";
+  empty_thread.threads.push_back(bodyless);
+  EXPECT_FALSE(cluster.site(0).start_program(empty_thread).is_ok());
+}
+
+TEST(IoPathTest, FrontendOutputOrderPreserved) {
+  SimCluster cluster;
+  cluster.add_sites(1);
+  auto spec = ProgramBuilder("order")
+                  .thread("entry", R"(
+                    var i = 0;
+                    while (i < 10) { out(i); i = i + 1; }
+                    exit(0);
+                  )")
+                  .entry("entry")
+                  .build();
+  auto pid = cluster.start_program(spec);
+  ASSERT_TRUE(pid.is_ok());
+  ASSERT_TRUE(cluster.run_program(pid.value(), 60 * kNanosPerSecond).is_ok());
+  auto out = cluster.outputs(0, pid.value());
+  ASSERT_EQ(out.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], std::to_string(i));
+  }
+}
+
+TEST(HelpTargetTest, PrefersLoadedSites) {
+  SimCluster cluster;
+  cluster.add_sites(3);
+  // Fake knowledge: site 3 claims a deep queue.
+  SiteInfo fake = *cluster.site(0).cluster().find(3);
+  fake.load.queued_frames = 50;
+  fake.version += 1;
+  cluster.site(0).cluster().merge(fake);
+  auto target = cluster.site(0).cluster().pick_help_target();
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(*target, 3u);
+  // Excluding it falls back to someone else.
+  auto other = cluster.site(0).cluster().pick_help_target({3});
+  ASSERT_TRUE(other.has_value());
+  EXPECT_NE(*other, 3u);
+}
+
+TEST(TerminationTest, ResourcesFreedEverywhere) {
+  SimCluster cluster;
+  cluster.add_sites(3);
+  apps::PrimesParams params;
+  params.p = 20;
+  params.width = 8;
+  params.work_mult = 10'000'000;
+  auto pid = cluster.start_program(apps::make_primes_program(params));
+  ASSERT_TRUE(pid.is_ok());
+  ASSERT_TRUE(cluster.run_program(pid.value(), 600 * kNanosPerSecond).is_ok());
+  cluster.loop().run_for(kNanosPerSecond);
+
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    EXPECT_EQ(cluster.site(i).memory().frame_count(), 0u)
+        << "site " << i << " leaked frames";
+    EXPECT_EQ(cluster.site(i).memory().object_count(), 0u)
+        << "site " << i << " leaked memory objects";
+    EXPECT_EQ(cluster.site(i).scheduling().queued_total(), 0u);
+    EXPECT_TRUE(cluster.site(i).programs().is_terminated(pid.value()) ||
+                cluster.site(i).programs().find(pid.value()) == nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace sdvm

@@ -1,0 +1,93 @@
+// Tests for the .sdvm program file format used by the frontend tools.
+#include <gtest/gtest.h>
+
+#include "api/program_file.hpp"
+
+namespace sdvm {
+namespace {
+
+constexpr const char* kGood = R"(#program demo
+#entry main
+#args 7 8
+#thread main
+var w = spawn("worker", 1);
+send(w, 0, arg(0) + arg(1));
+#thread worker
+out(param(0));
+exit(0);
+)";
+
+TEST(ProgramFileTest, ParsesFullProgram) {
+  auto spec = parse_program_file(kGood);
+  ASSERT_TRUE(spec.is_ok()) << spec.status().to_string();
+  EXPECT_EQ(spec.value().name, "demo");
+  EXPECT_EQ(spec.value().entry, "main");
+  EXPECT_EQ(spec.value().args, (std::vector<std::int64_t>{7, 8}));
+  ASSERT_EQ(spec.value().threads.size(), 2u);
+  EXPECT_EQ(spec.value().threads[0].name, "main");
+  EXPECT_NE(spec.value().threads[1].source.find("out(param(0))"),
+            std::string::npos);
+}
+
+TEST(ProgramFileTest, DefaultsNameAndEntry) {
+  auto spec = parse_program_file("#thread only\nout(1); exit(0);\n");
+  ASSERT_TRUE(spec.is_ok());
+  EXPECT_EQ(spec.value().name, "unnamed");
+  EXPECT_EQ(spec.value().entry, "only");
+}
+
+TEST(ProgramFileTest, RejectsSourceOutsideThread) {
+  auto r = parse_program_file("var x = 1;\n#thread t\nout(1);\n");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(ProgramFileTest, RejectsUnknownDirective) {
+  EXPECT_FALSE(parse_program_file("#frobnicate\n").is_ok());
+}
+
+TEST(ProgramFileTest, RejectsMissingEntryThread) {
+  EXPECT_FALSE(
+      parse_program_file("#entry nope\n#thread t\nout(1);\n").is_ok());
+}
+
+TEST(ProgramFileTest, RejectsEmptyFile) {
+  EXPECT_FALSE(parse_program_file("").is_ok());
+  EXPECT_FALSE(parse_program_file("#program x\n").is_ok());
+}
+
+TEST(ProgramFileTest, RejectsBrokenMicroC) {
+  auto r = parse_program_file("#thread t\nvar x = ;\n");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_NE(r.status().message().find("microthread 't'"), std::string::npos);
+}
+
+TEST(ProgramFileTest, FormatRoundTrip) {
+  auto spec = parse_program_file(kGood);
+  ASSERT_TRUE(spec.is_ok());
+  auto text = format_program_file(spec.value());
+  ASSERT_TRUE(text.is_ok()) << text.status().to_string();
+  auto again = parse_program_file(text.value());
+  ASSERT_TRUE(again.is_ok()) << again.status().to_string();
+  EXPECT_EQ(again.value().name, spec.value().name);
+  EXPECT_EQ(again.value().entry, spec.value().entry);
+  EXPECT_EQ(again.value().args, spec.value().args);
+  ASSERT_EQ(again.value().threads.size(), spec.value().threads.size());
+  for (std::size_t i = 0; i < again.value().threads.size(); ++i) {
+    EXPECT_EQ(again.value().threads[i].name, spec.value().threads[i].name);
+  }
+}
+
+TEST(ProgramFileTest, FormatRejectsNativeThreads) {
+  ProgramSpec spec;
+  spec.name = "n";
+  spec.entry = "t";
+  MicrothreadSpec t;
+  t.name = "t";
+  t.native = [](Context&) {};
+  spec.threads.push_back(std::move(t));
+  EXPECT_FALSE(format_program_file(spec).is_ok());
+}
+
+}  // namespace
+}  // namespace sdvm

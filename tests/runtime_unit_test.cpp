@@ -1,0 +1,249 @@
+// Unit tests for runtime data types and single-manager behaviours that
+// don't need a full cluster: microframes, SDMessages, the security
+// manager's wire format, program info, id allocation strategies.
+#include <gtest/gtest.h>
+
+#include "runtime/cluster_info.hpp"
+#include "runtime/frame.hpp"
+#include "runtime/message.hpp"
+#include "runtime/program.hpp"
+#include "runtime/security_manager.hpp"
+
+namespace sdvm {
+namespace {
+
+TEST(MicroframeTest, FiringRule) {
+  Microframe f(FrameId(1, 7), ProgramId(1, 1), 3, /*nparams=*/2);
+  EXPECT_FALSE(f.executable());
+  EXPECT_EQ(f.missing(), 2u);
+  ASSERT_TRUE(f.apply(0, to_bytes(std::int64_t{10})).is_ok());
+  EXPECT_FALSE(f.executable());
+  ASSERT_TRUE(f.apply(1, to_bytes(std::int64_t{20})).is_ok());
+  EXPECT_TRUE(f.executable());
+  EXPECT_EQ(f.param_int(0), 10);
+  EXPECT_EQ(f.param_int(1), 20);
+}
+
+TEST(MicroframeTest, ZeroParamFrameExecutableImmediately) {
+  Microframe f(FrameId(1, 1), ProgramId(1, 1), 0, 0);
+  EXPECT_TRUE(f.executable());
+}
+
+TEST(MicroframeTest, DoubleFillRejected) {
+  Microframe f(FrameId(1, 1), ProgramId(1, 1), 0, 1);
+  ASSERT_TRUE(f.apply(0, to_bytes(std::int64_t{1})).is_ok());
+  Status st = f.apply(0, to_bytes(std::int64_t{2}));
+  EXPECT_EQ(st.code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(f.param_int(0), 1) << "original value must be preserved";
+}
+
+TEST(MicroframeTest, OutOfRangeSlotRejected) {
+  Microframe f(FrameId(1, 1), ProgramId(1, 1), 0, 2);
+  EXPECT_EQ(f.apply(2, {}).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(MicroframeTest, SerializationPreservesPartialFill) {
+  Microframe f(FrameId(3, 99), ProgramId(2, 5), 7, 3, /*prio=*/42);
+  ASSERT_TRUE(f.apply(1, to_bytes(std::int64_t{-7})).is_ok());
+  ByteWriter w;
+  f.serialize(w);
+  ByteReader r(w.bytes());
+  auto back = Microframe::deserialize(r);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().id, f.id);
+  EXPECT_EQ(back.value().program, f.program);
+  EXPECT_EQ(back.value().thread, 7u);
+  EXPECT_EQ(back.value().priority, 42);
+  EXPECT_EQ(back.value().missing(), 2u);
+  EXPECT_EQ(back.value().param_int(1), -7);
+}
+
+TEST(SdMessageTest, BodyRoundTrip) {
+  SdMessage m;
+  m.src = 3;
+  m.dst = 9;
+  m.src_mgr = ManagerId::kScheduling;
+  m.dst_mgr = ManagerId::kCode;
+  m.type = MsgType::kCodeRequest;
+  m.program = ProgramId(3, 1);
+  m.seq = 12345;
+  m.reply_to = 99;
+  m.payload = to_bytes(std::int64_t{-1});
+
+  auto body = m.serialize_body();
+  auto back = SdMessage::deserialize_body(3, 9, body);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().src_mgr, ManagerId::kScheduling);
+  EXPECT_EQ(back.value().dst_mgr, ManagerId::kCode);
+  EXPECT_EQ(back.value().type, MsgType::kCodeRequest);
+  EXPECT_EQ(back.value().program, ProgramId(3, 1));
+  EXPECT_EQ(back.value().seq, 12345u);
+  EXPECT_EQ(back.value().reply_to, 99u);
+  EXPECT_EQ(back.value().payload, to_bytes(std::int64_t{-1}));
+}
+
+TEST(SdMessageTest, TruncatedBodyRejected) {
+  SdMessage m;
+  m.type = MsgType::kHeartbeat;
+  auto body = m.serialize_body();
+  body.resize(body.size() / 2);
+  EXPECT_FALSE(SdMessage::deserialize_body(1, 2, body).is_ok());
+}
+
+SdMessage sample_message() {
+  SdMessage m;
+  m.src = 1;
+  m.dst = 2;
+  m.src_mgr = m.dst_mgr = ManagerId::kScheduling;
+  m.type = MsgType::kHelpRequest;
+  m.seq = 7;
+  m.payload = to_bytes(std::int64_t{42});
+  return m;
+}
+
+TEST(SecurityManagerTest, PlaintextRoundTrip) {
+  SiteConfig cfg;
+  cfg.encrypt = false;
+  SecurityManager a(cfg), b(cfg);
+  a.set_local_site(1);
+  b.set_local_site(2);
+  auto wire = a.protect(sample_message());
+  auto back = b.unprotect(wire);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back.value().type, MsgType::kHelpRequest);
+  EXPECT_EQ(back.value().src, 1u);
+  EXPECT_EQ(back.value().dst, 2u);
+}
+
+TEST(SecurityManagerTest, EncryptedRoundTrip) {
+  SiteConfig cfg;
+  cfg.encrypt = true;
+  cfg.cluster_password = "pw";
+  SecurityManager a(cfg), b(cfg);
+  a.set_local_site(1);
+  b.set_local_site(2);
+  auto wire = a.protect(sample_message());
+  auto back = b.unprotect(wire);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back.value().payload, to_bytes(std::int64_t{42}));
+  EXPECT_EQ(a.sealed_count, 1u);
+  EXPECT_EQ(b.opened_count, 1u);
+}
+
+TEST(SecurityManagerTest, EncryptedPayloadNotVisibleOnWire) {
+  SiteConfig cfg;
+  cfg.encrypt = true;
+  cfg.cluster_password = "pw";
+  SecurityManager a(cfg);
+  a.set_local_site(1);
+  SdMessage m = sample_message();
+  m.payload = std::vector<std::byte>(32, std::byte{0xAB});
+  auto wire = a.protect(m);
+  int count = 0;
+  for (auto b : wire) count += (b == std::byte{0xAB});
+  EXPECT_LT(count, 8) << "payload pattern leaked through encryption";
+}
+
+TEST(SecurityManagerTest, WrongPasswordRejected) {
+  SiteConfig good;
+  good.encrypt = true;
+  good.cluster_password = "right";
+  SiteConfig bad = good;
+  bad.cluster_password = "wrong";
+  SecurityManager a(good), b(bad);
+  a.set_local_site(1);
+  b.set_local_site(2);
+  auto wire = a.protect(sample_message());
+  EXPECT_FALSE(b.unprotect(wire).is_ok());
+  EXPECT_EQ(b.rejected_count, 1u);
+}
+
+TEST(SecurityManagerTest, PlaintextRejectedOnEncryptedCluster) {
+  SiteConfig plain;
+  plain.encrypt = false;
+  SiteConfig enc;
+  enc.encrypt = true;
+  SecurityManager a(plain), b(enc);
+  a.set_local_site(1);
+  b.set_local_site(2);
+  auto wire = a.protect(sample_message());
+  EXPECT_FALSE(b.unprotect(wire).is_ok());
+}
+
+TEST(SecurityManagerTest, TamperedWireRejected) {
+  SiteConfig cfg;
+  cfg.encrypt = true;
+  SecurityManager a(cfg), b(cfg);
+  a.set_local_site(1);
+  b.set_local_site(2);
+  auto wire = a.protect(sample_message());
+  wire[wire.size() - 3] ^= std::byte{0x01};
+  EXPECT_FALSE(b.unprotect(wire).is_ok());
+}
+
+TEST(SecurityManagerTest, ShortFrameRejected) {
+  SiteConfig cfg;
+  SecurityManager a(cfg);
+  EXPECT_FALSE(a.unprotect(std::vector<std::byte>(4)).is_ok());
+}
+
+TEST(ProgramInfoTest, RoundTripAndLookup) {
+  ProgramInfo info;
+  info.id = ProgramId(4, 9);
+  info.name = "primes";
+  info.home_site = 4;
+  info.thread_names = {"entry", "round", "test", "merge"};
+  info.args = {100, 10, 5};
+  ByteWriter w;
+  info.serialize(w);
+  ByteReader r(w.bytes());
+  auto back = ProgramInfo::deserialize(r);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().name, "primes");
+  EXPECT_EQ(back.value().args.size(), 3u);
+  auto tid = back.value().thread_by_name("test");
+  ASSERT_TRUE(tid.has_value());
+  EXPECT_EQ(*tid, 2u);
+  EXPECT_FALSE(back.value().thread_by_name("nope").has_value());
+}
+
+TEST(NativeRegistryTest, RegisterFindClear) {
+  auto& reg = NativeRegistry::instance();
+  bool ran = false;
+  reg.register_fn("prog-x", "t1", [&ran](Context&) { ran = true; });
+  auto fn = reg.find("prog-x", "t1");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(reg.find("prog-x", "t2"), nullptr);
+  EXPECT_EQ(reg.find("prog-y", "t1"), nullptr);
+  reg.clear_program("prog-x");
+  EXPECT_EQ(reg.find("prog-x", "t1"), nullptr);
+}
+
+TEST(SiteInfoTest, SerializationRoundTrip) {
+  SiteInfo s;
+  s.id = 12;
+  s.address = "127.0.0.1:9999";
+  s.name = "worker-12";
+  s.platform = "hpux-parisc";
+  s.speed = 2.5;
+  s.load.queued_frames = 7;
+  s.load.executed_total = 1234;
+  s.version = 42;
+  s.alive = false;
+  s.successor = 3;
+  ByteWriter w;
+  s.serialize(w);
+  ByteReader r(w.bytes());
+  auto back = SiteInfo::deserialize(r);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().id, 12u);
+  EXPECT_EQ(back.value().platform, "hpux-parisc");
+  EXPECT_DOUBLE_EQ(back.value().speed, 2.5);
+  EXPECT_EQ(back.value().load.queued_frames, 7u);
+  EXPECT_EQ(back.value().version, 42u);
+  EXPECT_FALSE(back.value().alive);
+  EXPECT_EQ(back.value().successor, 3u);
+}
+
+}  // namespace
+}  // namespace sdvm

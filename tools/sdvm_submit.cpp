@@ -1,0 +1,122 @@
+// sdvm-submit — run an SDVM program file on a running cluster from any
+// machine (paper goal 15: "Access the cluster from any machine"; §4: the
+// daemon is "operated using a front end").
+//
+//   sdvm-submit --join 127.0.0.1:7000 program.sdvm
+//
+// The tool itself joins the cluster as a (temporary) site, submits the
+// program with itself as home/frontend, streams the output, and signs off
+// when the program terminates.
+//
+// Options:
+//   --join HOST:PORT   any member of the target cluster (required)
+//   --encrypt PW       cluster password if the security manager is on
+//   --timeout S        give up after S seconds (default 600)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "api/program_file.hpp"
+#include "api/tcp_node.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdvm;
+
+  std::string join_addr;
+  std::string file;
+  TcpNode::Options options;
+  options.site.name = "frontend";
+  int timeout_s = 600;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--join") == 0) {
+      join_addr = need("--join");
+    } else if (std::strcmp(argv[i], "--encrypt") == 0) {
+      options.site.encrypt = true;
+      options.site.cluster_password = need("--encrypt");
+    } else if (std::strcmp(argv[i], "--timeout") == 0) {
+      timeout_s = std::atoi(need("--timeout"));
+    } else if (argv[i][0] != '-') {
+      file = argv[i];
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (join_addr.empty() || file.empty()) {
+    std::fprintf(stderr,
+                 "usage: sdvm-submit --join HOST:PORT [--encrypt PW] "
+                 "program.sdvm\n");
+    return 2;
+  }
+
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", file.c_str());
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  auto spec = parse_program_file(ss.str());
+  if (!spec.is_ok()) {
+    std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                 spec.status().to_string().c_str());
+    return 1;
+  }
+
+  auto node = TcpNode::create(options);
+  if (!node.is_ok()) {
+    std::fprintf(stderr, "cannot start frontend site: %s\n",
+                 node.status().to_string().c_str());
+    return 1;
+  }
+  Status joined = node.value()->join_cluster(join_addr, 15 * kNanosPerSecond);
+  if (!joined.is_ok()) {
+    std::fprintf(stderr, "cannot join %s: %s\n", join_addr.c_str(),
+                 joined.to_string().c_str());
+    return 1;
+  }
+  std::printf("joined as site %u; submitting '%s'\n",
+              node.value()->site().id(), spec.value().name.c_str());
+
+  // Stream output lines as they arrive at this (frontend) site.
+  {
+    std::lock_guard lk(node.value()->site().lock());
+    node.value()->site().io().set_output_callback(
+        [](ProgramId, const std::string& line) {
+          std::printf("| %s\n", line.c_str());
+          std::fflush(stdout);
+        });
+  }
+
+  auto pid = node.value()->start_program(spec.value());
+  if (!pid.is_ok()) {
+    std::fprintf(stderr, "submit failed: %s\n",
+                 pid.status().to_string().c_str());
+    return 1;
+  }
+  auto code = node.value()->wait_program(
+      pid.value(), static_cast<Nanos>(timeout_s) * kNanosPerSecond);
+  if (!code.is_ok()) {
+    std::fprintf(stderr, "wait failed: %s\n",
+                 code.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("program exited with code %lld\n",
+              static_cast<long long>(code.value()));
+
+  {
+    std::lock_guard lk(node.value()->site().lock());
+    (void)node.value()->site().sign_off();
+  }
+  node.value()->shutdown();
+  return static_cast<int>(code.value());
+}

@@ -1,0 +1,130 @@
+// sdvm-top — live cluster monitor (paper §4: the site manager "provides
+// the functionality to query the status of the local site, i.e. all local
+// managers"; goal 15: access from any machine).
+//
+//   sdvm-top --join 127.0.0.1:7000 [--interval S] [--once]
+//
+// Joins the cluster as an observer site, then periodically queries every
+// member's site manager over the wire and prints a cluster-wide view.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <thread>
+
+#include "api/tcp_node.hpp"
+
+using namespace sdvm;
+
+int main(int argc, char** argv) {
+  std::string join_addr;
+  TcpNode::Options options;
+  options.site.name = "sdvm-top";
+  int interval_s = 2;
+  bool once = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--join") == 0) {
+      join_addr = need("--join");
+    } else if (std::strcmp(argv[i], "--encrypt") == 0) {
+      options.site.encrypt = true;
+      options.site.cluster_password = need("--encrypt");
+    } else if (std::strcmp(argv[i], "--interval") == 0) {
+      interval_s = std::atoi(need("--interval"));
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (join_addr.empty()) {
+    std::fprintf(stderr,
+                 "usage: sdvm-top --join HOST:PORT [--interval S] [--once]\n");
+    return 2;
+  }
+
+  auto node = TcpNode::create(options);
+  if (!node.is_ok()) {
+    std::fprintf(stderr, "start failed: %s\n",
+                 node.status().to_string().c_str());
+    return 1;
+  }
+  Status joined = node.value()->join_cluster(join_addr, 15 * kNanosPerSecond);
+  if (!joined.is_ok()) {
+    std::fprintf(stderr, "cannot join %s: %s\n", join_addr.c_str(),
+                 joined.to_string().c_str());
+    return 1;
+  }
+
+  Site& site = node.value()->site();
+  for (;;) {
+    std::vector<SiteId> members;
+    {
+      std::lock_guard lk(site.lock());
+      members = site.cluster().known_sites(/*alive_only=*/true);
+    }
+
+    std::map<SiteId, LoadStats> loads;
+    std::map<SiteId, bool> answered;
+    {
+      std::lock_guard lk(site.lock());
+      for (SiteId sid : members) {
+        if (sid == site.id()) continue;
+        SdMessage q;
+        q.dst = sid;
+        q.src_mgr = q.dst_mgr = ManagerId::kSite;
+        q.type = MsgType::kStatusQuery;
+        (void)site.messages().request(q, [&loads, &answered,
+                                          sid](Result<SdMessage> r) {
+          if (!r.is_ok()) return;
+          try {
+            ByteReader rd(r.value().payload);
+            (void)rd.str();  // human-readable text; we want the stats
+            loads[sid] = LoadStats::deserialize(rd);
+            answered[sid] = true;
+          } catch (const DecodeError&) {
+          }
+        });
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+    std::printf("\n=== SDVM cluster via %s — %zu live sites ===\n",
+                join_addr.c_str(), members.size());
+    std::printf("%6s %-12s %-14s %6s | %7s %7s %9s %9s\n", "site", "name",
+                "platform", "speed", "queued", "running", "executed",
+                "programs");
+    std::lock_guard lk(site.lock());
+    for (SiteId sid : members) {
+      const SiteInfo* info = site.cluster().find(sid);
+      if (info == nullptr) continue;
+      LoadStats stats = answered.count(sid) ? loads[sid] : info->load;
+      std::printf("%6u %-12s %-14s %6.1f | %7u %7u %9llu %9u%s\n", sid,
+                  info->name.c_str(), info->platform.c_str(), info->speed,
+                  stats.queued_frames, stats.running,
+                  static_cast<unsigned long long>(stats.executed_total),
+                  stats.programs,
+                  sid == site.id() ? "  (this monitor)"
+                  : info->code_site ? "  [code site]"
+                                    : "");
+    }
+    std::fflush(stdout);
+    if (once) break;
+    std::this_thread::sleep_for(std::chrono::seconds(interval_s));
+  }
+
+  {
+    std::lock_guard lk(site.lock());
+    (void)site.sign_off();
+  }
+  node.value()->shutdown();
+  return 0;
+}
