@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_compile.dir/ablation_compile.cpp.o"
+  "CMakeFiles/ablation_compile.dir/ablation_compile.cpp.o.d"
+  "ablation_compile"
+  "ablation_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

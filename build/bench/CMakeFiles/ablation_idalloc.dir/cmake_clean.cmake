@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_idalloc.dir/ablation_idalloc.cpp.o"
+  "CMakeFiles/ablation_idalloc.dir/ablation_idalloc.cpp.o.d"
+  "ablation_idalloc"
+  "ablation_idalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_idalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_slots.cpp" "bench/CMakeFiles/ablation_slots.dir/ablation_slots.cpp.o" "gcc" "bench/CMakeFiles/ablation_slots.dir/ablation_slots.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sdvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/sdvm_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/sdvm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched_graph/CMakeFiles/sdvm_sched_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sdvm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sdvm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/microc/CMakeFiles/sdvm_microc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdvm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sdvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_recovery.dir/checkpoint_recovery.cpp.o"
+  "CMakeFiles/checkpoint_recovery.dir/checkpoint_recovery.cpp.o.d"
+  "checkpoint_recovery"
+  "checkpoint_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_leave.dir/join_leave.cpp.o"
+  "CMakeFiles/join_leave.dir/join_leave.cpp.o.d"
+  "join_leave"
+  "join_leave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_leave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

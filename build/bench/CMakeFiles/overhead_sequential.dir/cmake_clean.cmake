@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_sequential.dir/overhead_sequential.cpp.o"
+  "CMakeFiles/overhead_sequential.dir/overhead_sequential.cpp.o.d"
+  "overhead_sequential"
+  "overhead_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_sites.dir/scaling_sites.cpp.o"
+  "CMakeFiles/scaling_sites.dir/scaling_sites.cpp.o.d"
+  "scaling_sites"
+  "scaling_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_primes.dir/table1_primes.cpp.o"
+  "CMakeFiles/table1_primes.dir/table1_primes.cpp.o.d"
+  "table1_primes"
+  "table1_primes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_primes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_career.dir/frame_career.cpp.o"
+  "CMakeFiles/frame_career.dir/frame_career.cpp.o.d"
+  "frame_career"
+  "frame_career.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_career.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for frame_career.
+# This may be replaced when dependencies are built.

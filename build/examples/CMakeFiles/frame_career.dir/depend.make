@@ -1,0 +1,2 @@
+# Empty dependencies file for frame_career.
+# This may be replaced when dependencies are built.

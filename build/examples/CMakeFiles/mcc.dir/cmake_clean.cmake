@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcc.dir/mcc.cpp.o"
+  "CMakeFiles/mcc.dir/mcc.cpp.o.d"
+  "mcc"
+  "mcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

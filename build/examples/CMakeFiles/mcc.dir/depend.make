@@ -1,0 +1,2 @@
+# Empty dependencies file for mcc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primes_cluster.dir/primes_cluster.cpp.o"
+  "CMakeFiles/primes_cluster.dir/primes_cluster.cpp.o.d"
+  "primes_cluster"
+  "primes_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primes_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

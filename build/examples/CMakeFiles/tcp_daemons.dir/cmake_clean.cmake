@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_daemons.dir/tcp_daemons.cpp.o"
+  "CMakeFiles/tcp_daemons.dir/tcp_daemons.cpp.o.d"
+  "tcp_daemons"
+  "tcp_daemons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_daemons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/local_cluster.cpp" "src/api/CMakeFiles/sdvm_api.dir/local_cluster.cpp.o" "gcc" "src/api/CMakeFiles/sdvm_api.dir/local_cluster.cpp.o.d"
+  "/root/repo/src/api/program_file.cpp" "src/api/CMakeFiles/sdvm_api.dir/program_file.cpp.o" "gcc" "src/api/CMakeFiles/sdvm_api.dir/program_file.cpp.o.d"
+  "/root/repo/src/api/tcp_node.cpp" "src/api/CMakeFiles/sdvm_api.dir/tcp_node.cpp.o" "gcc" "src/api/CMakeFiles/sdvm_api.dir/tcp_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/sdvm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sdvm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/microc/CMakeFiles/sdvm_microc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdvm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sdvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdvm_api.dir/local_cluster.cpp.o"
+  "CMakeFiles/sdvm_api.dir/local_cluster.cpp.o.d"
+  "CMakeFiles/sdvm_api.dir/program_file.cpp.o"
+  "CMakeFiles/sdvm_api.dir/program_file.cpp.o.d"
+  "CMakeFiles/sdvm_api.dir/tcp_node.cpp.o"
+  "CMakeFiles/sdvm_api.dir/tcp_node.cpp.o.d"
+  "libsdvm_api.a"
+  "libsdvm_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdvm_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

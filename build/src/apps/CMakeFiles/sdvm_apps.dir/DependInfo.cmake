@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/fibonacci.cpp" "src/apps/CMakeFiles/sdvm_apps.dir/fibonacci.cpp.o" "gcc" "src/apps/CMakeFiles/sdvm_apps.dir/fibonacci.cpp.o.d"
+  "/root/repo/src/apps/matmul.cpp" "src/apps/CMakeFiles/sdvm_apps.dir/matmul.cpp.o" "gcc" "src/apps/CMakeFiles/sdvm_apps.dir/matmul.cpp.o.d"
+  "/root/repo/src/apps/nqueens.cpp" "src/apps/CMakeFiles/sdvm_apps.dir/nqueens.cpp.o" "gcc" "src/apps/CMakeFiles/sdvm_apps.dir/nqueens.cpp.o.d"
+  "/root/repo/src/apps/pipeline.cpp" "src/apps/CMakeFiles/sdvm_apps.dir/pipeline.cpp.o" "gcc" "src/apps/CMakeFiles/sdvm_apps.dir/pipeline.cpp.o.d"
+  "/root/repo/src/apps/primes.cpp" "src/apps/CMakeFiles/sdvm_apps.dir/primes.cpp.o" "gcc" "src/apps/CMakeFiles/sdvm_apps.dir/primes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/sdvm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sdvm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/microc/CMakeFiles/sdvm_microc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdvm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sdvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

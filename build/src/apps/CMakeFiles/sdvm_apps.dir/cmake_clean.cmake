@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdvm_apps.dir/fibonacci.cpp.o"
+  "CMakeFiles/sdvm_apps.dir/fibonacci.cpp.o.d"
+  "CMakeFiles/sdvm_apps.dir/matmul.cpp.o"
+  "CMakeFiles/sdvm_apps.dir/matmul.cpp.o.d"
+  "CMakeFiles/sdvm_apps.dir/nqueens.cpp.o"
+  "CMakeFiles/sdvm_apps.dir/nqueens.cpp.o.d"
+  "CMakeFiles/sdvm_apps.dir/pipeline.cpp.o"
+  "CMakeFiles/sdvm_apps.dir/pipeline.cpp.o.d"
+  "CMakeFiles/sdvm_apps.dir/primes.cpp.o"
+  "CMakeFiles/sdvm_apps.dir/primes.cpp.o.d"
+  "libsdvm_apps.a"
+  "libsdvm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdvm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdvm_common.dir/log.cpp.o"
+  "CMakeFiles/sdvm_common.dir/log.cpp.o.d"
+  "CMakeFiles/sdvm_common.dir/types.cpp.o"
+  "CMakeFiles/sdvm_common.dir/types.cpp.o.d"
+  "libsdvm_common.a"
+  "libsdvm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdvm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdvm_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/sdvm_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/sdvm_crypto.dir/cipher.cpp.o"
+  "CMakeFiles/sdvm_crypto.dir/cipher.cpp.o.d"
+  "CMakeFiles/sdvm_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/sdvm_crypto.dir/sha256.cpp.o.d"
+  "libsdvm_crypto.a"
+  "libsdvm_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdvm_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

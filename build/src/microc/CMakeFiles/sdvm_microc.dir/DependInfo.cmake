@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/microc/bytecode.cpp" "src/microc/CMakeFiles/sdvm_microc.dir/bytecode.cpp.o" "gcc" "src/microc/CMakeFiles/sdvm_microc.dir/bytecode.cpp.o.d"
+  "/root/repo/src/microc/compiler.cpp" "src/microc/CMakeFiles/sdvm_microc.dir/compiler.cpp.o" "gcc" "src/microc/CMakeFiles/sdvm_microc.dir/compiler.cpp.o.d"
+  "/root/repo/src/microc/lexer.cpp" "src/microc/CMakeFiles/sdvm_microc.dir/lexer.cpp.o" "gcc" "src/microc/CMakeFiles/sdvm_microc.dir/lexer.cpp.o.d"
+  "/root/repo/src/microc/parser.cpp" "src/microc/CMakeFiles/sdvm_microc.dir/parser.cpp.o" "gcc" "src/microc/CMakeFiles/sdvm_microc.dir/parser.cpp.o.d"
+  "/root/repo/src/microc/vm.cpp" "src/microc/CMakeFiles/sdvm_microc.dir/vm.cpp.o" "gcc" "src/microc/CMakeFiles/sdvm_microc.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdvm_microc.dir/bytecode.cpp.o"
+  "CMakeFiles/sdvm_microc.dir/bytecode.cpp.o.d"
+  "CMakeFiles/sdvm_microc.dir/compiler.cpp.o"
+  "CMakeFiles/sdvm_microc.dir/compiler.cpp.o.d"
+  "CMakeFiles/sdvm_microc.dir/lexer.cpp.o"
+  "CMakeFiles/sdvm_microc.dir/lexer.cpp.o.d"
+  "CMakeFiles/sdvm_microc.dir/parser.cpp.o"
+  "CMakeFiles/sdvm_microc.dir/parser.cpp.o.d"
+  "CMakeFiles/sdvm_microc.dir/vm.cpp.o"
+  "CMakeFiles/sdvm_microc.dir/vm.cpp.o.d"
+  "libsdvm_microc.a"
+  "libsdvm_microc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdvm_microc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdvm_net.dir/inproc.cpp.o"
+  "CMakeFiles/sdvm_net.dir/inproc.cpp.o.d"
+  "CMakeFiles/sdvm_net.dir/tcp.cpp.o"
+  "CMakeFiles/sdvm_net.dir/tcp.cpp.o.d"
+  "libsdvm_net.a"
+  "libsdvm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdvm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

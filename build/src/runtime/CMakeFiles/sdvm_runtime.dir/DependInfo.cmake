@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/attraction_memory.cpp" "src/runtime/CMakeFiles/sdvm_runtime.dir/attraction_memory.cpp.o" "gcc" "src/runtime/CMakeFiles/sdvm_runtime.dir/attraction_memory.cpp.o.d"
+  "/root/repo/src/runtime/cluster_manager.cpp" "src/runtime/CMakeFiles/sdvm_runtime.dir/cluster_manager.cpp.o" "gcc" "src/runtime/CMakeFiles/sdvm_runtime.dir/cluster_manager.cpp.o.d"
+  "/root/repo/src/runtime/code_manager.cpp" "src/runtime/CMakeFiles/sdvm_runtime.dir/code_manager.cpp.o" "gcc" "src/runtime/CMakeFiles/sdvm_runtime.dir/code_manager.cpp.o.d"
+  "/root/repo/src/runtime/crash_manager.cpp" "src/runtime/CMakeFiles/sdvm_runtime.dir/crash_manager.cpp.o" "gcc" "src/runtime/CMakeFiles/sdvm_runtime.dir/crash_manager.cpp.o.d"
+  "/root/repo/src/runtime/exec_context.cpp" "src/runtime/CMakeFiles/sdvm_runtime.dir/exec_context.cpp.o" "gcc" "src/runtime/CMakeFiles/sdvm_runtime.dir/exec_context.cpp.o.d"
+  "/root/repo/src/runtime/io_manager.cpp" "src/runtime/CMakeFiles/sdvm_runtime.dir/io_manager.cpp.o" "gcc" "src/runtime/CMakeFiles/sdvm_runtime.dir/io_manager.cpp.o.d"
+  "/root/repo/src/runtime/message.cpp" "src/runtime/CMakeFiles/sdvm_runtime.dir/message.cpp.o" "gcc" "src/runtime/CMakeFiles/sdvm_runtime.dir/message.cpp.o.d"
+  "/root/repo/src/runtime/message_manager.cpp" "src/runtime/CMakeFiles/sdvm_runtime.dir/message_manager.cpp.o" "gcc" "src/runtime/CMakeFiles/sdvm_runtime.dir/message_manager.cpp.o.d"
+  "/root/repo/src/runtime/processing_manager.cpp" "src/runtime/CMakeFiles/sdvm_runtime.dir/processing_manager.cpp.o" "gcc" "src/runtime/CMakeFiles/sdvm_runtime.dir/processing_manager.cpp.o.d"
+  "/root/repo/src/runtime/program.cpp" "src/runtime/CMakeFiles/sdvm_runtime.dir/program.cpp.o" "gcc" "src/runtime/CMakeFiles/sdvm_runtime.dir/program.cpp.o.d"
+  "/root/repo/src/runtime/program_manager.cpp" "src/runtime/CMakeFiles/sdvm_runtime.dir/program_manager.cpp.o" "gcc" "src/runtime/CMakeFiles/sdvm_runtime.dir/program_manager.cpp.o.d"
+  "/root/repo/src/runtime/scheduling_manager.cpp" "src/runtime/CMakeFiles/sdvm_runtime.dir/scheduling_manager.cpp.o" "gcc" "src/runtime/CMakeFiles/sdvm_runtime.dir/scheduling_manager.cpp.o.d"
+  "/root/repo/src/runtime/security_manager.cpp" "src/runtime/CMakeFiles/sdvm_runtime.dir/security_manager.cpp.o" "gcc" "src/runtime/CMakeFiles/sdvm_runtime.dir/security_manager.cpp.o.d"
+  "/root/repo/src/runtime/site.cpp" "src/runtime/CMakeFiles/sdvm_runtime.dir/site.cpp.o" "gcc" "src/runtime/CMakeFiles/sdvm_runtime.dir/site.cpp.o.d"
+  "/root/repo/src/runtime/site_manager.cpp" "src/runtime/CMakeFiles/sdvm_runtime.dir/site_manager.cpp.o" "gcc" "src/runtime/CMakeFiles/sdvm_runtime.dir/site_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdvm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sdvm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/microc/CMakeFiles/sdvm_microc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdvm_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

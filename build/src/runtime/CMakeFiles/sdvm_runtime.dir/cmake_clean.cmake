@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdvm_runtime.dir/attraction_memory.cpp.o"
+  "CMakeFiles/sdvm_runtime.dir/attraction_memory.cpp.o.d"
+  "CMakeFiles/sdvm_runtime.dir/cluster_manager.cpp.o"
+  "CMakeFiles/sdvm_runtime.dir/cluster_manager.cpp.o.d"
+  "CMakeFiles/sdvm_runtime.dir/code_manager.cpp.o"
+  "CMakeFiles/sdvm_runtime.dir/code_manager.cpp.o.d"
+  "CMakeFiles/sdvm_runtime.dir/crash_manager.cpp.o"
+  "CMakeFiles/sdvm_runtime.dir/crash_manager.cpp.o.d"
+  "CMakeFiles/sdvm_runtime.dir/exec_context.cpp.o"
+  "CMakeFiles/sdvm_runtime.dir/exec_context.cpp.o.d"
+  "CMakeFiles/sdvm_runtime.dir/io_manager.cpp.o"
+  "CMakeFiles/sdvm_runtime.dir/io_manager.cpp.o.d"
+  "CMakeFiles/sdvm_runtime.dir/message.cpp.o"
+  "CMakeFiles/sdvm_runtime.dir/message.cpp.o.d"
+  "CMakeFiles/sdvm_runtime.dir/message_manager.cpp.o"
+  "CMakeFiles/sdvm_runtime.dir/message_manager.cpp.o.d"
+  "CMakeFiles/sdvm_runtime.dir/processing_manager.cpp.o"
+  "CMakeFiles/sdvm_runtime.dir/processing_manager.cpp.o.d"
+  "CMakeFiles/sdvm_runtime.dir/program.cpp.o"
+  "CMakeFiles/sdvm_runtime.dir/program.cpp.o.d"
+  "CMakeFiles/sdvm_runtime.dir/program_manager.cpp.o"
+  "CMakeFiles/sdvm_runtime.dir/program_manager.cpp.o.d"
+  "CMakeFiles/sdvm_runtime.dir/scheduling_manager.cpp.o"
+  "CMakeFiles/sdvm_runtime.dir/scheduling_manager.cpp.o.d"
+  "CMakeFiles/sdvm_runtime.dir/security_manager.cpp.o"
+  "CMakeFiles/sdvm_runtime.dir/security_manager.cpp.o.d"
+  "CMakeFiles/sdvm_runtime.dir/site.cpp.o"
+  "CMakeFiles/sdvm_runtime.dir/site.cpp.o.d"
+  "CMakeFiles/sdvm_runtime.dir/site_manager.cpp.o"
+  "CMakeFiles/sdvm_runtime.dir/site_manager.cpp.o.d"
+  "libsdvm_runtime.a"
+  "libsdvm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdvm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

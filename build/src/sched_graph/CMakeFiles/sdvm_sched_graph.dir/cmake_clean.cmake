@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdvm_sched_graph.dir/cdag.cpp.o"
+  "CMakeFiles/sdvm_sched_graph.dir/cdag.cpp.o.d"
+  "libsdvm_sched_graph.a"
+  "libsdvm_sched_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdvm_sched_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

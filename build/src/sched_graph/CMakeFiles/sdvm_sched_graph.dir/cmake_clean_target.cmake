@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdvm_sched_graph.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for sdvm_sched_graph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdvm_sim.dir/sim_cluster.cpp.o"
+  "CMakeFiles/sdvm_sim.dir/sim_cluster.cpp.o.d"
+  "libsdvm_sim.a"
+  "libsdvm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdvm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdvm_sim.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdag_test.dir/cdag_test.cpp.o"
+  "CMakeFiles/cdag_test.dir/cdag_test.cpp.o.d"
+  "cdag_test"
+  "cdag_test.pdb"
+  "cdag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manager_unit_test.dir/manager_unit_test.cpp.o"
+  "CMakeFiles/manager_unit_test.dir/manager_unit_test.cpp.o.d"
+  "manager_unit_test"
+  "manager_unit_test.pdb"
+  "manager_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manager_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

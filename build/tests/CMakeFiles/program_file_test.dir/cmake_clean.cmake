@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_file_test.dir/program_file_test.cpp.o"
+  "CMakeFiles/program_file_test.dir/program_file_test.cpp.o.d"
+  "program_file_test"
+  "program_file_test.pdb"
+  "program_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

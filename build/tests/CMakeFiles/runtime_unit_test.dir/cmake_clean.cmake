@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_unit_test.dir/runtime_unit_test.cpp.o"
+  "CMakeFiles/runtime_unit_test.dir/runtime_unit_test.cpp.o.d"
+  "runtime_unit_test"
+  "runtime_unit_test.pdb"
+  "runtime_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

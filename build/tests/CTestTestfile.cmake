@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/microc_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_test[1]_include.cmake")
+include("/root/repo/build/tests/threaded_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/cdag_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/feature_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/program_file_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_decode_test[1]_include.cmake")
+include("/root/repo/build/tests/manager_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")

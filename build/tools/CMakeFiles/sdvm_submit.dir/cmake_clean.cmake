@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdvm_submit.dir/sdvm_submit.cpp.o"
+  "CMakeFiles/sdvm_submit.dir/sdvm_submit.cpp.o.d"
+  "sdvm_submit"
+  "sdvm_submit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdvm_submit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

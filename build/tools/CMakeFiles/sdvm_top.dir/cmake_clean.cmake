@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdvm_top.dir/sdvm_top.cpp.o"
+  "CMakeFiles/sdvm_top.dir/sdvm_top.cpp.o.d"
+  "sdvm_top"
+  "sdvm_top.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdvm_top.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

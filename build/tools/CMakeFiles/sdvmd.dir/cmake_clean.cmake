@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdvmd.dir/sdvmd.cpp.o"
+  "CMakeFiles/sdvmd.dir/sdvmd.cpp.o.d"
+  "sdvmd"
+  "sdvmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdvmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sdvmd.
+# This may be replaced when dependencies are built.
