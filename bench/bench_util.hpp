@@ -1,6 +1,11 @@
 // Shared helpers for the SDVM benchmark harness. Table benches run the
 // full daemon stack under the discrete-event simulator, so "time" is
 // virtual seconds on the modeled cluster — the quantity the paper reports.
+//
+// Every run also captures the cluster-wide aggregated metrics snapshot
+// (the same kMetricsQuery data sdvm-top shows), and append_json_record()
+// persists one JSON line per run into BENCH_<name>.json so sweeps can be
+// post-processed without re-running.
 #pragma once
 
 #include <cstdio>
@@ -18,6 +23,8 @@ struct RunResult {
   std::uint64_t messages = 0;
   std::uint64_t help_requests = 0;
   bool ok = false;
+  /// Cluster-wide aggregated metrics at end of run (all sites merged).
+  metrics::MetricsSnapshot metrics;
 };
 
 inline RunResult run_primes_sim(int sites, const apps::PrimesParams& params,
@@ -39,7 +46,33 @@ inline RunResult run_primes_sim(int sites, const apps::PrimesParams& params,
     r.messages += cluster.site(i).messages().sent_count;
     r.help_requests += cluster.site(i).scheduling().help_requests_sent;
   }
+  auto cs = cluster.cluster_status(/*via_index=*/0);
+  if (cs.is_ok()) r.metrics = cs.value().aggregate();
   return r;
+}
+
+/// Appends one JSON record (a single line) to BENCH_<name>.json in the
+/// working directory: run parameters, headline numbers, and the full
+/// cluster-wide metrics snapshot. `params_json` is a JSON fragment like
+/// "\"sites\":4,\"p\":100" (no surrounding braces).
+inline void append_json_record(const std::string& name,
+                               const std::string& params_json,
+                               const RunResult& r) {
+  std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return;
+  std::fprintf(f,
+               "{\"bench\":\"%s\",%s%s\"ok\":%s,\"seconds\":%.6f,"
+               "\"exit_code\":%lld,\"executed\":%llu,\"messages\":%llu,"
+               "\"help_requests\":%llu,\"metrics\":%s}\n",
+               metrics::json_escape(name).c_str(), params_json.c_str(),
+               params_json.empty() ? "" : ",", r.ok ? "true" : "false",
+               r.seconds, static_cast<long long>(r.exit_code),
+               static_cast<unsigned long long>(r.executed),
+               static_cast<unsigned long long>(r.messages),
+               static_cast<unsigned long long>(r.help_requests),
+               r.metrics.to_json().c_str());
+  std::fclose(f);
 }
 
 /// The paper's reference per-candidate cost: chosen so a 1-site run of

@@ -31,6 +31,12 @@ int main() {
       std::fprintf(stderr, "run failed at %d sites\n", sites);
       return 1;
     }
+    sdvm::bench::append_json_record(
+        "scaling_sites",
+        "\"sites\":" + std::to_string(sites) + ",\"width\":10", r10);
+    sdvm::bench::append_json_record(
+        "scaling_sites",
+        "\"sites\":" + std::to_string(sites) + ",\"width\":32", r32);
     if (sites == 1) {
       base10 = r10.seconds;
       base32 = r32.seconds;

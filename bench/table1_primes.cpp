@@ -52,6 +52,12 @@ int main(int argc, char** argv) {
           return 1;
         }
         times[s] = r.seconds;
+        sdvm::bench::append_json_record(
+            "table1_primes",
+            "\"sites\":" + std::to_string(site_counts[s]) +
+                ",\"p\":" + std::to_string(p) +
+                ",\"width\":" + std::to_string(width),
+            r);
       }
       std::printf("%6lld %6lld | %8.1fs | %8.1fs (%.1f)   | %8.1fs (%.1f)\n",
                   static_cast<long long>(p), static_cast<long long>(width),

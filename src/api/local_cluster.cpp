@@ -135,6 +135,70 @@ Result<std::int64_t> LocalCluster::wait_program(ProgramId pid, Nanos timeout) {
   }
 }
 
+Result<SiteStatus> LocalCluster::status(std::size_t index) {
+  if (index >= entries_.size()) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "no site at index " + std::to_string(index));
+  }
+  Entry* e = entries_[index].get();
+  if (e->killed) {
+    return Status::error(ErrorCode::kUnavailable, "site was killed");
+  }
+  return e->site->introspect();
+}
+
+Result<ClusterStatus> LocalCluster::cluster_status(std::size_t via_index,
+                                                   Nanos timeout) {
+  if (via_index >= entries_.size()) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "no site at index " + std::to_string(via_index));
+  }
+  Entry* e = entries_[via_index].get();
+  if (e->killed) {
+    return Status::error(ErrorCode::kUnavailable, "site was killed");
+  }
+
+  struct Waiter {
+    std::mutex m;
+    std::condition_variable cv;
+    std::optional<ClusterStatus> result;
+  };
+  auto waiter = std::make_shared<Waiter>();
+  {
+    std::lock_guard lk(e->site->lock());
+    e->site->site_manager().query_cluster_status(
+        [waiter](ClusterStatus cs) {
+          std::lock_guard g(waiter->m);
+          waiter->result = std::move(cs);
+          waiter->cv.notify_all();
+        },
+        timeout);
+  }
+  // The via-site's engine thread pumps replies and the timeout timer; we
+  // only wait here. The extra margin covers engine scheduling jitter.
+  std::unique_lock lk(waiter->m);
+  bool done = waiter->cv.wait_for(
+      lk, std::chrono::nanoseconds(timeout) + std::chrono::seconds(5),
+      [&] { return waiter->result.has_value(); });
+  if (!done) {
+    return Status::error(ErrorCode::kUnavailable,
+                         "cluster status query did not complete");
+  }
+  return std::move(*waiter->result);
+}
+
+Status LocalCluster::install_trace_hook(std::size_t index,
+                                        FrameTraceHook hook) {
+  if (index >= entries_.size()) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "no site at index " + std::to_string(index));
+  }
+  Entry* e = entries_[index].get();
+  std::lock_guard lk(e->site->lock());
+  e->site->set_frame_trace(std::move(hook));
+  return Status::ok();
+}
+
 Result<SiteId> LocalCluster::sign_off(std::size_t index) {
   return entries_.at(index)->site->sign_off();
 }

@@ -53,6 +53,22 @@ class LocalCluster {
   [[nodiscard]] net::InProcNetwork& network() { return network_; }
   [[nodiscard]] Site* site_by_id(SiteId id);
 
+  // --- observability facade ----------------------------------------------
+  // Identical signatures on LocalCluster, sim::SimCluster and TcpNode.
+
+  /// Unified snapshot of one member site (Site::introspect()).
+  [[nodiscard]] Result<SiteStatus> status(std::size_t index);
+
+  /// Cluster-wide aggregated snapshot, queried through the site at
+  /// `via_index` (kMetricsQuery fan-out). Blocks up to `timeout` wall
+  /// nanos; sites that do not answer in time land in `unreachable`.
+  [[nodiscard]] Result<ClusterStatus> cluster_status(
+      std::size_t via_index = 0, Nanos timeout = 2'000'000'000);
+
+  /// Installs a frame-career trace hook on one site (runs under that
+  /// site's lock).
+  Status install_trace_hook(std::size_t index, FrameTraceHook hook);
+
  private:
   class EngineDriver;
   struct Entry {

@@ -95,6 +95,57 @@ Result<std::int64_t> TcpNode::wait_program(ProgramId pid, Nanos timeout) {
   }
 }
 
+Result<SiteStatus> TcpNode::status(std::size_t index) {
+  if (index != 0) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "a TcpNode hosts exactly one site (index 0)");
+  }
+  return site_->introspect();
+}
+
+Result<ClusterStatus> TcpNode::cluster_status(std::size_t via_index,
+                                              Nanos timeout) {
+  if (via_index != 0) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "a TcpNode hosts exactly one site (index 0)");
+  }
+  struct Waiter {
+    std::mutex m;
+    std::condition_variable cv;
+    std::optional<ClusterStatus> result;
+  };
+  auto waiter = std::make_shared<Waiter>();
+  {
+    std::lock_guard lk(site_->lock());
+    site_->site_manager().query_cluster_status(
+        [waiter](ClusterStatus cs) {
+          std::lock_guard g(waiter->m);
+          waiter->result = std::move(cs);
+          waiter->cv.notify_all();
+        },
+        timeout);
+  }
+  std::unique_lock lk(waiter->m);
+  bool done = waiter->cv.wait_for(
+      lk, std::chrono::nanoseconds(timeout) + std::chrono::seconds(5),
+      [&] { return waiter->result.has_value(); });
+  if (!done) {
+    return Status::error(ErrorCode::kUnavailable,
+                         "cluster status query did not complete");
+  }
+  return std::move(*waiter->result);
+}
+
+Status TcpNode::install_trace_hook(std::size_t index, FrameTraceHook hook) {
+  if (index != 0) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "a TcpNode hosts exactly one site (index 0)");
+  }
+  std::lock_guard lk(site_->lock());
+  site_->set_frame_trace(std::move(hook));
+  return Status::ok();
+}
+
 void TcpNode::shutdown() {
   bool expected = false;
   if (!stopped_.compare_exchange_strong(expected, true)) return;

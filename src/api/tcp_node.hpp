@@ -37,6 +37,21 @@ class TcpNode {
   Result<ProgramId> start_program(const ProgramSpec& spec);
   Result<std::int64_t> wait_program(ProgramId pid, Nanos timeout = -1);
 
+  // --- observability facade ----------------------------------------------
+  // Identical signatures on LocalCluster, sim::SimCluster and TcpNode. A
+  // TcpNode hosts exactly one site, so only index 0 is valid.
+
+  /// Unified snapshot of the local site (Site::introspect()).
+  [[nodiscard]] Result<SiteStatus> status(std::size_t index = 0);
+
+  /// Cluster-wide aggregated snapshot queried through the local site
+  /// (kMetricsQuery fan-out over TCP). Blocks up to `timeout` wall nanos.
+  [[nodiscard]] Result<ClusterStatus> cluster_status(
+      std::size_t via_index = 0, Nanos timeout = 2'000'000'000);
+
+  /// Installs a frame-career trace hook on the local site.
+  Status install_trace_hook(std::size_t index, FrameTraceHook hook);
+
   /// Graceful leave + engine shutdown.
   void shutdown();
 

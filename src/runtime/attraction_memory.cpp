@@ -4,12 +4,29 @@
 
 namespace sdvm {
 
+void AttractionMemory::register_metrics(metrics::MetricsRegistry& registry) {
+  registry.register_counter("mem.migrations_in", &migrations_in);
+  registry.register_counter("mem.migrations_out", &migrations_out);
+  registry.register_counter("mem.local_hits", &local_hits);
+  registry.register_counter("mem.frames_created", &frames_created);
+  registry.register_counter("mem.params_applied", &params_applied);
+  registry.register_counter("mem.remote_fetches", &remote_fetches);
+  registry.register_counter("mem.directory_lookups", &directory_lookups);
+  registry.register_gauge("mem.frames", [this] {
+    return static_cast<std::int64_t>(frames_.size());
+  });
+  registry.register_gauge("mem.objects", [this] {
+    return static_cast<std::int64_t>(objects_.size());
+  });
+}
+
 // ---------------------------------------------------------------------------
 // Microframes
 // ---------------------------------------------------------------------------
 
 FrameId AttractionMemory::create_frame(ProgramId pid, MicrothreadId tid,
                                        std::size_t nparams, int priority) {
+  ++frames_created;
   FrameId id(site_.id(), next_local_id_++);
   Microframe frame(id, pid, tid, nparams, priority);
   site_.trace(FrameEvent::kCreated, id, tid);
@@ -47,6 +64,7 @@ Status AttractionMemory::apply_param(GlobalAddress frame, std::size_t slot,
                              << " failed: " << st.to_string();
       return st;
     }
+    ++params_applied;
     site_.trace(FrameEvent::kParamApplied, frame, it->second.thread);
     // "Every time a result ... is applied to a waiting microframe, the
     // attraction memory checks whether this was the last missing
@@ -156,6 +174,7 @@ void AttractionMemory::set_directory_owner(GlobalAddress addr, SiteId owner) {
 }
 
 SiteId AttractionMemory::directory_owner(GlobalAddress addr) const {
+  ++directory_lookups;
   auto it = directory_.find(addr);
   return it == directory_.end() ? kInvalidSite : it->second.owner;
 }
@@ -170,6 +189,7 @@ Result<MemObject*> AttractionMemory::attract(
   if (sim_fetch_) {
     // Sim mode: the oracle migrates the object here immediately and
     // reports the modeled round-trip stall.
+    ++remote_fetches;
     MemObject obj;
     auto stall = sim_fetch_(addr, &obj);
     if (!stall.is_ok()) return stall.status();
@@ -185,6 +205,7 @@ Result<MemObject*> AttractionMemory::attract(
   // Threaded modes: park on (or start) a fetch.
   auto it = fetching_.find(addr);
   if (it == fetching_.end()) {
+    ++remote_fetches;
     it = fetching_.emplace(addr, std::make_shared<FetchState>()).first;
     begin_fetch(addr);
   }
@@ -371,6 +392,7 @@ void AttractionMemory::handle(const SdMessage& msg) {
       try {
         ByteReader r(msg.payload);
         GlobalAddress addr = r.address();
+        ++directory_lookups;
         auto dit = directory_.find(addr);
         if (dit == directory_.end()) {
           SdMessage miss;

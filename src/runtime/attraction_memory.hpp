@@ -20,6 +20,7 @@
 #include "common/status.hpp"
 #include "runtime/frame.hpp"
 #include "runtime/message.hpp"
+#include "runtime/metrics.hpp"
 
 namespace sdvm {
 
@@ -151,9 +152,19 @@ class AttractionMemory {
   // --- introspection -----------------------------------------------------
   [[nodiscard]] std::size_t frame_count() const { return frames_.size(); }
   [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
-  std::uint64_t migrations_in = 0;
-  std::uint64_t migrations_out = 0;
-  std::uint64_t local_hits = 0;
+
+  /// Registers this manager's instruments ("mem." prefix).
+  void register_metrics(metrics::MetricsRegistry& registry);
+
+  // Deprecated shims: read "mem.*" via Site::introspect() instead.
+  metrics::Counter migrations_in;
+  metrics::Counter migrations_out;
+  metrics::Counter local_hits;
+  metrics::Counter frames_created;
+  metrics::Counter params_applied;
+  metrics::Counter remote_fetches;      // fetches that left the site
+  // mutable: counted inside const lookup paths (sim oracle resolution).
+  mutable metrics::Counter directory_lookups;
 
  private:
   void frame_became_executable(Microframe frame);

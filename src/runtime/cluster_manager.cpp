@@ -43,6 +43,20 @@ struct SignOnPayload {
 
 }  // namespace
 
+void ClusterManager::register_metrics(metrics::MetricsRegistry& registry) {
+  registry.register_counter("cluster.signon_messages", &signon_messages);
+  registry.register_counter("cluster.sites_admitted", &sites_admitted);
+  registry.register_counter("cluster.sign_offs_received",
+                            &sign_offs_received);
+  registry.register_counter("cluster.deaths_detected", &deaths_detected);
+  registry.register_counter("cluster.heartbeats_sent", &heartbeats_sent);
+  registry.register_counter("cluster.heartbeats_received",
+                            &heartbeats_received);
+  registry.register_gauge("cluster.live_sites", [this] {
+    return static_cast<std::int64_t>(cluster_size());
+  });
+}
+
 void ClusterManager::bootstrap() {
   local_id_ = 1;
   next_central_id_ = 2;
@@ -350,6 +364,7 @@ void ClusterManager::complete_sign_on(const SdMessage& request, SiteId new_id) {
   reply.type = MsgType::kSignOnReply;
   reply.payload = w.take();
   ++signon_messages;
+  ++sites_admitted;
   (void)site_.messages().send_to_address(info.address, std::move(reply));
   SDVM_INFO(site_.tag()) << "admitted new site " << new_id << " ("
                          << info.platform << ", speed " << info.speed << ")";
@@ -433,6 +448,7 @@ void ClusterManager::handle(const SdMessage& msg) {
         ByteReader r(msg.payload);
         SiteId departing = r.site();
         SiteId successor = r.site();
+        ++sign_offs_received;
         auto it = sites_.find(departing);
         if (it != sites_.end()) {
           it->second.alive = false;
@@ -445,6 +461,7 @@ void ClusterManager::handle(const SdMessage& msg) {
     }
 
     case MsgType::kHeartbeat: {
+      ++heartbeats_received;
       try {
         ByteReader r(msg.payload);
         auto info = SiteInfo::deserialize(r);
@@ -484,6 +501,7 @@ void ClusterManager::mark_dead(SiteId id, bool gossip) {
   if (it == sites_.end() || !it->second.alive) return;
   it->second.alive = false;
   it->second.version++;
+  ++deaths_detected;
   SDVM_WARN(site_.tag()) << "site " << id << " declared dead";
   site_.on_site_dead(id);
   if (gossip) {
@@ -538,6 +556,7 @@ void ClusterManager::on_tick() {
     msg.src_mgr = msg.dst_mgr = ManagerId::kCluster;
     msg.type = MsgType::kHeartbeat;
     msg.payload = w.bytes();
+    ++heartbeats_sent;
     (void)site_.messages().send(std::move(msg));
   }
 

@@ -15,6 +15,7 @@
 #include "common/status.hpp"
 #include "runtime/cluster_info.hpp"
 #include "runtime/message.hpp"
+#include "runtime/metrics.hpp"
 
 namespace sdvm {
 
@@ -88,8 +89,17 @@ class ClusterManager {
   [[nodiscard]] std::vector<std::byte> encode_cluster_list() const;
   void absorb_cluster_list(ByteReader& r);
 
-  /// Statistics for bench/ablation_idalloc.
-  std::uint64_t signon_messages = 0;
+  /// Registers this manager's instruments ("cluster." prefix).
+  void register_metrics(metrics::MetricsRegistry& registry);
+
+  // Deprecated shims (bench/ablation_idalloc): read "cluster.*" via
+  // Site::introspect() instead.
+  metrics::Counter signon_messages;
+  metrics::Counter sites_admitted;      // joins we completed
+  metrics::Counter sign_offs_received;  // graceful leaves we learned of
+  metrics::Counter deaths_detected;     // failure-detector verdicts
+  metrics::Counter heartbeats_sent;
+  metrics::Counter heartbeats_received;
 
  private:
   void handle_sign_on_request(const SdMessage& msg);

@@ -1,9 +1,33 @@
 #include "runtime/code_manager.hpp"
 
+#include <chrono>
+
 #include "microc/compiler.hpp"
 #include "runtime/site.hpp"
 
 namespace sdvm {
+
+namespace {
+
+Nanos wall_nanos_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+void CodeManager::register_metrics(metrics::MetricsRegistry& registry) {
+  registry.register_counter("code.compiles", &compiles);
+  registry.register_counter("code.binary_fetches", &binary_fetches);
+  registry.register_counter("code.source_fetches", &source_fetches);
+  registry.register_counter("code.uploads_received", &uploads_received);
+  registry.register_counter("code.cache_hits", &cache_hits);
+  registry.register_histogram("code.compile_ns", &compile_ns);
+  registry.register_gauge("code.cached_executables", [this] {
+    return static_cast<std::int64_t>(cache_.size());
+  });
+}
 
 void CodeManager::store_sources(const ProgramInfo& info,
                                 const ProgramSpec& spec) {
@@ -18,7 +42,10 @@ void CodeManager::store_sources(const ProgramInfo& info,
 std::optional<Executable> CodeManager::resolve_local(ProgramId pid,
                                                      MicrothreadId tid) {
   Key key{pid, tid};
-  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+  if (auto it = cache_.find(key); it != cache_.end()) {
+    ++cache_hits;
+    return it->second;
+  }
 
   const ProgramInfo* info = site_.programs().find(pid);
   if (info == nullptr || tid >= info->thread_names.size()) return std::nullopt;
@@ -44,8 +71,10 @@ std::optional<Executable> CodeManager::resolve_local(ProgramId pid,
 
   // 3. Local source (we are a code home): compile on the fly.
   if (auto it = sources_.find(key); it != sources_.end()) {
+    auto started = std::chrono::steady_clock::now();
     auto compiled =
         microc::compile(it->second, info->thread_names[tid]);
+    compile_ns.record(wall_nanos_since(started));
     if (!compiled.is_ok()) {
       SDVM_ERROR(site_.tag())
           << "compile of '" << info->thread_names[tid]
@@ -168,8 +197,10 @@ void CodeManager::fetch_from(ProgramId pid, MicrothreadId tid,
           return;
         }
         sources_[key] = source;
+        auto started = std::chrono::steady_clock::now();
         auto compiled =
             microc::compile(source, pinfo->thread_names[tid]);
+        compile_ns.record(wall_nanos_since(started));
         if (!compiled.is_ok()) {
           finish(key, compiled.status());
           return;

@@ -16,6 +16,7 @@
 #include "common/status.hpp"
 #include "microc/bytecode.hpp"
 #include "runtime/message.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/program.hpp"
 
 namespace sdvm {
@@ -57,11 +58,18 @@ class CodeManager {
                       const std::vector<std::pair<MicrothreadId, std::string>>&
                           sources);
 
-  /// Counters for bench/ablation_compile.
-  std::uint64_t compiles = 0;
-  std::uint64_t binary_fetches = 0;
-  std::uint64_t source_fetches = 0;
-  std::uint64_t uploads_received = 0;
+  /// Registers this manager's instruments ("code." prefix).
+  void register_metrics(metrics::MetricsRegistry& registry);
+
+  // Deprecated shims (bench/ablation_compile): read "code.*" via
+  // Site::introspect() instead.
+  metrics::Counter compiles;
+  metrics::Counter binary_fetches;
+  metrics::Counter source_fetches;
+  metrics::Counter uploads_received;
+  metrics::Counter cache_hits;      // resolve served from the local cache
+  /// On-the-fly compile wall time (real nanos, both modes).
+  metrics::Histogram compile_ns;
 
  private:
   struct Key {

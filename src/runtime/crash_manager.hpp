@@ -26,6 +26,7 @@
 
 #include "common/status.hpp"
 #include "runtime/message.hpp"
+#include "runtime/metrics.hpp"
 
 namespace sdvm {
 
@@ -46,8 +47,16 @@ class CrashManager {
 
   [[nodiscard]] bool frozen() const { return freeze_depth_ > 0; }
 
-  std::uint64_t checkpoints_committed = 0;
-  std::uint64_t recoveries = 0;
+  /// Registers this manager's instruments ("crash." prefix).
+  void register_metrics(metrics::MetricsRegistry& registry) {
+    registry.register_counter("crash.checkpoints_committed",
+                              &checkpoints_committed);
+    registry.register_counter("crash.recoveries", &recoveries);
+  }
+
+  // Deprecated shims: read "crash.*" via Site::introspect() instead.
+  metrics::Counter checkpoints_committed;
+  metrics::Counter recoveries;
 
  private:
   struct Snapshot {

@@ -4,6 +4,15 @@
 
 namespace sdvm {
 
+void IoManager::register_metrics(metrics::MetricsRegistry& registry) {
+  registry.register_counter("io.rerouted_reads", &rerouted_reads);
+  registry.register_counter("io.rerouted_writes", &rerouted_writes);
+  registry.register_counter("io.outputs_delivered", &outputs_delivered);
+  registry.register_gauge("io.vfs_files", [this] {
+    return static_cast<std::int64_t>(vfs_.size());
+  });
+}
+
 void IoManager::output_int(ProgramId pid, std::int64_t value) {
   output_str(pid, std::to_string(value));
 }
@@ -30,6 +39,7 @@ void IoManager::output_str(ProgramId pid, std::string text) {
 }
 
 void IoManager::deliver_output(ProgramId pid, std::string line) {
+  ++outputs_delivered;
   outputs_[pid].push_back(line);
   if (callback_) callback_(pid, line);
 }

@@ -19,6 +19,7 @@
 
 #include "common/status.hpp"
 #include "runtime/message.hpp"
+#include "runtime/metrics.hpp"
 
 namespace sdvm {
 
@@ -91,8 +92,13 @@ class IoManager {
   void handle(const SdMessage& msg);
   void drop_program(ProgramId pid);
 
-  std::uint64_t rerouted_reads = 0;
-  std::uint64_t rerouted_writes = 0;
+  /// Registers this manager's instruments ("io." prefix).
+  void register_metrics(metrics::MetricsRegistry& registry);
+
+  // Deprecated shims: read "io.*" via Site::introspect() instead.
+  metrics::Counter rerouted_reads;
+  metrics::Counter rerouted_writes;
+  metrics::Counter outputs_delivered;  // lines landed at the frontend
 
  private:
   /// Splits "@3/data.txt" into (3, "data.txt"); plain paths → local id.

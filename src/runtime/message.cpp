@@ -39,6 +39,8 @@ const char* to_string(MsgType t) {
     case MsgType::kFileWriteAck:       return "file-write-ack";
     case MsgType::kStatusQuery:        return "status-query";
     case MsgType::kStatusReply:        return "status-reply";
+    case MsgType::kMetricsQuery:       return "metrics-query";
+    case MsgType::kMetricsReply:       return "metrics-reply";
     case MsgType::kCheckpointFreeze:   return "checkpoint-freeze";
     case MsgType::kCheckpointFrozen:   return "checkpoint-frozen";
     case MsgType::kCheckpointTakeShard: return "checkpoint-take-shard";

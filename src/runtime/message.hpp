@@ -69,6 +69,8 @@ enum class MsgType : std::uint16_t {
   // --- site manager ---
   kStatusQuery = 80,
   kStatusReply,
+  kMetricsQuery,         // introspection: ask for a full SiteStatus
+  kMetricsReply,         // serialized SiteStatus snapshot
 
   // --- crash manager ---
   kCheckpointFreeze = 90,  // coordinator → sites: quiesce program

@@ -4,6 +4,27 @@
 
 namespace sdvm {
 
+void MessageManager::register_metrics(metrics::MetricsRegistry& registry) {
+  registry.register_counter("msg.sent", &sent_count);
+  registry.register_counter("msg.received", &received_count);
+  registry.register_counter("msg.bytes_sent", &bytes_sent);
+  registry.register_counter("msg.bytes_received", &bytes_received);
+  registry.register_provider([this](metrics::MetricsSnapshot& s) {
+    for (std::size_t i = 0; i < kTypeSlots; ++i) {
+      if (sent_by_type_[i] != 0) {
+        s.add_counter(std::string("msg.sent.") +
+                          to_string(static_cast<MsgType>(i)),
+                      sent_by_type_[i]);
+      }
+      if (received_by_type_[i] != 0) {
+        s.add_counter(std::string("msg.received.") +
+                          to_string(static_cast<MsgType>(i)),
+                      received_by_type_[i]);
+      }
+    }
+  });
+}
+
 Status MessageManager::send(SdMessage msg) {
   msg.src = site_.cluster().local_id();
   if (msg.seq == 0) msg.seq = next_seq();
@@ -47,8 +68,8 @@ Status MessageManager::transmit(SdMessage msg) {
   if (msg.dst == local && local != kInvalidSite) {
     // Loopback: skip the wire entirely (Figure 4: the execution layer
     // "alone would suffice to run an SDVM on one site only").
-    ++sent_count;
-    ++received_count;
+    count_sent(msg.type);
+    count_received(msg.type);
     deliver(msg);
     return Status::ok();
   }
@@ -58,9 +79,10 @@ Status MessageManager::transmit(SdMessage msg) {
   if (site_.transport() == nullptr) {
     return Status::error(ErrorCode::kFailedPrecondition, "no transport");
   }
-  ++sent_count;
-  return site_.transport()->send(addr.value(),
-                                 site_.security().protect(msg));
+  count_sent(msg.type);
+  auto wire = site_.security().protect(msg);
+  bytes_sent += wire.size();
+  return site_.transport()->send(addr.value(), std::move(wire));
 }
 
 Status MessageManager::send_to_address(const std::string& physical,
@@ -70,8 +92,10 @@ Status MessageManager::send_to_address(const std::string& physical,
   if (site_.transport() == nullptr) {
     return Status::error(ErrorCode::kFailedPrecondition, "no transport");
   }
-  ++sent_count;
-  return site_.transport()->send(physical, site_.security().protect(msg));
+  count_sent(msg.type);
+  auto wire = site_.security().protect(msg);
+  bytes_sent += wire.size();
+  return site_.transport()->send(physical, std::move(wire));
 }
 
 void MessageManager::on_raw(std::span<const std::byte> wire) {
@@ -81,7 +105,8 @@ void MessageManager::on_raw(std::span<const std::byte> wire) {
                            << msg.status().to_string();
     return;
   }
-  ++received_count;
+  bytes_received += wire.size();
+  count_received(msg.value().type);
   deliver(msg.value());
 }
 

@@ -5,12 +5,14 @@
 // messages to the addressed manager. Also provides request/reply pairing.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
 
 #include "common/status.hpp"
 #include "runtime/message.hpp"
+#include "runtime/metrics.hpp"
 
 namespace sdvm {
 
@@ -50,12 +52,31 @@ class MessageManager {
 
   [[nodiscard]] std::uint64_t next_seq() { return ++seq_; }
 
-  std::uint64_t sent_count = 0;
-  std::uint64_t received_count = 0;
+  /// Registers this manager's instruments ("msg." prefix), including a
+  /// provider that emits per-message-type send/receive families.
+  void register_metrics(metrics::MetricsRegistry& registry);
+
+  // Deprecated shims: read "msg.*" via Site::introspect() instead.
+  metrics::Counter sent_count;
+  metrics::Counter received_count;
+  metrics::Counter bytes_sent;      // wire bytes (loopback excluded)
+  metrics::Counter bytes_received;
 
  private:
   Status transmit(SdMessage msg);
   void deliver(const SdMessage& msg);
+
+  static constexpr std::size_t kTypeSlots = 128;
+  void count_sent(MsgType t) {
+    ++sent_count;
+    auto i = static_cast<std::size_t>(t);
+    if (i < kTypeSlots) ++sent_by_type_[i];
+  }
+  void count_received(MsgType t) {
+    ++received_count;
+    auto i = static_cast<std::size_t>(t);
+    if (i < kTypeSlots) ++received_by_type_[i];
+  }
 
   struct Pending {
     SiteId target;
@@ -66,6 +87,8 @@ class MessageManager {
   std::uint64_t seq_ = 0;
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::vector<SdMessage>* defer_ = nullptr;
+  std::array<std::uint64_t, kTypeSlots> sent_by_type_{};
+  std::array<std::uint64_t, kTypeSlots> received_by_type_{};
 };
 
 }  // namespace sdvm

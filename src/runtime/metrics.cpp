@@ -1,0 +1,330 @@
+#include "runtime/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sdvm::metrics {
+
+const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::kCounter:   return "counter";
+    case Kind::kGauge:     return "gauge";
+    case Kind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------- wire form
+
+void MetricValue::serialize(ByteWriter& w) const {
+  w.str(name);
+  w.u8(static_cast<std::uint8_t>(kind));
+  switch (kind) {
+    case Kind::kCounter:
+      w.u64(count);
+      break;
+    case Kind::kGauge:
+      w.i64(gauge);
+      break;
+    case Kind::kHistogram:
+      w.u64(count);
+      w.u64(sum);
+      for (std::uint64_t b : buckets) w.u64(b);
+      break;
+  }
+}
+
+MetricValue MetricValue::deserialize(ByteReader& r) {
+  MetricValue v;
+  v.name = r.str();
+  std::uint8_t k = r.u8();
+  if (k > static_cast<std::uint8_t>(Kind::kHistogram)) {
+    throw DecodeError("bad metric kind " + std::to_string(k));
+  }
+  v.kind = static_cast<Kind>(k);
+  switch (v.kind) {
+    case Kind::kCounter:
+      v.count = r.u64();
+      break;
+    case Kind::kGauge:
+      v.gauge = r.i64();
+      break;
+    case Kind::kHistogram:
+      v.count = r.u64();
+      v.sum = r.u64();
+      for (auto& b : v.buckets) b = r.u64();
+      break;
+  }
+  return v;
+}
+
+void MetricsSnapshot::serialize(ByteWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(values.size()));
+  for (const auto& v : values) v.serialize(w);
+}
+
+Result<MetricsSnapshot> MetricsSnapshot::deserialize(ByteReader& r) {
+  try {
+    MetricsSnapshot s;
+    // Smallest metric: empty name (4) + kind (1) + counter u64 (8).
+    std::uint32_t n = r.count(13);
+    s.values.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      s.values.push_back(MetricValue::deserialize(r));
+    }
+    return s;
+  } catch (const DecodeError& e) {
+    return Status::error(ErrorCode::kCorrupt, e.what());
+  }
+}
+
+// --------------------------------------------------------------- accessors
+
+const MetricValue* MetricsSnapshot::find(const std::string& name) const {
+  auto it = std::lower_bound(
+      values.begin(), values.end(), name,
+      [](const MetricValue& v, const std::string& n) { return v.name < n; });
+  if (it != values.end() && it->name == name) return &*it;
+  // Tolerate unsorted snapshots (e.g. hand-built in tests).
+  for (const auto& v : values) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  const MetricValue* v = find(name);
+  return v == nullptr ? 0 : v->count;
+}
+
+std::int64_t MetricsSnapshot::gauge_value(const std::string& name) const {
+  const MetricValue* v = find(name);
+  return v == nullptr ? 0 : v->gauge;
+}
+
+void MetricsSnapshot::insert_sorted(MetricValue v) {
+  auto it = std::lower_bound(values.begin(), values.end(), v.name,
+                             [](const MetricValue& a, const std::string& n) {
+                               return a.name < n;
+                             });
+  values.insert(it, std::move(v));
+}
+
+void MetricsSnapshot::add_counter(const std::string& name,
+                                  std::uint64_t value) {
+  MetricValue v;
+  v.name = name;
+  v.kind = Kind::kCounter;
+  v.count = value;
+  insert_sorted(std::move(v));
+}
+
+void MetricsSnapshot::add_gauge(const std::string& name, std::int64_t value) {
+  MetricValue v;
+  v.name = name;
+  v.kind = Kind::kGauge;
+  v.gauge = value;
+  insert_sorted(std::move(v));
+}
+
+void MetricsSnapshot::add_histogram(const std::string& name,
+                                    const Histogram& h) {
+  MetricValue v;
+  v.name = name;
+  v.kind = Kind::kHistogram;
+  v.count = h.count();
+  v.sum = h.sum();
+  v.buckets = h.counts();
+  insert_sorted(std::move(v));
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& o : other.values) {
+    auto it = std::lower_bound(values.begin(), values.end(), o.name,
+                               [](const MetricValue& a, const std::string& n) {
+                                 return a.name < n;
+                               });
+    if (it == values.end() || it->name != o.name) {
+      values.insert(it, o);
+      continue;
+    }
+    // Same name, mismatched kinds: keep ours, skip theirs (version skew).
+    if (it->kind != o.kind) continue;
+    switch (o.kind) {
+      case Kind::kCounter:
+        it->count += o.count;
+        break;
+      case Kind::kGauge:
+        it->gauge += o.gauge;
+        break;
+      case Kind::kHistogram:
+        it->count += o.count;
+        it->sum += o.sum;
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+          it->buckets[i] += o.buckets[i];
+        }
+        break;
+    }
+  }
+}
+
+// ----------------------------------------------------------------- exports
+
+namespace {
+
+/// Human-readable bucket label for index i: "<=10us", ..., ">10s".
+std::string bucket_label(std::size_t i) {
+  static const char* kLabels[Histogram::kBuckets] = {
+      "<=10us", "<=100us", "<=1ms", "<=10ms",
+      "<=100ms", "<=1s",   "<=10s", ">10s"};
+  return kLabels[i];
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_text(const std::string& indent) const {
+  std::ostringstream os;
+  for (const auto& v : values) {
+    os << indent << v.name << " = ";
+    switch (v.kind) {
+      case Kind::kCounter:
+        os << v.count;
+        break;
+      case Kind::kGauge:
+        os << v.gauge;
+        break;
+      case Kind::kHistogram: {
+        os << "count " << v.count << ", sum " << v.sum << "ns";
+        if (v.count > 0) os << ", avg " << v.sum / v.count << "ns";
+        os << " [";
+        bool first = true;
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+          if (v.buckets[i] == 0) continue;
+          if (!first) os << " ";
+          first = false;
+          os << bucket_label(i) << ":" << v.buckets[i];
+        }
+        os << "]";
+        break;
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& v : values) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(v.name) << "\":";
+    switch (v.kind) {
+      case Kind::kCounter:
+        os << v.count;
+        break;
+      case Kind::kGauge:
+        os << v.gauge;
+        break;
+      case Kind::kHistogram: {
+        os << "{\"count\":" << v.count << ",\"sum\":" << v.sum
+           << ",\"buckets\":[";
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+          if (i > 0) os << ",";
+          os << v.buckets[i];
+        }
+        os << "]}";
+        break;
+      }
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+// ---------------------------------------------------------------- registry
+
+void MetricsRegistry::register_counter(std::string name,
+                                       const Counter* counter) {
+  Entry e;
+  e.name = std::move(name);
+  e.kind = Kind::kCounter;
+  e.counter = counter;
+  entries_.push_back(std::move(e));
+}
+
+void MetricsRegistry::register_gauge(std::string name, GaugeProbe probe) {
+  Entry e;
+  e.name = std::move(name);
+  e.kind = Kind::kGauge;
+  e.probe = std::move(probe);
+  entries_.push_back(std::move(e));
+}
+
+void MetricsRegistry::register_histogram(std::string name,
+                                         const Histogram* histogram) {
+  Entry e;
+  e.name = std::move(name);
+  e.kind = Kind::kHistogram;
+  e.histogram = histogram;
+  entries_.push_back(std::move(e));
+}
+
+void MetricsRegistry::register_provider(Provider provider) {
+  providers_.push_back(std::move(provider));
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot s;
+  s.values.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        s.add_counter(e.name, e.counter->value());
+        break;
+      case Kind::kGauge:
+        s.add_gauge(e.name, e.probe ? e.probe() : 0);
+        break;
+      case Kind::kHistogram:
+        s.add_histogram(e.name, *e.histogram);
+        break;
+    }
+  }
+  for (const auto& p : providers_) p(s);
+  return s;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sdvm::metrics

@@ -7,6 +7,15 @@
 
 namespace sdvm {
 
+void ProcessingManager::register_metrics(metrics::MetricsRegistry& registry) {
+  registry.register_counter("proc.executed", &executed_total);
+  registry.register_counter("proc.trapped", &trapped_total);
+  registry.register_histogram("proc.runtime_ns", &runtime_ns);
+  registry.register_gauge("proc.running", [this] {
+    return static_cast<std::int64_t>(running());
+  });
+}
+
 void ProcessingManager::start_workers(int slots) {
   std::lock_guard lk(worker_mu_);
   if (!workers_.empty()) return;
@@ -92,12 +101,17 @@ bool ProcessingManager::execute_once() {
     site_.trace(FrameEvent::kExecutionStarted, frame.id, frame.thread);
   }
   ExecContext ctx(site_, std::move(frame), std::move(info));
+  auto started = std::chrono::steady_clock::now();
   auto [status, cycles] = run_body(exec, ctx);
+  Nanos elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - started)
+                      .count();
 
   {
     std::lock_guard lk(site_.lock());
     running_.fetch_sub(1, std::memory_order_relaxed);
     ++executed_total;
+    runtime_ns.record(elapsed);
     AccountEntry& acct = ledger_[ctx.program()];
     acct.microthreads += 1;
     acct.vm_instructions += cycles;
@@ -147,6 +161,7 @@ Nanos ProcessingManager::execute_one_sim() {
       speed);
   Nanos stall = site_.memory().take_sim_stall();
   Nanos cost = std::max<Nanos>(compute + stall, 1);
+  runtime_ns.record(cost);
 
   // Results leave the site when the microthread (virtually) completes
   // (paper §3.2 step 4: "send the results").

@@ -21,6 +21,7 @@
 #include "runtime/accounting.hpp"
 #include "runtime/code_manager.hpp"
 #include "runtime/frame.hpp"
+#include "runtime/metrics.hpp"
 
 namespace sdvm {
 
@@ -55,8 +56,15 @@ class ProcessingManager {
   void set_frozen(bool frozen) { frozen_.store(frozen); }
   [[nodiscard]] bool frozen() const { return frozen_.load(); }
 
-  std::uint64_t executed_total = 0;    // guarded by the site lock
-  std::uint64_t trapped_total = 0;
+  /// Registers this manager's instruments ("proc." prefix).
+  void register_metrics(metrics::MetricsRegistry& registry);
+
+  // Deprecated shims: read "proc.*" via Site::introspect() instead.
+  metrics::Counter executed_total;     // guarded by the site lock
+  metrics::Counter trapped_total;
+  /// Microthread runtime: wall nanos in threaded modes, virtual cost in
+  /// sim mode (both recorded under the site lock).
+  metrics::Histogram runtime_ns;
 
   /// Per-program contribution ledger (guarded by the site lock).
   [[nodiscard]] const AccountLedger& accounting() const { return ledger_; }

@@ -6,10 +6,27 @@
 
 namespace sdvm {
 
+void SchedulingManager::register_metrics(metrics::MetricsRegistry& registry) {
+  registry.register_counter("sched.help_requests_sent", &help_requests_sent);
+  registry.register_counter("sched.help_frames_given", &help_frames_given);
+  registry.register_counter("sched.help_frames_received",
+                            &help_frames_received);
+  registry.register_counter("sched.cant_help_received", &cant_help_received);
+  registry.register_counter("sched.frames_enqueued", &frames_enqueued);
+  registry.register_counter("sched.starvation_events", &starvation_events);
+  registry.register_gauge("sched.executable_depth", [this] {
+    return static_cast<std::int64_t>(executable_.size());
+  });
+  registry.register_gauge("sched.ready_depth", [this] {
+    return static_cast<std::int64_t>(ready_.size());
+  });
+}
+
 void SchedulingManager::on_executable(Microframe frame) {
   ProgramId pid = frame.program;
   MicrothreadId tid = frame.thread;
   FrameId id = frame.id;
+  ++frames_enqueued;
   executable_.push_back(std::move(frame));
 
   if (!code_pending_.insert(id.value).second) return;
@@ -152,6 +169,7 @@ void SchedulingManager::on_starving() {
   }
   auto target = site_.cluster().pick_help_target(help_excluded_);
   if (!target.has_value()) {
+    ++starvation_events;
     help_excluded_.clear();  // every peer said no; start over next round
     return;
   }

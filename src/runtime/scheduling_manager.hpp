@@ -15,6 +15,7 @@
 #include "runtime/code_manager.hpp"
 #include "runtime/frame.hpp"
 #include "runtime/message.hpp"
+#include "runtime/metrics.hpp"
 
 namespace sdvm {
 
@@ -55,10 +56,17 @@ class SchedulingManager {
   void set_frozen(bool frozen) { frozen_ = frozen; }
   [[nodiscard]] bool frozen() const { return frozen_; }
 
-  std::uint64_t help_requests_sent = 0;
-  std::uint64_t help_frames_given = 0;
-  std::uint64_t help_frames_received = 0;
-  std::uint64_t cant_help_received = 0;
+  /// Registers this manager's instruments ("sched." prefix).
+  void register_metrics(metrics::MetricsRegistry& registry);
+
+  // Deprecated shims: read these through Site::introspect() metrics
+  // ("sched.*") instead; kept as fields for one release.
+  metrics::Counter help_requests_sent;
+  metrics::Counter help_frames_given;
+  metrics::Counter help_frames_received;
+  metrics::Counter cant_help_received;
+  metrics::Counter frames_enqueued;     // entered the executable queue
+  metrics::Counter starvation_events;   // starving with no help target
 
  private:
   void on_code_ready(FrameId id, Result<Executable> exec);

@@ -15,6 +15,17 @@ Site::Site(SiteConfig config, Clock& clock, Driver& driver)
   io_mgr_ = std::make_unique<IoManager>(*this);
   site_mgr_ = std::make_unique<SiteManager>(*this);
   crash_mgr_ = std::make_unique<CrashManager>(*this);
+
+  // One instrument catalog per site: every manager contributes its
+  // counters, gauges and histograms (identical names across all modes).
+  message_mgr_->register_metrics(metrics_);
+  cluster_mgr_->register_metrics(metrics_);
+  code_mgr_->register_metrics(metrics_);
+  attraction_memory_->register_metrics(metrics_);
+  scheduling_mgr_->register_metrics(metrics_);
+  processing_mgr_->register_metrics(metrics_);
+  io_mgr_->register_metrics(metrics_);
+  crash_mgr_->register_metrics(metrics_);
 }
 
 Site::~Site() { processing_mgr_->stop(); }
@@ -150,6 +161,24 @@ void Site::sim_charge(Nanos cost) {
   if (!driver_.simulated() || cost <= 0) return;
   Nanos now = clock_.now();
   sim_busy_until_ = std::max(sim_busy_until_, now) + cost;
+}
+
+SiteStatus Site::introspect() {
+  std::lock_guard lock(mu_);
+  SiteStatus s;
+  s.id = id();
+  s.name = config_.name;
+  s.platform = config_.platform;
+  s.speed = config_.speed;
+  s.joined = cluster_mgr_->joined();
+  s.signed_off = signed_off_;
+  s.code_site = config_.code_distribution_site;
+  s.cluster_size = static_cast<std::uint32_t>(cluster_mgr_->cluster_size());
+  s.load = site_mgr_->collect_load();
+  s.active_programs = program_mgr_->active_programs();
+  s.ledger = processing_mgr_->accounting();
+  s.metrics = metrics_.snapshot();
+  return s;
 }
 
 Result<ProgramId> Site::start_program(const ProgramSpec& spec) {

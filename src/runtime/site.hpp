@@ -29,11 +29,13 @@
 #include "runtime/driver.hpp"
 #include "runtime/io_manager.hpp"
 #include "runtime/message_manager.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/processing_manager.hpp"
 #include "runtime/program_manager.hpp"
 #include "runtime/scheduling_manager.hpp"
 #include "runtime/security_manager.hpp"
 #include "runtime/site_manager.hpp"
+#include "runtime/site_status.hpp"
 #include "runtime/trace.hpp"
 
 namespace sdvm {
@@ -84,6 +86,18 @@ class Site {
   Result<ProgramId> start_program(const ProgramSpec& spec);
 
   // --- manager access ----------------------------------------------------------
+  // --- introspection -----------------------------------------------------
+  /// The unified status snapshot: identity + lifecycle + load + active
+  /// programs + accounting ledger + every registered metric. Thread-safe
+  /// (takes the site lock). This is THE way to observe a site; the
+  /// per-manager counter fields remain as deprecated shims.
+  [[nodiscard]] SiteStatus introspect();
+
+  /// The per-site instrument catalog (managers register at construction).
+  [[nodiscard]] metrics::MetricsRegistry& metrics_registry() {
+    return metrics_;
+  }
+
   MessageManager& messages() { return *message_mgr_; }
   SecurityManager& security() { return *security_mgr_; }
   ClusterManager& cluster() { return *cluster_mgr_; }
@@ -158,6 +172,10 @@ class Site {
   bool signed_off_ = false;
   bool tick_scheduled_ = false;
   FrameTraceHook trace_;
+
+  // Declared before the managers: they register instrument pointers here
+  // at construction, and members destroy in reverse order.
+  metrics::MetricsRegistry metrics_;
 
   // Managers (construction order matters: see site.cpp).
   std::unique_ptr<SecurityManager> security_mgr_;

@@ -5,10 +5,12 @@
 // managers.
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "runtime/cluster_info.hpp"
 #include "runtime/message.hpp"
+#include "runtime/site_status.hpp"
 
 namespace sdvm {
 
@@ -21,9 +23,18 @@ class SiteManager {
   /// Snapshot of the local load for gossip piggybacking.
   [[nodiscard]] LoadStats collect_load() const;
 
-  /// Human-readable status of every local manager (the frontend's "query
-  /// the status of the local site").
+  /// DEPRECATED: use Site::introspect().to_text() / SiteStatus instead.
+  /// Human-readable status of every local manager, kept as a shim for one
+  /// release (sdvmd and older tooling still print it).
   [[nodiscard]] std::string status_string() const;
+
+  /// Cluster-wide introspection: fans a kMetricsQuery out to every live
+  /// peer, collects SiteStatus replies, and fires `done` with the sorted
+  /// aggregate — on the last reply or at `timeout` (whichever is first;
+  /// late sites land in ClusterStatus::unreachable). Call under the site
+  /// lock; `done` runs under the site lock too.
+  using ClusterStatusCallback = std::function<void(ClusterStatus)>;
+  void query_cluster_status(ClusterStatusCallback done, Nanos timeout);
 
   void handle(const SdMessage& msg);
 

@@ -1,0 +1,167 @@
+#include "runtime/site_status.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sdvm {
+
+void SiteStatus::serialize(ByteWriter& w) const {
+  w.site(id);
+  w.str(name);
+  w.str(platform);
+  w.f64(speed);
+  w.boolean(joined);
+  w.boolean(signed_off);
+  w.boolean(code_site);
+  w.u32(cluster_size);
+  load.serialize(w);
+  w.u32(static_cast<std::uint32_t>(active_programs.size()));
+  for (ProgramId p : active_programs) w.program(p);
+  w.u32(static_cast<std::uint32_t>(ledger.size()));
+  for (const auto& [pid, entry] : ledger) {
+    w.program(pid);
+    entry.serialize(w);
+  }
+  metrics.serialize(w);
+}
+
+Result<SiteStatus> SiteStatus::deserialize(ByteReader& r) {
+  try {
+    SiteStatus s;
+    s.id = r.site();
+    s.name = r.str();
+    s.platform = r.str();
+    s.speed = r.f64();
+    s.joined = r.boolean();
+    s.signed_off = r.boolean();
+    s.code_site = r.boolean();
+    s.cluster_size = r.u32();
+    s.load = LoadStats::deserialize(r);
+    std::uint32_t nprogs = r.count(sizeof(std::uint64_t));
+    s.active_programs.reserve(nprogs);
+    for (std::uint32_t i = 0; i < nprogs; ++i) {
+      s.active_programs.push_back(r.program());
+    }
+    std::uint32_t nledger = r.count(sizeof(std::uint64_t) * 4);
+    for (std::uint32_t i = 0; i < nledger; ++i) {
+      ProgramId pid = r.program();
+      s.ledger[pid] = AccountEntry::deserialize(r);
+    }
+    auto m = metrics::MetricsSnapshot::deserialize(r);
+    if (!m.is_ok()) return m.status();
+    s.metrics = std::move(m).value();
+    return s;
+  } catch (const DecodeError& e) {
+    return Status::error(ErrorCode::kCorrupt,
+                         std::string("bad SiteStatus: ") + e.what());
+  }
+}
+
+std::string SiteStatus::to_text() const {
+  std::ostringstream os;
+  os << "site " << id << " (" << name << ", " << platform << ", speed "
+     << speed << ")";
+  if (code_site) os << " [code-site]";
+  if (signed_off) {
+    os << " SIGNED-OFF";
+  } else if (!joined) {
+    os << " JOINING";
+  }
+  os << "\n";
+  os << "  cluster-size " << cluster_size << ", queued "
+     << load.queued_frames << ", running " << load.running << ", programs "
+     << load.programs << ", executed " << load.executed_total << "\n";
+  if (!active_programs.empty()) {
+    os << "  programs:";
+    for (ProgramId p : active_programs) os << " " << p.value;
+    os << "\n";
+  }
+  for (const auto& [pid, e] : ledger) {
+    os << "  account[" << pid.value << "]: microthreads " << e.microthreads
+       << ", vm-instructions " << e.vm_instructions << ", charged-cycles "
+       << e.charged_cycles << "\n";
+  }
+  os << metrics.to_text("  ");
+  return os.str();
+}
+
+std::string SiteStatus::to_json() const {
+  std::ostringstream os;
+  os << "{\"id\":" << id << ",\"name\":\"" << metrics::json_escape(name)
+     << "\",\"platform\":\"" << metrics::json_escape(platform)
+     << "\",\"speed\":" << speed
+     << ",\"joined\":" << (joined ? "true" : "false")
+     << ",\"signed_off\":" << (signed_off ? "true" : "false")
+     << ",\"code_site\":" << (code_site ? "true" : "false")
+     << ",\"cluster_size\":" << cluster_size << ",\"load\":{\"queued\":"
+     << load.queued_frames << ",\"running\":" << load.running
+     << ",\"programs\":" << load.programs << ",\"executed\":"
+     << load.executed_total << "},\"active_programs\":[";
+  for (std::size_t i = 0; i < active_programs.size(); ++i) {
+    if (i > 0) os << ",";
+    os << active_programs[i].value;
+  }
+  os << "],\"accounts\":{";
+  bool first = true;
+  for (const auto& [pid, e] : ledger) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << pid.value << "\":{\"microthreads\":" << e.microthreads
+       << ",\"vm_instructions\":" << e.vm_instructions
+       << ",\"charged_cycles\":" << e.charged_cycles << "}";
+  }
+  os << "},\"metrics\":" << metrics.to_json() << "}";
+  return os.str();
+}
+
+metrics::MetricsSnapshot ClusterStatus::aggregate() const {
+  metrics::MetricsSnapshot merged;
+  for (const auto& s : sites) merged.merge(s.metrics);
+  return merged;
+}
+
+AccountLedger ClusterStatus::total_ledger() const {
+  AccountLedger total;
+  for (const auto& s : sites) {
+    for (const auto& [pid, e] : s.ledger) total[pid] += e;
+  }
+  return total;
+}
+
+std::string ClusterStatus::to_text() const {
+  std::ostringstream os;
+  os << "cluster status (queried from site " << queried_from << ", "
+     << sites.size() << " site" << (sites.size() == 1 ? "" : "s");
+  if (!unreachable.empty()) {
+    os << ", unreachable:";
+    for (SiteId s : unreachable) os << " " << s;
+  }
+  os << ")\n";
+  for (const auto& s : sites) os << s.to_text();
+  os << "aggregate:\n" << aggregate().to_text("  ");
+  AccountLedger bill = total_ledger();
+  for (const auto& [pid, e] : bill) {
+    os << "  bill[" << pid.value << "]: microthreads " << e.microthreads
+       << ", vm-instructions " << e.vm_instructions << ", charged-cycles "
+       << e.charged_cycles << "\n";
+  }
+  return os.str();
+}
+
+std::string ClusterStatus::to_json() const {
+  std::ostringstream os;
+  os << "{\"queried_from\":" << queried_from << ",\"unreachable\":[";
+  for (std::size_t i = 0; i < unreachable.size(); ++i) {
+    if (i > 0) os << ",";
+    os << unreachable[i];
+  }
+  os << "],\"sites\":[";
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    if (i > 0) os << ",";
+    os << sites[i].to_json();
+  }
+  os << "],\"aggregate\":" << aggregate().to_json() << "}";
+  return os.str();
+}
+
+}  // namespace sdvm

@@ -1,0 +1,65 @@
+// SiteStatus / ClusterStatus — the unified introspection snapshot (paper
+// §4: the site manager "provides the functionality to query the status of
+// the local site, i.e. all local managers"). One struct replaces the three
+// former peepholes (trace hook, accounting ledger, ad-hoc status strings):
+// Site::introspect() returns a SiteStatus; the kMetricsQuery/kMetricsReply
+// exchange ships it across the wire; ClusterStatus aggregates one per site
+// for tools (sdvm-top) and the bench harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "runtime/accounting.hpp"
+#include "runtime/cluster_info.hpp"
+#include "runtime/metrics.hpp"
+
+namespace sdvm {
+
+/// Complete point-in-time snapshot of one site: identity, lifecycle state,
+/// load, active programs, the accounting ledger, and every registered
+/// metric.
+struct SiteStatus {
+  SiteId id = kInvalidSite;
+  std::string name;
+  PlatformId platform;
+  double speed = 1.0;
+  bool joined = false;
+  bool signed_off = false;
+  bool code_site = false;
+  std::uint32_t cluster_size = 0;  // live sites as seen from this site
+  LoadStats load;
+  std::vector<ProgramId> active_programs;
+  AccountLedger ledger;
+  metrics::MetricsSnapshot metrics;
+
+  void serialize(ByteWriter& w) const;
+  static Result<SiteStatus> deserialize(ByteReader& r);
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Cluster-wide aggregation: one SiteStatus per reachable site (sorted by
+/// id), as collected via kMetricsQuery fan-out from `queried_from`.
+struct ClusterStatus {
+  SiteId queried_from = kInvalidSite;
+  /// Sites that did not answer within the query timeout (partial result).
+  std::vector<SiteId> unreachable;
+  std::vector<SiteStatus> sites;
+
+  /// Element-wise merge of every site's metrics snapshot — the
+  /// cluster-wide counters sdvm-top and the bench harness report.
+  [[nodiscard]] metrics::MetricsSnapshot aggregate() const;
+  /// Summed accounting ledger across sites (the cluster-wide bill).
+  [[nodiscard]] AccountLedger total_ledger() const;
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace sdvm

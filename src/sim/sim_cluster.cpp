@@ -206,6 +206,55 @@ Result<std::int64_t> SimCluster::run_program(ProgramId pid, Nanos deadline) {
   return *find_verdict();
 }
 
+Result<SiteStatus> SimCluster::status(std::size_t index) {
+  if (index >= entries_.size()) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "no site at index " + std::to_string(index));
+  }
+  Entry* e = entries_[index].get();
+  if (e->killed) {
+    return Status::error(ErrorCode::kUnavailable, "site was killed");
+  }
+  return e->site->introspect();
+}
+
+Result<ClusterStatus> SimCluster::cluster_status(std::size_t via_index,
+                                                 Nanos timeout) {
+  if (via_index >= entries_.size()) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "no site at index " + std::to_string(via_index));
+  }
+  Entry* e = entries_[via_index].get();
+  if (e->killed) {
+    return Status::error(ErrorCode::kUnavailable, "site was killed");
+  }
+
+  std::optional<ClusterStatus> result;
+  {
+    std::lock_guard lk(e->site->lock());
+    e->site->site_manager().query_cluster_status(
+        [&result](ClusterStatus cs) { result = std::move(cs); }, timeout);
+  }
+  // The query's own timeout timer guarantees completion within `timeout`
+  // virtual time; the margin lets that final timer event fire.
+  loop_.run_until([&] { return result.has_value(); },
+                  loop_.now() + timeout + kNanosPerSecond);
+  if (!result.has_value()) {
+    return Status::error(ErrorCode::kUnavailable,
+                         "cluster status query did not complete");
+  }
+  return std::move(*result);
+}
+
+Status SimCluster::install_trace_hook(std::size_t index, FrameTraceHook hook) {
+  if (index >= entries_.size()) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "no site at index " + std::to_string(index));
+  }
+  entries_[index]->site->set_frame_trace(std::move(hook));
+  return Status::ok();
+}
+
 Result<SiteId> SimCluster::sign_off(std::size_t index) {
   auto result = entries_.at(index)->site->sign_off();
   // Let the relocation and notices drain.

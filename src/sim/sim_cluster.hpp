@@ -70,6 +70,22 @@ class SimCluster {
   /// Looks a site up by logical id (dead sites included).
   [[nodiscard]] Site* site_by_id(SiteId id);
 
+  // --- observability facade ----------------------------------------------
+  // Identical signatures on LocalCluster, SimCluster and TcpNode.
+
+  /// Unified snapshot of one member site (Site::introspect()).
+  [[nodiscard]] Result<SiteStatus> status(std::size_t index);
+
+  /// Cluster-wide aggregated snapshot, queried through the site at
+  /// `via_index` (kMetricsQuery fan-out). Runs the event loop up to
+  /// `timeout` virtual nanos; sites that do not answer land in
+  /// `unreachable`.
+  [[nodiscard]] Result<ClusterStatus> cluster_status(
+      std::size_t via_index = 0, Nanos timeout = 2'000'000'000);
+
+  /// Installs a frame-career trace hook on one site.
+  Status install_trace_hook(std::size_t index, FrameTraceHook hook);
+
  private:
   class SimDriver;
 

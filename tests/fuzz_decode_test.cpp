@@ -11,6 +11,7 @@
 #include "runtime/message.hpp"
 #include "runtime/program.hpp"
 #include "runtime/security_manager.hpp"
+#include "runtime/site_status.hpp"
 
 namespace sdvm {
 namespace {
@@ -64,6 +65,57 @@ TEST_P(FuzzDecodeTest, SiteInfo) {
       // SiteInfo::deserialize may throw through LoadStats; both outcomes
       // are acceptable, crashing is not.
     }
+  }
+}
+
+TEST_P(FuzzDecodeTest, MetricsSnapshot) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 700);
+  for (int i = 0; i < 500; ++i) {
+    auto bytes = random_bytes(rng, 256);
+    ByteReader r(bytes);
+    auto s = metrics::MetricsSnapshot::deserialize(r);
+    (void)s;  // Result-based: ok or kCorrupt, never a crash or throw
+  }
+}
+
+TEST_P(FuzzDecodeTest, SiteStatus) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 800);
+  for (int i = 0; i < 500; ++i) {
+    auto bytes = random_bytes(rng, 512);
+    ByteReader r(bytes);
+    auto s = SiteStatus::deserialize(r);
+    (void)s;
+  }
+}
+
+TEST_P(FuzzDecodeTest, SiteStatusBitflips) {
+  // Start from VALID kMetricsReply payload bytes and flip random bits —
+  // closer to real wire corruption than pure noise.
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 900);
+  SiteStatus good;
+  good.id = 7;
+  good.name = "victim";
+  good.platform = "x86-linux";
+  good.cluster_size = 3;
+  good.active_programs = {ProgramId(1), ProgramId(2)};
+  good.ledger[ProgramId(1)] = AccountEntry{3, 30, 300};
+  good.metrics.add_counter("proc.executed", 99);
+  metrics::Histogram h;
+  h.record(5'000);
+  good.metrics.add_histogram("proc.runtime_ns", h);
+  ByteWriter w;
+  good.serialize(w);
+  auto baseline = w.take();
+  for (int i = 0; i < 500; ++i) {
+    auto bytes = baseline;
+    int flips = 1 + static_cast<int>(rng.below(8));
+    for (int f = 0; f < flips; ++f) {
+      std::size_t pos = rng.below(bytes.size());
+      bytes[pos] ^= std::byte{static_cast<unsigned char>(1u << rng.below(8))};
+    }
+    ByteReader r(bytes);
+    auto s = SiteStatus::deserialize(r);
+    (void)s;
   }
 }
 

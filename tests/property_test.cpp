@@ -4,6 +4,8 @@
 //  - scheduler conservation under random help-request interleavings;
 //  - determinism: identical sim configurations produce identical virtual
 //    makespans and execution counts.
+//  - introspection wire safety: randomized SiteStatus / MetricsSnapshot
+//    values survive a serialize/deserialize round trip bit-exactly.
 #include <gtest/gtest.h>
 
 #include "test_util.hpp"
@@ -11,6 +13,8 @@
 #include "apps/fibonacci.hpp"
 #include "apps/matmul.hpp"
 #include "apps/primes.hpp"
+#include "common/rng.hpp"
+#include "runtime/site_status.hpp"
 #include "sim/sim_cluster.hpp"
 
 namespace sdvm {
@@ -172,6 +176,101 @@ INSTANTIATE_TEST_SUITE_P(
     Shapes, MatmulSweepTest,
     ::testing::Values(std::pair{4, 1}, std::pair{4, 4}, std::pair{7, 2},
                       std::pair{8, 3}, std::pair{12, 5}, std::pair{16, 4}));
+
+metrics::MetricsSnapshot random_snapshot(Xoshiro256& rng) {
+  metrics::MetricsSnapshot s;
+  std::size_t n = rng.below(12);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string name = "m." + std::to_string(rng.below(64));
+    switch (rng.below(3)) {
+      case 0:
+        s.add_counter(name, rng());
+        break;
+      case 1:
+        s.add_gauge(name, static_cast<std::int64_t>(rng()));
+        break;
+      default: {
+        metrics::Histogram h;
+        std::size_t samples = rng.below(20);
+        for (std::size_t k = 0; k < samples; ++k) {
+          h.record(static_cast<Nanos>(rng.below(20'000'000'000)));
+        }
+        s.add_histogram(name, h);
+      }
+    }
+  }
+  return s;
+}
+
+class IntrospectionRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntrospectionRoundTripTest, MetricsSnapshotBitExact) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  for (int i = 0; i < 50; ++i) {
+    metrics::MetricsSnapshot s = random_snapshot(rng);
+    ByteWriter w;
+    s.serialize(w);
+    auto bytes = w.take();
+    ByteReader r(bytes);
+    auto back = metrics::MetricsSnapshot::deserialize(r);
+    ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+    EXPECT_EQ(back.value(), s);
+  }
+}
+
+TEST_P(IntrospectionRoundTripTest, SiteStatusSurvivesTheWire) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 1);
+  for (int i = 0; i < 30; ++i) {
+    SiteStatus s;
+    s.id = static_cast<SiteId>(rng.below(1000));
+    s.name = "site-" + std::to_string(rng.below(100));
+    s.platform = rng.below(2) ? "x86-linux" : "arm-macos";
+    s.speed = static_cast<double>(rng.below(100)) / 10.0;
+    s.joined = rng.below(2) != 0;
+    s.signed_off = rng.below(2) != 0;
+    s.code_site = rng.below(2) != 0;
+    s.cluster_size = static_cast<std::uint32_t>(rng.below(64));
+    s.load.queued_frames = static_cast<std::uint32_t>(rng.below(1000));
+    s.load.running = static_cast<std::uint32_t>(rng.below(16));
+    s.load.programs = static_cast<std::uint32_t>(rng.below(8));
+    s.load.executed_total = rng();
+    std::size_t nprogs = rng.below(5);
+    for (std::size_t k = 0; k < nprogs; ++k) {
+      ProgramId pid(rng());
+      s.active_programs.push_back(pid);
+      s.ledger[pid] = AccountEntry{rng.below(100), rng.below(100000),
+                                   rng.below(1000000)};
+    }
+    s.metrics = random_snapshot(rng);
+
+    ByteWriter w;
+    s.serialize(w);
+    auto bytes = w.take();
+    ByteReader r(bytes);
+    auto back = SiteStatus::deserialize(r);
+    ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+    const SiteStatus& b = back.value();
+    EXPECT_EQ(b.id, s.id);
+    EXPECT_EQ(b.name, s.name);
+    EXPECT_EQ(b.platform, s.platform);
+    EXPECT_DOUBLE_EQ(b.speed, s.speed);
+    EXPECT_EQ(b.joined, s.joined);
+    EXPECT_EQ(b.signed_off, s.signed_off);
+    EXPECT_EQ(b.code_site, s.code_site);
+    EXPECT_EQ(b.cluster_size, s.cluster_size);
+    EXPECT_EQ(b.load.executed_total, s.load.executed_total);
+    EXPECT_EQ(b.active_programs, s.active_programs);
+    EXPECT_EQ(b.ledger.size(), s.ledger.size());
+    for (const auto& [pid, e] : s.ledger) {
+      ASSERT_EQ(b.ledger.count(pid), 1u);
+      EXPECT_EQ(b.ledger.at(pid).charged_cycles, e.charged_cycles);
+    }
+    EXPECT_EQ(b.metrics, s.metrics);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntrospectionRoundTripTest,
+                         ::testing::Range(0, 6));
 
 }  // namespace
 }  // namespace sdvm

@@ -2,19 +2,56 @@
 // the functionality to query the status of the local site, i.e. all local
 // managers"; goal 15: access from any machine).
 //
-//   sdvm-top --join 127.0.0.1:7000 [--interval S] [--once]
+//   sdvm-top --join 127.0.0.1:7000 [--interval S] [--once] [--json]
+//            [--metrics]
 //
-// Joins the cluster as an observer site, then periodically queries every
-// member's site manager over the wire and prints a cluster-wide view.
+// Joins the cluster as an observer site, then periodically issues the
+// unified introspection query (kMetricsQuery fan-out via
+// TcpNode::cluster_status) and prints a cluster-wide view: a load table,
+// optionally the full per-site metric catalog (--metrics), or the whole
+// ClusterStatus as JSON (--json).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <map>
 #include <thread>
 
 #include "api/tcp_node.hpp"
 
 using namespace sdvm;
+
+namespace {
+
+void print_table(const ClusterStatus& cs, const std::string& join_addr,
+                 SiteId self, bool with_metrics) {
+  std::printf("\n=== SDVM cluster via %s — %zu sites", join_addr.c_str(),
+              cs.sites.size());
+  if (!cs.unreachable.empty()) {
+    std::printf(" (%zu unreachable)", cs.unreachable.size());
+  }
+  std::printf(" ===\n");
+  std::printf("%6s %-12s %-14s %6s | %7s %7s %9s %9s\n", "site", "name",
+              "platform", "speed", "queued", "running", "executed",
+              "programs");
+  for (const SiteStatus& s : cs.sites) {
+    std::printf("%6u %-12s %-14s %6.1f | %7u %7u %9llu %9u%s\n", s.id,
+                s.name.c_str(), s.platform.c_str(), s.speed,
+                s.load.queued_frames, s.load.running,
+                static_cast<unsigned long long>(s.load.executed_total),
+                s.load.programs,
+                s.id == self          ? "  (this monitor)"
+                : s.code_site         ? "  [code site]"
+                                      : "");
+  }
+  for (SiteId sid : cs.unreachable) {
+    std::printf("%6u %-12s (no answer)\n", sid, "?");
+  }
+  if (with_metrics) {
+    std::printf("--- aggregate metrics ---\n%s",
+                cs.aggregate().to_text("  ").c_str());
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string join_addr;
@@ -22,6 +59,8 @@ int main(int argc, char** argv) {
   options.site.name = "sdvm-top";
   int interval_s = 2;
   bool once = false;
+  bool json = false;
+  bool metrics = false;
 
   for (int i = 1; i < argc; ++i) {
     auto need = [&](const char* flag) -> const char* {
@@ -40,6 +79,10 @@ int main(int argc, char** argv) {
       interval_s = std::atoi(need("--interval"));
     } else if (std::strcmp(argv[i], "--once") == 0) {
       once = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -47,7 +90,8 @@ int main(int argc, char** argv) {
   }
   if (join_addr.empty()) {
     std::fprintf(stderr,
-                 "usage: sdvm-top --join HOST:PORT [--interval S] [--once]\n");
+                 "usage: sdvm-top --join HOST:PORT [--interval S] [--once] "
+                 "[--json] [--metrics]\n");
     return 2;
   }
 
@@ -64,57 +108,16 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  Site& site = node.value()->site();
+  SiteId self = node.value()->site().id();
   for (;;) {
-    std::vector<SiteId> members;
-    {
-      std::lock_guard lk(site.lock());
-      members = site.cluster().known_sites(/*alive_only=*/true);
-    }
-
-    std::map<SiteId, LoadStats> loads;
-    std::map<SiteId, bool> answered;
-    {
-      std::lock_guard lk(site.lock());
-      for (SiteId sid : members) {
-        if (sid == site.id()) continue;
-        SdMessage q;
-        q.dst = sid;
-        q.src_mgr = q.dst_mgr = ManagerId::kSite;
-        q.type = MsgType::kStatusQuery;
-        (void)site.messages().request(q, [&loads, &answered,
-                                          sid](Result<SdMessage> r) {
-          if (!r.is_ok()) return;
-          try {
-            ByteReader rd(r.value().payload);
-            (void)rd.str();  // human-readable text; we want the stats
-            loads[sid] = LoadStats::deserialize(rd);
-            answered[sid] = true;
-          } catch (const DecodeError&) {
-          }
-        });
-      }
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(300));
-
-    std::printf("\n=== SDVM cluster via %s — %zu live sites ===\n",
-                join_addr.c_str(), members.size());
-    std::printf("%6s %-12s %-14s %6s | %7s %7s %9s %9s\n", "site", "name",
-                "platform", "speed", "queued", "running", "executed",
-                "programs");
-    std::lock_guard lk(site.lock());
-    for (SiteId sid : members) {
-      const SiteInfo* info = site.cluster().find(sid);
-      if (info == nullptr) continue;
-      LoadStats stats = answered.count(sid) ? loads[sid] : info->load;
-      std::printf("%6u %-12s %-14s %6.1f | %7u %7u %9llu %9u%s\n", sid,
-                  info->name.c_str(), info->platform.c_str(), info->speed,
-                  stats.queued_frames, stats.running,
-                  static_cast<unsigned long long>(stats.executed_total),
-                  stats.programs,
-                  sid == site.id() ? "  (this monitor)"
-                  : info->code_site ? "  [code site]"
-                                    : "");
+    auto cs = node.value()->cluster_status(0, 2 * kNanosPerSecond);
+    if (!cs.is_ok()) {
+      std::fprintf(stderr, "status query failed: %s\n",
+                   cs.status().to_string().c_str());
+    } else if (json) {
+      std::printf("%s\n", cs.value().to_json().c_str());
+    } else {
+      print_table(cs.value(), join_addr, self, metrics);
     }
     std::fflush(stdout);
     if (once) break;
@@ -122,6 +125,7 @@ int main(int argc, char** argv) {
   }
 
   {
+    Site& site = node.value()->site();
     std::lock_guard lk(site.lock());
     (void)site.sign_off();
   }
