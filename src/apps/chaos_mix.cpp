@@ -1,0 +1,62 @@
+#include "apps/chaos_mix.hpp"
+
+#include <string>
+
+#include "apps/fibonacci.hpp"
+#include "apps/primes.hpp"
+#include "common/rng.hpp"
+
+namespace sdvm::apps {
+
+ChaosWorkload make_chaos_workload(std::uint64_t seed) {
+  // Mix the purpose in so workload choice decorrelates from the fault
+  // schedule generated from the same seed.
+  Xoshiro256 rng(seed ^ 0x3A0C10ADull);
+  ChaosWorkload w;
+  if (rng.below(3) < 2) {
+    // Primes: the paper's Table-1 app. Sized for several virtual seconds
+    // so kills and partitions land mid-computation.
+    PrimesParams p;
+    p.p = 40 + static_cast<std::int64_t>(rng.below(41));      // 40..80
+    p.width = 6 + static_cast<std::int64_t>(rng.below(5));    // 6..10
+    p.work_mult = 30'000'000;                                 // ~30 ms/test
+    w.name = "primes(p=" + std::to_string(p.p) +
+             ",w=" + std::to_string(p.width) + ")";
+    w.spec = make_primes_program(p);
+    w.verify = [p](const std::vector<std::string>& out)
+        -> std::optional<std::string> {
+      if (out.empty()) return "no output collected at the frontend";
+      std::int64_t found = 0;
+      try {
+        found = std::stoll(out.back());
+      } catch (...) {
+        return "unparseable verdict line '" + out.back() + "'";
+      }
+      if (found < p.p || found >= p.p + p.width) {
+        return "primes verdict " + std::to_string(found) +
+               " outside [" + std::to_string(p.p) + ", " +
+               std::to_string(p.p + p.width) + ")";
+      }
+      return std::nullopt;
+    };
+  } else {
+    FibParams f;
+    f.n = 11 + static_cast<std::int64_t>(rng.below(4));  // 11..14
+    f.leaf_work = 3'000'000;
+    w.name = "fib(n=" + std::to_string(f.n) + ")";
+    w.spec = make_fib_program(f);
+    std::int64_t expected = fib_reference(f.n);
+    w.verify = [expected](const std::vector<std::string>& out)
+        -> std::optional<std::string> {
+      if (out.empty()) return "no output collected at the frontend";
+      if (out.back() != std::to_string(expected)) {
+        return "fib verdict '" + out.back() + "' != expected " +
+               std::to_string(expected);
+      }
+      return std::nullopt;
+    };
+  }
+  return w;
+}
+
+}  // namespace sdvm::apps

@@ -1,0 +1,34 @@
+// Seed-driven workload picker for the chaos harness (sdvm::chaos). Each
+// chaos iteration runs one real dataflow application — primes (the
+// paper's evaluation app, regular rounds) or fibonacci (irregular
+// fork/join) — with seed-derived parameters sized so the program is still
+// mid-flight while the fault schedule plays out. The workload carries its
+// own verdict checker so the harness can assert result *correctness*, not
+// just termination, after crashes and recoveries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/program.hpp"
+
+namespace sdvm::apps {
+
+struct ChaosWorkload {
+  std::string name;  // deterministic label, e.g. "primes(p=60,w=8)"
+  ProgramSpec spec;
+  /// Inspects the frontend's collected output lines; returns a failure
+  /// description, or nullopt when the result is correct. Tolerant of
+  /// duplicated lines from re-executed rounds (at-least-once I/O): only
+  /// the final verdict line is judged.
+  std::function<std::optional<std::string>(const std::vector<std::string>&)>
+      verify;
+};
+
+/// Pure function of the seed: same seed, same workload and parameters.
+[[nodiscard]] ChaosWorkload make_chaos_workload(std::uint64_t seed);
+
+}  // namespace sdvm::apps

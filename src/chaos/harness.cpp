@@ -1,0 +1,293 @@
+#include "chaos/harness.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "apps/chaos_mix.hpp"
+#include "runtime/site.hpp"
+
+namespace sdvm::chaos {
+
+namespace {
+
+/// Site config used for every chaos run: checkpointing on a sub-second
+/// cadence and an aggressive failure detector, so recovery machinery is
+/// exercised inside the schedule horizon.
+SiteConfig chaos_site_config() {
+  SiteConfig cfg;
+  cfg.checkpoints_enabled = true;
+  cfg.checkpoint_interval = kNanosPerSecond / 2;
+  cfg.heartbeat_interval = 100'000'000;   // 100 ms
+  cfg.failure_timeout = 400'000'000;      // 400 ms
+  return cfg;
+}
+
+}  // namespace
+
+void ChaosHarness::add_invariant(std::string name, InvariantFn fn,
+                                 bool quiescence_only) {
+  custom_.push_back(
+      CustomInvariant{std::move(name), std::move(fn), quiescence_only});
+}
+
+RunReport ChaosHarness::run(const ChaosSchedule& schedule) {
+  RunReport report;
+  report.seed = schedule.seed;
+
+  sim::SimCluster::Options opts;
+  opts.seed = schedule.seed;
+  const net::LinkModel base_link = opts.link;
+  sim::SimCluster cluster(opts);
+  cluster.add_sites(std::max(schedule.sites, 1), 1.0, chaos_site_config());
+
+  std::vector<SiteRecord> records(cluster.size());
+  InvariantChecker checker;
+
+  apps::ChaosWorkload workload = apps::make_chaos_workload(schedule.seed);
+  report.workload = workload.name;
+  auto started = cluster.start_program(workload.spec, 0);
+  if (!started.is_ok()) {
+    report.violations.push_back(Violation{
+        "workload-starts", started.status().message(), -1, cluster.now()});
+    report.trace.push_back(report.violations.back().to_line());
+    return report;
+  }
+  ProgramId pid = started.value();
+
+  bool partition_active = false;
+  bool loss_active = false;
+
+  auto live = [&records](std::size_t i) {
+    return i < records.size() && !records[i].killed && !records[i].signed_off &&
+           !records[i].join_failed;
+  };
+  auto live_count = [&] {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (live(i)) ++n;
+    }
+    return n;
+  };
+  auto address = [&cluster](std::size_t i) {
+    return cluster.site(i).transport()->local_address();
+  };
+  auto trace = [&](const std::string& line) {
+    std::ostringstream os;
+    os << "t=" << cluster.now() << "ns " << line;
+    report.trace.push_back(os.str());
+  };
+
+  auto make_context = [&](bool at_quiescence) {
+    ChaosContext ctx{cluster, pid, records};
+    ctx.at_quiescence = at_quiescence;
+    ctx.faults_active = partition_active || loss_active;
+    ctx.terminated = report.terminated;
+    ctx.exit_code = report.exit_code;
+    return ctx;
+  };
+  auto run_checks = [&](int event_index, bool at_quiescence) {
+    ChaosContext ctx = make_context(at_quiescence);
+    std::vector<Violation> found = checker.check(ctx, event_index);
+    for (const CustomInvariant& ci : custom_) {
+      if (ci.quiescence_only && !at_quiescence) continue;
+      if (std::optional<std::string> detail = ci.fn(ctx)) {
+        found.push_back(
+            Violation{ci.name, *detail, event_index, cluster.now()});
+      }
+    }
+    // The checker learns about termination while scanning exit codes.
+    report.terminated = report.terminated || ctx.terminated;
+    if (ctx.terminated) report.exit_code = ctx.exit_code;
+    for (Violation& v : found) {
+      trace("VIOLATION " + v.invariant + ": " + v.detail);
+      report.violations.push_back(std::move(v));
+    }
+  };
+
+  // Re-assert network kills: InProcNetwork::heal() clears its killed set
+  // along with partitions, but a crashed site must stay crashed.
+  auto rekill_dead = [&] {
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (records[i].killed) cluster.network().kill(address(i));
+    }
+  };
+
+  auto apply = [&](const ChaosEvent& ev, int index) {
+    auto skip = [&](const std::string& why) {
+      trace("#" + std::to_string(index) + " skip " + ev.to_line() + " (" +
+            why + ")");
+    };
+    switch (ev.kind) {
+      case EventKind::kKill:
+      case EventKind::kSignOff: {
+        std::size_t t = ev.target;
+        const char* what =
+            ev.kind == EventKind::kKill ? "kill" : "sign-off";
+        if (t >= records.size() || !live(t)) return skip("target not live");
+        if (live_count() <= 2) return skip("would leave <2 live sites");
+        if (t == 0 && !options_.allow_home_faults) {
+          return skip("home site protected");
+        }
+        if (ev.kind == EventKind::kSignOff && partition_active) {
+          return skip("no graceful sign-off across a partition");
+        }
+        trace("#" + std::to_string(index) + " apply " + ev.to_line());
+        if (ev.kind == EventKind::kKill) {
+          cluster.kill(t);
+          records[t].killed = true;
+        } else {
+          auto r = cluster.sign_off(t);
+          if (r.is_ok()) {
+            records[t].signed_off = true;
+          } else {
+            trace("#" + std::to_string(index) + " sign-off failed: " +
+                  r.status().message());
+          }
+        }
+        return;
+      }
+      case EventKind::kAddSite: {
+        int contact = -1;
+        for (std::size_t i = 0; i < records.size(); ++i) {
+          if (live(i)) {
+            contact = static_cast<int>(i);
+            break;
+          }
+        }
+        if (contact < 0) return skip("no live contact");
+        trace("#" + std::to_string(index) + " apply " + ev.to_line());
+        Site& added = cluster.add_site(chaos_site_config(), contact);
+        records.push_back(SiteRecord{});
+        if (!added.joined()) {
+          records.back().join_failed = true;
+          trace("#" + std::to_string(index) + " join did not complete");
+        }
+        return;
+      }
+      case EventKind::kPartition: {
+        std::size_t split = ev.target;
+        if (partition_active) return skip("partition already active");
+        std::vector<std::string> a;
+        std::vector<std::string> b;
+        for (std::size_t i = 0; i < records.size(); ++i) {
+          if (!live(i)) continue;
+          (i < split ? a : b).push_back(address(i));
+        }
+        if (a.empty() || b.empty()) return skip("split leaves a side empty");
+        trace("#" + std::to_string(index) + " apply " + ev.to_line());
+        cluster.network().partition(a, b);
+        partition_active = true;
+        return;
+      }
+      case EventKind::kHeal: {
+        trace("#" + std::to_string(index) + " apply " + ev.to_line());
+        cluster.network().heal();
+        rekill_dead();
+        partition_active = false;
+        return;
+      }
+      case EventKind::kLossBurst: {
+        trace("#" + std::to_string(index) + " apply " + ev.to_line());
+        net::LinkModel lossy = base_link;
+        lossy.loss = ev.loss;
+        cluster.network().set_default_link(lossy);
+        loss_active = true;
+        return;
+      }
+      case EventKind::kLossClear: {
+        trace("#" + std::to_string(index) + " apply " + ev.to_line());
+        cluster.network().set_default_link(base_link);
+        loss_active = false;
+        return;
+      }
+    }
+  };
+
+  trace("run seed=" + std::to_string(schedule.seed) + " sites=" +
+        std::to_string(schedule.sites) + " workload=" + workload.name);
+
+  const Nanos t0 = cluster.now();
+  for (std::size_t i = 0; i < schedule.events.size(); ++i) {
+    const ChaosEvent& ev = schedule.events[i];
+    Nanos due = t0 + ev.at;
+    if (due > cluster.now()) cluster.loop().run_for(due - cluster.now());
+    apply(ev, static_cast<int>(i));
+    run_checks(static_cast<int>(i), /*at_quiescence=*/false);
+  }
+
+  // Shrunk subsets may have lost their heal/clear tail; restore a fault-free
+  // fabric so quiescence invariants stay meaningful. (This cannot repair a
+  // wedge the faults already caused — messages lost are lost.)
+  if (partition_active) {
+    trace("implicit heal (schedule left a partition active)");
+    cluster.network().heal();
+    rekill_dead();
+    partition_active = false;
+  }
+  if (loss_active) {
+    trace("implicit loss clear (schedule left a loss burst active)");
+    cluster.network().set_default_link(base_link);
+    loss_active = false;
+  }
+
+  // Drain: run until some live site commits a verdict, checking liveness
+  // invariants once per virtual half second.
+  const int post_events = static_cast<int>(schedule.events.size());
+  auto find_verdict = [&]() -> std::optional<std::int64_t> {
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      if (!live(i)) continue;
+      Site& site = cluster.site(i);
+      if (site.programs().is_terminated(pid)) {
+        return site.programs().exit_code(pid).value_or(0);
+      }
+    }
+    return std::nullopt;
+  };
+  const Nanos deadline = cluster.now() + options_.deadline;
+  while (cluster.now() < deadline) {
+    if (auto code = find_verdict()) {
+      report.terminated = true;
+      report.exit_code = *code;
+      break;
+    }
+    Nanos slice =
+        std::min<Nanos>(kNanosPerSecond / 2, deadline - cluster.now());
+    cluster.loop().run_for(slice);
+    run_checks(post_events, /*at_quiescence=*/false);
+    if (report.terminated) break;
+  }
+  if (!report.terminated) {
+    trace("deadline exceeded without termination");
+  } else {
+    trace("terminated exit=" + std::to_string(report.exit_code));
+  }
+
+  // Settle, then the quiescence pass: membership convergence, directory
+  // owners, termination, and the workload's own result check.
+  cluster.loop().run_for(options_.settle);
+  run_checks(/*event_index=*/-1, /*at_quiescence=*/true);
+
+  if (report.terminated) {
+    std::vector<std::string> out;
+    if (live(0)) {
+      out = cluster.outputs(0, pid);
+    } else {
+      for (std::size_t i = 0; i < cluster.size(); ++i) {
+        if (!live(i)) continue;
+        out = cluster.outputs(i, pid);
+        if (!out.empty()) break;
+      }
+    }
+    if (std::optional<std::string> bad = workload.verify(out)) {
+      Violation v{"result-correct", *bad, -1, cluster.now()};
+      trace("VIOLATION " + v.invariant + ": " + v.detail);
+      report.violations.push_back(std::move(v));
+    }
+  }
+
+  report.passed = report.violations.empty();
+  trace(report.passed ? "verdict PASS" : "verdict FAIL");
+  return report;
+}
+
+}  // namespace sdvm::chaos

@@ -1,0 +1,72 @@
+// ChaosHarness: runs one ChaosSchedule against a fresh SimCluster and a
+// seed-derived workload, applying fault events at their virtual times and
+// running the invariant suite after every event, periodically while the
+// program drains, and once more at quiescence. The run is a pure function
+// of the schedule (plus harness options): the same schedule produces a
+// byte-identical trace and verdict, which is what the shrinker and the
+// replay CLI rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/invariants.hpp"
+#include "chaos/schedule.hpp"
+
+namespace sdvm::chaos {
+
+struct HarnessOptions {
+  /// Virtual-time budget for the workload after the last event applies.
+  Nanos deadline = 120 * kNanosPerSecond;
+  /// Post-run settle window before the quiescence invariant pass, long
+  /// enough for the failure detector and gossip to converge.
+  Nanos settle = 3 * kNanosPerSecond;
+  /// Permit kill/sign-off of site 0 (the workload home). Matches
+  /// GeneratorOptions::allow_home_faults; the harness enforces it again at
+  /// apply time so shrunk event subsets stay survivable-by-design.
+  bool allow_home_faults = false;
+};
+
+struct RunReport {
+  std::uint64_t seed = 0;
+  std::string workload;
+  bool passed = false;
+  bool terminated = false;
+  std::int64_t exit_code = 0;
+  std::vector<Violation> violations;
+  /// Virtual-time-stamped event/verdict lines; deterministic per schedule.
+  std::vector<std::string> trace;
+};
+
+/// Extension point: extra invariants run alongside the built-in suite.
+/// Returning a string reports a violation with that detail.
+using InvariantFn = std::function<std::optional<std::string>(ChaosContext&)>;
+
+class ChaosHarness {
+ public:
+  explicit ChaosHarness(HarnessOptions options = {}) : options_(options) {}
+
+  /// Registers a custom invariant. Quiescence-only checks run once at the
+  /// end; others also run after every event and drain slice.
+  void add_invariant(std::string name, InvariantFn fn,
+                     bool quiescence_only = false);
+
+  /// Runs the schedule to completion and returns the verdict. Stateless
+  /// across calls: every run builds a fresh cluster and checker.
+  [[nodiscard]] RunReport run(const ChaosSchedule& schedule);
+
+ private:
+  struct CustomInvariant {
+    std::string name;
+    InvariantFn fn;
+    bool quiescence_only;
+  };
+
+  HarnessOptions options_;
+  std::vector<CustomInvariant> custom_;
+};
+
+}  // namespace sdvm::chaos

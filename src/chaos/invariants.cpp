@@ -1,0 +1,225 @@
+#include "chaos/invariants.hpp"
+
+#include <optional>
+#include <sstream>
+
+#include "runtime/site.hpp"
+
+namespace sdvm::chaos {
+
+std::string Violation::to_line() const {
+  std::ostringstream os;
+  os << "[t=" << at << "ns";
+  if (event_index >= 0) {
+    os << " after #" << event_index;
+  } else {
+    os << " at quiescence";
+  }
+  os << "] " << invariant << ": " << detail;
+  return os.str();
+}
+
+std::vector<Violation> InvariantChecker::check(ChaosContext& ctx,
+                                               int event_index) {
+  std::vector<Violation> found;
+  check_exit_codes(ctx, found);
+  check_epochs(ctx, found);
+  check_progress(ctx, found);
+  if (ctx.at_quiescence) {
+    check_membership(ctx, found);
+    check_directory_owners(ctx, found);
+    check_termination(ctx, found);
+  }
+  for (Violation& v : found) {
+    v.event_index = event_index;
+    v.at = ctx.cluster.now();
+  }
+  return found;
+}
+
+// Paper §2.2/§6: crashes are absorbed by checkpoint recovery — the program
+// still commits exactly one result, and every live site that learns of the
+// termination must have learned the *same* exit code.
+void InvariantChecker::check_exit_codes(ChaosContext& ctx,
+                                        std::vector<Violation>& out) {
+  std::optional<std::int64_t> seen;
+  std::size_t seen_at = 0;
+  for (std::size_t i = 0; i < ctx.cluster.size(); ++i) {
+    if (!ctx.live(i)) continue;
+    Site& site = ctx.cluster.site(i);
+    if (!site.programs().is_terminated(ctx.pid)) continue;
+    std::int64_t code = site.programs().exit_code(ctx.pid).value_or(0);
+    if (!seen.has_value()) {
+      seen = code;
+      seen_at = i;
+      ctx.terminated = true;
+      ctx.exit_code = code;
+    } else if (*seen != code) {
+      out.push_back(Violation{
+          "one-committed-result",
+          "site index " + std::to_string(seen_at) + " committed exit code " +
+              std::to_string(*seen) + " but site index " + std::to_string(i) +
+              " committed " + std::to_string(code),
+          0, 0});
+    }
+  }
+}
+
+// Checkpoint epochs only move forward on every site: a recovery restores
+// *from* the latest committed epoch, it never un-commits one.
+void InvariantChecker::check_epochs(ChaosContext& ctx,
+                                    std::vector<Violation>& out) {
+  for (std::size_t i = 0; i < ctx.cluster.size(); ++i) {
+    if (!ctx.live(i)) continue;
+    auto status = ctx.cluster.status(i);
+    if (!status.is_ok()) continue;
+    auto epoch = static_cast<std::uint64_t>(
+        status.value().metrics.gauge_value("crash.committed_epoch"));
+    auto it = last_epoch_.find(i);
+    // A drop to zero is the program's snapshot being cleaned up at
+    // termination; only a rollback to an *earlier committed* epoch is an
+    // un-commit, which recovery must never do.
+    if (it != last_epoch_.end() && epoch != 0 && epoch < it->second) {
+      out.push_back(Violation{
+          "epoch-monotone",
+          "site index " + std::to_string(i) + " committed epoch went " +
+              std::to_string(it->second) + " -> " + std::to_string(epoch),
+          0, 0});
+    }
+    last_epoch_[i] = epoch;
+  }
+}
+
+// Liveness bound: with queued executable frames somewhere and no partition
+// or loss window in effect, cluster-wide execution must advance within
+// kProgressBound of virtual time (help requests retry on a millisecond
+// scale; checkpoint freezes abort within two seconds).
+void InvariantChecker::check_progress(ChaosContext& ctx,
+                                      std::vector<Violation>& out) {
+  std::uint64_t executed = 0;
+  std::uint32_t queued = 0;
+  for (std::size_t i = 0; i < ctx.cluster.size(); ++i) {
+    if (!ctx.live(i)) continue;
+    auto status = ctx.cluster.status(i);
+    if (!status.is_ok()) continue;
+    executed += status.value().load.executed_total;
+    queued += status.value().load.queued_frames;
+  }
+  Nanos now = ctx.cluster.now();
+  if (!progress_initialized_ || executed > last_executed_total_ ||
+      ctx.terminated || ctx.faults_active || queued == 0) {
+    // Progress, or a state where stalling is legitimate: reset the clock.
+    progress_initialized_ = true;
+    last_executed_total_ = executed;
+    last_progress_at_ = now;
+    return;
+  }
+  if (now - last_progress_at_ > kProgressBound) {
+    out.push_back(Violation{
+        "no-starved-frames",
+        std::to_string(queued) + " frames queued but executed_total stuck at " +
+            std::to_string(executed) + " for " +
+            std::to_string(now - last_progress_at_) + "ns",
+        0, 0});
+    last_progress_at_ = now;  // re-arm instead of repeating every check
+  }
+}
+
+// After heal + settle, any two sites that still consider *each other*
+// alive must agree on the whole membership view (gossip convergence,
+// paper §3.4). Pairs where either side has declared the other dead are
+// skipped: a partition outliving the failure timeout legitimately ends in
+// mutual death verdicts, and death is terminal per logical id.
+void InvariantChecker::check_membership(ChaosContext& ctx,
+                                        std::vector<Violation>& out) {
+  struct View {
+    std::size_t index;
+    SiteId id;
+    std::vector<SiteId> alive;
+  };
+  std::vector<View> views;
+  for (std::size_t i = 0; i < ctx.cluster.size(); ++i) {
+    if (!ctx.live(i)) continue;
+    Site& site = ctx.cluster.site(i);
+    if (!site.joined()) continue;
+    views.push_back(View{i, site.id(), site.cluster().known_sites(true)});
+  }
+  auto sees_alive = [](const View& v, SiteId other) {
+    for (SiteId s : v.alive) {
+      if (s == other) return true;
+    }
+    return false;
+  };
+  for (std::size_t a = 0; a < views.size(); ++a) {
+    for (std::size_t b = a + 1; b < views.size(); ++b) {
+      if (!sees_alive(views[a], views[b].id) ||
+          !sees_alive(views[b], views[a].id)) {
+        continue;
+      }
+      if (views[a].alive != views[b].alive) {
+        auto render = [](const std::vector<SiteId>& ids) {
+          std::string s = "{";
+          for (SiteId id : ids) s += std::to_string(id) + ",";
+          s += "}";
+          return s;
+        };
+        out.push_back(Violation{
+            "membership-convergence",
+            "site " + std::to_string(views[a].id) + " sees " +
+                render(views[a].alive) + " but site " +
+                std::to_string(views[b].id) + " sees " +
+                render(views[b].alive),
+            0, 0});
+      }
+    }
+  }
+}
+
+// No global address may be owned by a departed site: every directory
+// entry's owner must resolve (through the sign-off/recovery successor
+// chain) to a site the directory holder itself believes alive.
+void InvariantChecker::check_directory_owners(ChaosContext& ctx,
+                                              std::vector<Violation>& out) {
+  for (std::size_t i = 0; i < ctx.cluster.size(); ++i) {
+    if (!ctx.live(i)) continue;
+    Site& site = ctx.cluster.site(i);
+    if (!site.joined()) continue;
+    for (const auto& [addr, owner] : site.memory().directory_snapshot()) {
+      SiteId resolved = site.cluster().resolve_successor(owner);
+      const SiteInfo* info = site.cluster().find(resolved);
+      if (info != nullptr && !info->alive) {
+        out.push_back(Violation{
+            "frame-owner-live",
+            "site " + std::to_string(site.id()) + " directory entry " +
+                std::to_string(addr.value) + " owned by site " +
+                std::to_string(owner) + " which resolves to dead site " +
+                std::to_string(resolved),
+            0, 0});
+      }
+    }
+  }
+}
+
+// The headline claim (§2.2): the cluster keeps computing while machines
+// sign on and off and crash. At quiescence the workload must have
+// committed its result on some live site.
+void InvariantChecker::check_termination(ChaosContext& ctx,
+                                         std::vector<Violation>& out) {
+  if (ctx.terminated) return;
+  std::string detail = "program never terminated;";
+  for (std::size_t i = 0; i < ctx.cluster.size(); ++i) {
+    if (!ctx.live(i)) continue;
+    auto status = ctx.cluster.status(i);
+    if (!status.is_ok()) continue;
+    if (status.value().load.queued_frames > 0 ||
+        status.value().load.running > 0) {
+      detail += " site index " + std::to_string(i) + " holds " +
+                std::to_string(status.value().load.queued_frames) +
+                " queued / " + std::to_string(status.value().load.running) +
+                " running;";
+    }
+  }
+  out.push_back(Violation{"program-terminates", detail, 0, 0});
+}
+
+}  // namespace sdvm::chaos

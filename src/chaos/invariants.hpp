@@ -1,0 +1,85 @@
+// Cluster-wide invariant checkers for the chaos harness. Each check runs
+// against the live SimCluster (site introspection + metrics snapshots)
+// after every applied fault event and again at quiescence, and returns
+// human-readable violations. Checks are split into:
+//   * always-on safety invariants (exit-code agreement, checkpoint-epoch
+//     monotonicity, executable-frame progress bound), and
+//   * quiescence invariants that only hold once faults have healed and
+//     the failure detector settled (membership convergence, directory
+//     owners live, program termination).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/sim_cluster.hpp"
+
+namespace sdvm::chaos {
+
+struct Violation {
+  std::string invariant;  // stable name, e.g. "epoch-monotone"
+  std::string detail;
+  int event_index = -1;   // schedule event after which it fired; -1 = quiescence
+  Nanos at = 0;           // virtual time of the check
+
+  [[nodiscard]] std::string to_line() const;
+};
+
+/// What the harness knows about each SimCluster entry beyond what the
+/// sites themselves can tell us (ground truth for the checkers).
+struct SiteRecord {
+  bool killed = false;
+  bool signed_off = false;
+  bool join_failed = false;
+};
+
+/// Snapshot of harness state handed to every checker.
+struct ChaosContext {
+  sim::SimCluster& cluster;
+  ProgramId pid;
+  const std::vector<SiteRecord>& sites;  // parallel to cluster entries
+  bool at_quiescence = false;  // all events applied, detector settled
+  bool faults_active = false;  // a partition or loss burst is in effect
+  bool terminated = false;     // some live site reported program exit
+  std::int64_t exit_code = 0;
+
+  /// Live from the harness's point of view: not killed, not signed off.
+  [[nodiscard]] bool live(std::size_t index) const {
+    return index < sites.size() && !sites[index].killed &&
+           !sites[index].signed_off;
+  }
+};
+
+/// Stateful built-in invariant suite (monotonicity and progress tracking
+/// need history across checks). One instance per harness run.
+class InvariantChecker {
+ public:
+  /// Runs every applicable invariant; `event_index` is -1 for the
+  /// quiescence pass.
+  [[nodiscard]] std::vector<Violation> check(ChaosContext& ctx,
+                                             int event_index);
+
+  /// Virtual time a cluster with queued work may make zero execution
+  /// progress (outside partitions/loss windows) before the starvation
+  /// invariant fires. Covers checkpoint freeze rounds, which legally
+  /// stall execution for up to their abort timeout.
+  static constexpr Nanos kProgressBound = 5 * kNanosPerSecond;
+
+ private:
+  void check_exit_codes(ChaosContext& ctx, std::vector<Violation>& out);
+  void check_epochs(ChaosContext& ctx, std::vector<Violation>& out);
+  void check_progress(ChaosContext& ctx, std::vector<Violation>& out);
+  void check_membership(ChaosContext& ctx, std::vector<Violation>& out);
+  void check_directory_owners(ChaosContext& ctx, std::vector<Violation>& out);
+  void check_termination(ChaosContext& ctx, std::vector<Violation>& out);
+
+  std::map<std::size_t, std::uint64_t> last_epoch_;  // site index → epoch
+  std::uint64_t last_executed_total_ = 0;
+  Nanos last_progress_at_ = 0;
+  bool progress_initialized_ = false;
+};
+
+}  // namespace sdvm::chaos

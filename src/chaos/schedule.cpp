@@ -1,0 +1,368 @@
+#include "chaos/schedule.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace sdvm::chaos {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kKill:      return "kill";
+    case EventKind::kSignOff:   return "sign-off";
+    case EventKind::kAddSite:   return "add-site";
+    case EventKind::kPartition: return "partition";
+    case EventKind::kHeal:      return "heal";
+    case EventKind::kLossBurst: return "loss-burst";
+    case EventKind::kLossClear: return "loss-clear";
+  }
+  return "unknown";
+}
+
+Result<EventKind> event_kind_from_string(const std::string& s) {
+  for (auto kind : {EventKind::kKill, EventKind::kSignOff, EventKind::kAddSite,
+                    EventKind::kPartition, EventKind::kHeal,
+                    EventKind::kLossBurst, EventKind::kLossClear}) {
+    if (s == to_string(kind)) return kind;
+  }
+  return Status::error(ErrorCode::kInvalidArgument,
+                       "unknown chaos event kind '" + s + "'");
+}
+
+std::string ChaosEvent::to_line() const {
+  std::ostringstream os;
+  os << "t+" << at << "ns " << to_string(kind);
+  switch (kind) {
+    case EventKind::kKill:
+    case EventKind::kSignOff:
+      os << " site#" << target;
+      break;
+    case EventKind::kAddSite:
+    case EventKind::kHeal:
+    case EventKind::kLossClear:
+      break;
+    case EventKind::kPartition:
+      os << " split@" << target;
+      break;
+    case EventKind::kLossBurst:
+      os << " loss=" << loss;
+      break;
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------------
+
+ChaosSchedule generate_schedule(std::uint64_t seed,
+                                const GeneratorOptions& options) {
+  ChaosSchedule schedule;
+  schedule.seed = seed;
+  schedule.sites = std::max(options.sites, 2);
+
+  // Mix the purpose into the stream so the same seed fed to the network
+  // RNG does not correlate with event choices.
+  Xoshiro256 rng(seed ^ 0xC4A05C4A05ull);
+
+  // Planning census mirroring what the harness will do at apply time.
+  int total = schedule.sites;  // entries ever created (indices 0..total-1)
+  std::vector<bool> live(static_cast<std::size_t>(total), true);
+  auto live_count = [&] {
+    return static_cast<int>(std::count(live.begin(), live.end(), true));
+  };
+  bool partitioned = false;
+  bool lossy = false;
+
+  Nanos step = std::max<Nanos>(options.horizon / std::max(options.events, 1), 1);
+  Nanos at = 0;
+  for (int i = 0; i < options.events; ++i) {
+    // Strictly increasing times with deterministic spread.
+    at += step / 2 + static_cast<Nanos>(rng.below(
+             static_cast<std::uint64_t>(step) + 1));
+
+    // Build the menu of currently legal event kinds.
+    std::vector<EventKind> menu;
+    int first_victim = options.allow_home_faults ? 0 : 1;
+    bool has_victim = false;
+    for (int s = first_victim; s < total; ++s) {
+      has_victim |= live[static_cast<std::size_t>(s)];
+    }
+    if (live_count() > 2 && has_victim) {
+      menu.push_back(EventKind::kKill);
+      if (!partitioned) menu.push_back(EventKind::kSignOff);
+    }
+    menu.push_back(EventKind::kAddSite);
+    if (options.allow_partitions && !partitioned && live_count() >= 2) {
+      menu.push_back(EventKind::kPartition);
+    }
+    if (partitioned) menu.push_back(EventKind::kHeal);
+    if (options.loss_max > 0 && !lossy) menu.push_back(EventKind::kLossBurst);
+    if (lossy) menu.push_back(EventKind::kLossClear);
+
+    ChaosEvent ev;
+    ev.at = at;
+    ev.kind = menu[rng.below(menu.size())];
+    switch (ev.kind) {
+      case EventKind::kKill:
+      case EventKind::kSignOff: {
+        std::vector<int> victims;
+        for (int s = first_victim; s < total; ++s) {
+          if (live[static_cast<std::size_t>(s)]) victims.push_back(s);
+        }
+        ev.target = static_cast<std::uint32_t>(
+            victims[rng.below(victims.size())]);
+        live[ev.target] = false;
+        break;
+      }
+      case EventKind::kAddSite:
+        live.push_back(true);
+        ++total;
+        break;
+      case EventKind::kPartition:
+        // Split point over the live members at apply time.
+        ev.target = static_cast<std::uint32_t>(
+            1 + rng.below(static_cast<std::uint64_t>(live_count() - 1)));
+        partitioned = true;
+        break;
+      case EventKind::kHeal:
+        partitioned = false;
+        break;
+      case EventKind::kLossBurst:
+        ev.loss = options.loss_max * (0.3 + 0.7 * rng.uniform());
+        lossy = true;
+        break;
+      case EventKind::kLossClear:
+        lossy = false;
+        break;
+    }
+    schedule.events.push_back(ev);
+  }
+
+  // Leave the cluster connected and lossless so liveness invariants apply.
+  if (lossy) {
+    ChaosEvent clear;
+    clear.at = at + step;
+    clear.kind = EventKind::kLossClear;
+    schedule.events.push_back(clear);
+  }
+  if (partitioned) {
+    ChaosEvent heal;
+    heal.at = at + 2 * step;
+    heal.kind = EventKind::kHeal;
+    schedule.events.push_back(heal);
+  }
+  return schedule;
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+std::string ChaosSchedule::to_json() const {
+  std::ostringstream os;
+  // Round-trippable doubles: 17 significant digits reproduce any IEEE
+  // binary64 exactly, so parse(to_json()) == *this.
+  os << std::setprecision(17);
+  os << "{\n  \"seed\": " << seed << ",\n  \"sites\": " << sites
+     << ",\n  \"events\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const ChaosEvent& e = events[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"at\": " << e.at << ", \"kind\": \""
+       << to_string(e.kind) << "\", \"target\": " << e.target
+       << ", \"loss\": " << e.loss << "}";
+  }
+  os << (events.empty() ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+namespace {
+
+/// Minimal recursive-descent JSON reader, scoped to the artifact schema:
+/// objects, arrays, strings (with \-escapes), numbers, true/false/null.
+/// Unknown keys are skipped wholesale so artifacts can carry diagnostics.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : s_(text) {}
+
+  void ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] char peek() {
+    ws();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+
+  Result<std::string> string() {
+    if (!consume('"')) return err_status("expected string");
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        char esc = s_[pos_++];
+        switch (esc) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u':
+            // Artifact strings are ASCII; keep the raw escape.
+            out.push_back('?');
+            pos_ += std::min<std::size_t>(4, s_.size() - pos_);
+            break;
+          default: out.push_back(esc); break;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    if (pos_ >= s_.size()) return err_status("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Result<double> number() {
+    ws();
+    const char* begin = s_.c_str() + pos_;
+    char* end = nullptr;
+    double v = std::strtod(begin, &end);
+    if (end == begin) return err_status("expected number");
+    pos_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  /// Skips any value (for unknown keys).
+  Status skip_value() {
+    char c = peek();
+    if (c == '"') {
+      auto s = string();
+      return s.is_ok() ? Status::ok() : s.status();
+    }
+    if (c == '{' || c == '[') {
+      char close = c == '{' ? '}' : ']';
+      consume(c);
+      if (consume(close)) return Status::ok();
+      while (true) {
+        if (c == '{') {
+          auto key = string();
+          if (!key.is_ok()) return key.status();
+          if (!consume(':')) return err_status("expected ':'");
+        }
+        Status st = skip_value();
+        if (!st.is_ok()) return st;
+        if (consume(close)) return Status::ok();
+        if (!consume(',')) return err_status("expected ',' or close");
+      }
+    }
+    if (c == 't' || c == 'f' || c == 'n') {  // true / false / null
+      while (pos_ < s_.size() &&
+             std::isalpha(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+      return Status::ok();
+    }
+    auto n = number();
+    return n.is_ok() ? Status::ok() : n.status();
+  }
+
+  [[nodiscard]] Status err_status(const std::string& what) const {
+    return Status::error(ErrorCode::kCorrupt,
+                         "chaos schedule JSON: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ChaosSchedule> ChaosSchedule::from_json(const std::string& text) {
+  JsonReader r(text);
+  if (!r.consume('{')) return r.err_status("expected top-level object");
+  ChaosSchedule schedule;
+  schedule.events.clear();
+  if (r.consume('}')) return schedule;
+  while (true) {
+    auto key = r.string();
+    if (!key.is_ok()) return key.status();
+    if (!r.consume(':')) return r.err_status("expected ':'");
+    if (key.value() == "seed") {
+      auto v = r.number();
+      if (!v.is_ok()) return v.status();
+      schedule.seed = static_cast<std::uint64_t>(v.value());
+    } else if (key.value() == "sites") {
+      auto v = r.number();
+      if (!v.is_ok()) return v.status();
+      schedule.sites = static_cast<int>(v.value());
+    } else if (key.value() == "events") {
+      if (!r.consume('[')) return r.err_status("expected event array");
+      if (!r.consume(']')) {
+        while (true) {
+          if (!r.consume('{')) return r.err_status("expected event object");
+          ChaosEvent ev;
+          while (true) {
+            auto ekey = r.string();
+            if (!ekey.is_ok()) return ekey.status();
+            if (!r.consume(':')) return r.err_status("expected ':'");
+            if (ekey.value() == "at") {
+              auto v = r.number();
+              if (!v.is_ok()) return v.status();
+              ev.at = static_cast<Nanos>(v.value());
+            } else if (ekey.value() == "kind") {
+              auto v = r.string();
+              if (!v.is_ok()) return v.status();
+              auto kind = event_kind_from_string(v.value());
+              if (!kind.is_ok()) return kind.status();
+              ev.kind = kind.value();
+            } else if (ekey.value() == "target") {
+              auto v = r.number();
+              if (!v.is_ok()) return v.status();
+              ev.target = static_cast<std::uint32_t>(v.value());
+            } else if (ekey.value() == "loss") {
+              auto v = r.number();
+              if (!v.is_ok()) return v.status();
+              ev.loss = v.value();
+            } else {
+              Status st = r.skip_value();
+              if (!st.is_ok()) return st;
+            }
+            if (r.consume('}')) break;
+            if (!r.consume(',')) return r.err_status("expected ',' or '}'");
+          }
+          schedule.events.push_back(ev);
+          if (r.consume(']')) break;
+          if (!r.consume(',')) return r.err_status("expected ',' or ']'");
+        }
+      }
+    } else {
+      Status st = r.skip_value();
+      if (!st.is_ok()) return st;
+    }
+    if (r.consume('}')) break;
+    if (!r.consume(',')) return r.err_status("expected ',' or '}'");
+  }
+  std::stable_sort(schedule.events.begin(), schedule.events.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) {
+                     return a.at < b.at;
+                   });
+  return schedule;
+}
+
+}  // namespace sdvm::chaos

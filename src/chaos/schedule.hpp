@@ -1,0 +1,92 @@
+// sdvm::chaos — deterministic fault-schedule model (ISSUE 3 tentpole).
+//
+// A ChaosSchedule is a seeded, fully explicit list of timed fault events
+// (crash / churn / partition / heal / message-loss bursts) applied to a
+// SimCluster while a workload program runs. Everything downstream of the
+// seed is deterministic: the same seed produces the same schedule, the
+// same virtual-time event trace and the same verdict, which is what makes
+// failing seeds replayable and shrinkable.
+//
+// Schedules serialize to a small JSON document (the replay artifact
+// format, see DESIGN.md "Chaos testing") and parse back with unknown keys
+// ignored, so artifacts may carry extra diagnostic fields.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace sdvm::chaos {
+
+enum class EventKind : std::uint8_t {
+  kKill = 0,    // uncontrolled crash of site `target`
+  kSignOff,     // graceful departure of site `target`
+  kAddSite,     // a new site joins through the lowest live member
+  kPartition,   // split live sites into [0, target) vs [target, n)
+  kHeal,        // clear all partitions
+  kLossBurst,   // default-link drop probability becomes `loss`
+  kLossClear,   // restore the lossless default link
+};
+
+[[nodiscard]] const char* to_string(EventKind kind);
+[[nodiscard]] Result<EventKind> event_kind_from_string(const std::string& s);
+
+struct ChaosEvent {
+  Nanos at = 0;              // virtual offset from workload start
+  EventKind kind = EventKind::kHeal;
+  std::uint32_t target = 0;  // victim site index, or partition split point
+  double loss = 0.0;         // kLossBurst drop probability
+
+  /// Deterministic one-line rendering for traces and artifacts.
+  [[nodiscard]] std::string to_line() const;
+
+  friend bool operator==(const ChaosEvent&, const ChaosEvent&) = default;
+};
+
+struct ChaosSchedule {
+  std::uint64_t seed = 1;  // SimCluster/network seed + workload choice
+  int sites = 4;           // initial cluster size
+  std::vector<ChaosEvent> events;  // sorted by `at`
+
+  [[nodiscard]] std::string to_json() const;
+  /// Parses a schedule (or a replay artifact embedding one); keys other
+  /// than seed/sites/events are skipped.
+  static Result<ChaosSchedule> from_json(const std::string& text);
+
+  friend bool operator==(const ChaosSchedule&, const ChaosSchedule&) = default;
+};
+
+struct GeneratorOptions {
+  int sites = 4;    // initial cluster size
+  int events = 12;  // fault events to emit (heal/clear tails ride along)
+  /// Window the events spread over; the workload is sized to outlast it.
+  Nanos horizon = 4 * kNanosPerSecond;
+  /// Max drop probability for loss bursts. The SDVM runtime assumes
+  /// reliable ordered links (DESIGN.md §7 — the paper found UDP unusable),
+  /// so the default profile emits no loss bursts; turning this on is the
+  /// exploratory mode that demonstrates exactly why that assumption holds.
+  double loss_max = 0.0;
+  /// Emit partition/heal pairs. Off by default: a partition is a message
+  /// *loss* window on this fabric, and one outliving the failure timeout
+  /// splits the cluster into two independently recovering halves whose
+  /// post-heal merge the runtime does not reconcile (split-brain — see
+  /// DESIGN.md "Chaos testing" for the shrunk repro). Exploratory mode.
+  bool allow_partitions = false;
+  /// Allow kill/sign-off of site 0 (the workload home). Off by default:
+  /// home loss before the first checkpoint replica is unrecoverable by
+  /// design, which would make sweeps fail for uninteresting reasons.
+  bool allow_home_faults = false;
+};
+
+/// Expands a seed into a concrete schedule. Pure function of its inputs.
+/// The generator keeps schedules survivable-by-design: at least two sites
+/// stay live, partitions and loss bursts are always healed/cleared by the
+/// end, and sign-offs never happen while a partition is active (graceful
+/// relocation across a cut link would silently lose frames).
+[[nodiscard]] ChaosSchedule generate_schedule(
+    std::uint64_t seed, const GeneratorOptions& options = {});
+
+}  // namespace sdvm::chaos

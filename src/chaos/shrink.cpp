@@ -1,0 +1,149 @@
+#include "chaos/shrink.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sdvm::chaos {
+
+namespace {
+
+/// Oracle: does this schedule still violate the target invariant?
+bool still_fails(const ChaosSchedule& schedule, const std::string& target,
+                 const HarnessOptions& options, RunReport* out, int* runs) {
+  ChaosHarness harness(options);
+  RunReport report = harness.run(schedule);
+  ++*runs;
+  for (const Violation& v : report.violations) {
+    if (v.invariant == target) {
+      *out = std::move(report);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += '?';
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_schedule(const ChaosSchedule& failing,
+                             const std::string& target_invariant,
+                             HarnessOptions options) {
+  ShrinkResult result;
+  result.minimal = failing;
+
+  std::vector<ChaosEvent> events = failing.events;
+  auto with_events = [&failing](std::vector<ChaosEvent> evs) {
+    ChaosSchedule s = failing;
+    s.events = std::move(evs);
+    return s;
+  };
+  auto fails = [&](const std::vector<ChaosEvent>& evs) {
+    return still_fails(with_events(evs), target_invariant, options,
+                       &result.report, &result.runs);
+  };
+
+  // The workload itself may be broken independent of any fault.
+  if (fails({})) {
+    result.minimal.events.clear();
+    return result;
+  }
+
+  // Classic ddmin: try removing chunks at increasing granularity until the
+  // event list is 1-minimal w.r.t. the oracle.
+  std::size_t n = 2;
+  while (events.size() >= 2) {
+    std::size_t chunk = (events.size() + n - 1) / n;
+    bool reduced = false;
+
+    // Reduce to a single chunk (big jumps first).
+    for (std::size_t start = 0; start < events.size() && !reduced;
+         start += chunk) {
+      std::size_t end = std::min(start + chunk, events.size());
+      std::vector<ChaosEvent> subset(events.begin() + start,
+                                     events.begin() + end);
+      if (subset.size() < events.size() && fails(subset)) {
+        events = std::move(subset);
+        n = 2;
+        reduced = true;
+      }
+    }
+    if (reduced) continue;
+
+    // Reduce to a complement (drop one chunk).
+    for (std::size_t start = 0; start < events.size() && !reduced;
+         start += chunk) {
+      std::size_t end = std::min(start + chunk, events.size());
+      std::vector<ChaosEvent> complement(events.begin(), events.begin() + start);
+      complement.insert(complement.end(), events.begin() + end, events.end());
+      if (complement.size() < events.size() && fails(complement)) {
+        events = std::move(complement);
+        n = std::max<std::size_t>(n - 1, 2);
+        reduced = true;
+      }
+    }
+    if (reduced) continue;
+
+    if (n >= events.size()) break;  // single-event granularity exhausted
+    n = std::min(n * 2, events.size());
+  }
+
+  result.minimal.events = events;
+  // Re-run the minimal schedule so the report matches it exactly (the last
+  // oracle call may have been a failed reduction attempt).
+  if (!still_fails(result.minimal, target_invariant, options, &result.report,
+                   &result.runs)) {
+    // Cannot happen for a deterministic harness; fall back to the input.
+    result.minimal = failing;
+    (void)still_fails(result.minimal, target_invariant, options,
+                      &result.report, &result.runs);
+  }
+  return result;
+}
+
+std::string make_artifact_json(const ChaosSchedule& schedule,
+                               const RunReport& report) {
+  std::string base = schedule.to_json();
+  // Splice diagnostics into the schedule object: from_json skips unknown
+  // keys, so the artifact replays directly.
+  while (!base.empty() && (base.back() == '\n' || base.back() == '}')) {
+    base.pop_back();
+  }
+  std::ostringstream os;
+  os << base << ",\n  \"workload\": \"" << json_escape(report.workload)
+     << "\",\n  \"violations\": [";
+  for (std::size_t i = 0; i < report.violations.size(); ++i) {
+    const Violation& v = report.violations[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"invariant\": \""
+       << json_escape(v.invariant) << "\", \"detail\": \""
+       << json_escape(v.detail) << "\", \"event_index\": " << v.event_index
+       << ", \"at\": " << v.at << "}";
+  }
+  os << (report.violations.empty() ? "]" : "\n  ]") << ",\n  \"trace\": [";
+  for (std::size_t i = 0; i < report.trace.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(report.trace[i])
+       << "\"";
+  }
+  os << (report.trace.empty() ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+}  // namespace sdvm::chaos

@@ -1,0 +1,37 @@
+// Failing-seed shrinker: delta-debugging (ddmin) over a failing schedule's
+// event list. Replays event subsets through a fresh ChaosHarness and keeps
+// the smallest subset that still violates the same invariant as the
+// original run, then emits a replayable JSON artifact embedding the
+// minimal schedule plus the violations it produces. Because every harness
+// run is a pure function of its schedule, the shrink is deterministic and
+// the artifact replays bit-identically.
+#pragma once
+
+#include <string>
+
+#include "chaos/harness.hpp"
+#include "chaos/schedule.hpp"
+
+namespace sdvm::chaos {
+
+struct ShrinkResult {
+  ChaosSchedule minimal;  // 1-minimal: removing any one event passes
+  RunReport report;       // the failing run of `minimal`
+  int runs = 0;           // harness executions the shrink spent
+};
+
+/// Minimizes `failing.events` with ddmin. `target_invariant` names the
+/// violation class to preserve (normally the first violation of the
+/// original run); subsets failing only in *different* ways don't count.
+/// `options` must match the options of the run that failed.
+[[nodiscard]] ShrinkResult shrink_schedule(const ChaosSchedule& failing,
+                                           const std::string& target_invariant,
+                                           HarnessOptions options = {});
+
+/// Replay artifact: the schedule's own JSON keys plus workload/violation
+/// diagnostics. ChaosSchedule::from_json reads it back directly (unknown
+/// keys are skipped), so `sdvm-chaos --replay <file>` works on it as-is.
+[[nodiscard]] std::string make_artifact_json(const ChaosSchedule& schedule,
+                                             const RunReport& report);
+
+}  // namespace sdvm::chaos

@@ -89,6 +89,11 @@ void InProcNetwork::set_delivery_scheduler(DeliveryScheduler scheduler) {
   scheduler_ = std::move(scheduler);
 }
 
+void InProcNetwork::set_trace_hook(TraceHook hook) {
+  std::lock_guard lock(mu_);
+  trace_ = std::move(hook);
+}
+
 LinkStats InProcNetwork::total_stats() const {
   std::lock_guard lock(mu_);
   LinkStats total;
@@ -120,8 +125,12 @@ Status InProcNetwork::send_from(const std::string& from, const std::string& to,
   {
     std::lock_guard lock(mu_);
     auto& st = stats_[{from, to}];
+    auto note = [&](bool delivered) {
+      if (trace_) trace_(from, to, bytes.size(), delivered);
+    };
     if (killed_.contains(from) || killed_.contains(to)) {
       st.dropped++;
+      note(false);
       // A dead site is a black hole, not an error the sender can see —
       // failure detection is the cluster manager's job.
       return Status::ok();
@@ -129,10 +138,12 @@ Status InProcNetwork::send_from(const std::string& from, const std::string& to,
     if (std::find(partitioned_.begin(), partitioned_.end(),
                   std::pair{from, to}) != partitioned_.end()) {
       st.dropped++;
+      note(false);
       return Status::ok();
     }
     if (!endpoints_.contains(to)) {
       st.dropped++;
+      note(false);
       return Status::error(ErrorCode::kUnavailable, "no endpoint " + to);
     }
 
@@ -142,15 +153,18 @@ Status InProcNetwork::send_from(const std::string& from, const std::string& to,
     }
     if (model.cut) {
       st.dropped++;
+      note(false);
       return Status::ok();
     }
     if (model.loss > 0 && rng_.uniform() < model.loss) {
       st.dropped++;
+      note(false);
       return Status::ok();
     }
 
     st.messages++;
     st.bytes += bytes.size();
+    note(true);
     delay = model.latency +
             model.per_byte * static_cast<Nanos>(bytes.size());
     if (model.jitter > 0) {

@@ -96,6 +96,14 @@ class InProcNetwork {
   /// always delivered inline on the sender's thread.
   void set_delivery_scheduler(DeliveryScheduler scheduler);
 
+  /// Observes every send decision: (from, to, payload bytes, delivered).
+  /// `delivered == false` means the fabric dropped the message (kill, cut,
+  /// partition or loss). Called under the fabric lock — the hook must not
+  /// call back into the network.
+  using TraceHook = std::function<void(const std::string&, const std::string&,
+                                       std::size_t, bool)>;
+  void set_trace_hook(TraceHook hook);
+
   [[nodiscard]] LinkStats total_stats() const;
   [[nodiscard]] LinkStats stats(const std::string& from,
                                 const std::string& to) const;
@@ -118,6 +126,7 @@ class InProcNetwork {
   LinkModel default_link_;
   std::vector<std::pair<std::string, std::string>> partitioned_;
   DeliveryScheduler scheduler_;
+  TraceHook trace_;
   Xoshiro256 rng_;
   std::uint64_t next_id_ = 1;
 

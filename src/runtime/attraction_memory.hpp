@@ -153,6 +153,19 @@ class AttractionMemory {
   [[nodiscard]] std::size_t frame_count() const { return frames_.size(); }
   [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
 
+  /// Homesite-directory snapshot: (address, current owner) for every
+  /// object created here. Chaos invariant checkers use this to assert
+  /// that no global address is owned by a departed site.
+  [[nodiscard]] std::vector<std::pair<GlobalAddress, SiteId>>
+  directory_snapshot() const {
+    std::vector<std::pair<GlobalAddress, SiteId>> out;
+    out.reserve(directory_.size());
+    for (const auto& [addr, entry] : directory_) {
+      out.emplace_back(addr, entry.owner);
+    }
+    return out;
+  }
+
   /// Registers this manager's instruments ("mem." prefix).
   void register_metrics(metrics::MetricsRegistry& registry);
 

@@ -326,25 +326,35 @@ void CrashManager::begin_recovery(ProgramId pid, SiteId dead) {
   const ProgramInfo* info = site_.programs().find(pid);
   if (info == nullptr) return;
 
-  for (SiteId sid : site_.cluster().known_sites(/*alive_only=*/true)) {
+  // Every shard whose owner is no longer alive — the site that just died,
+  // but also participants that signed off or died since the epoch
+  // committed — is adopted by the coordinator. An orphaned shard would
+  // silently lose its frames and wedge the program forever.
+  std::vector<SiteId> alive = site_.cluster().known_sites(/*alive_only=*/true);
+  auto is_alive = [&alive](SiteId sid) {
+    return std::find(alive.begin(), alive.end(), sid) != alive.end();
+  };
+  std::vector<const std::vector<std::byte>*> orphans;
+  for (const auto& [owner, shard] : snap.shards) {
+    if (!is_alive(owner)) orphans.push_back(&shard);
+  }
+
+  for (SiteId sid : alive) {
     ByteWriter w;
     w.u64(snap.epoch);
     w.site(dead);
     info->serialize(w);
-    // The target's own shard; the dead site's shard goes to us.
+    // The target's own shard; all orphaned shards go to us.
     std::vector<std::byte> shard;
     if (auto it = snap.shards.find(sid); it != snap.shards.end()) {
       shard = it->second;
     }
     w.blob(shard);
     if (sid == site_.id()) {
-      if (auto it = snap.shards.find(dead); it != snap.shards.end()) {
-        w.blob(it->second);
-      } else {
-        w.blob(std::vector<std::byte>{});
-      }
+      w.u32(static_cast<std::uint32_t>(orphans.size()));
+      for (const auto* orphan : orphans) w.blob(*orphan);
     } else {
-      w.blob(std::vector<std::byte>{});
+      w.u32(0);
     }
 
     SdMessage msg;
@@ -373,14 +383,21 @@ void CrashManager::handle_restore(const SdMessage& msg) {
     SiteId dead = r.site();
     auto info = ProgramInfo::deserialize(r);
     auto shard = r.blob();
-    auto extra = r.blob();
+    std::uint32_t norphans = r.u32();
+    std::vector<std::vector<std::byte>> orphans;
+    orphans.reserve(norphans);
+    for (std::uint32_t i = 0; i < norphans; ++i) orphans.push_back(r.blob());
 
     if (info.is_ok()) site_.programs().register_info(info.value());
     site_.cluster().set_successor(dead, msg.src, /*gossip=*/false);
 
     clear_program_state(msg.program);
-    install_shard(msg.program, shard);
-    if (!extra.empty()) install_shard(msg.program, extra);
+    // Sites that joined after the epoch committed get an empty shard:
+    // clear_program_state already left them with nothing to restore.
+    if (!shard.empty()) install_shard(msg.program, shard);
+    for (const auto& orphan : orphans) {
+      if (!orphan.empty()) install_shard(msg.program, orphan);
+    }
     SDVM_DEBUG(site_.tag()) << "restored program " << msg.program.value
                             << ": now " << site_.memory().frame_count()
                             << " stored frames, "

@@ -17,6 +17,7 @@
 // side effects after the last commit may repeat (at-least-once I/O).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -47,11 +48,27 @@ class CrashManager {
 
   [[nodiscard]] bool frozen() const { return freeze_depth_ > 0; }
 
+  // --- introspection (chaos invariant checkers) -------------------------
+  /// Latest committed checkpoint epoch for `pid` on this site (0 = none).
+  [[nodiscard]] std::uint64_t committed_epoch(ProgramId pid) const {
+    auto it = committed_.find(pid);
+    return it == committed_.end() ? 0 : it->second.epoch;
+  }
+  /// Max committed epoch across all programs this site coordinates.
+  [[nodiscard]] std::uint64_t max_committed_epoch() const {
+    std::uint64_t m = 0;
+    for (const auto& [pid, snap] : committed_) m = std::max(m, snap.epoch);
+    return m;
+  }
+
   /// Registers this manager's instruments ("crash." prefix).
   void register_metrics(metrics::MetricsRegistry& registry) {
     registry.register_counter("crash.checkpoints_committed",
                               &checkpoints_committed);
     registry.register_counter("crash.recoveries", &recoveries);
+    registry.register_gauge("crash.committed_epoch", [this] {
+      return static_cast<std::int64_t>(max_committed_epoch());
+    });
   }
 
   // Deprecated shims: read "crash.*" via Site::introspect() instead.

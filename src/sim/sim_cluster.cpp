@@ -1,5 +1,7 @@
 #include "sim/sim_cluster.hpp"
 
+#include <cmath>
+
 namespace sdvm::sim {
 
 /// Driver wiring a Site into the event loop: wakeups and work notifications
@@ -37,8 +39,26 @@ class SimCluster::SimDriver final : public Driver {
   bool pump_pending_ = false;
 };
 
+Status SimCluster::Options::validate() const {
+  if (!(link.loss >= 0.0) || link.loss >= 1.0) {  // !(>=0) also catches NaN
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "link loss must be in [0, 1), got " +
+                             std::to_string(link.loss));
+  }
+  return Status::ok();
+}
+
 SimCluster::SimCluster(Options options)
     : options_(std::move(options)), network_(options_.seed) {
+  if (!options_.validate().is_ok()) {
+    SDVM_ERROR("sim") << "clamping invalid link loss "
+                      << options_.link.loss << " into [0, 1)";
+    if (!(options_.link.loss >= 0.0)) {
+      options_.link.loss = 0.0;
+    } else {
+      options_.link.loss = std::nextafter(1.0, 0.0);
+    }
+  }
   network_.set_default_link(options_.link);
   network_.set_delivery_scheduler(
       [this](Nanos delay, std::function<void()> fn) {

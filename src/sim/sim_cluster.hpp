@@ -26,8 +26,15 @@ class SimCluster {
       link.latency = 100'000;  // 100 us, intranet class
       link.per_byte = 10;      // ~100 MB/s
     }
+
+    /// Rejects models the fabric cannot run: loss is a drop *probability*
+    /// and must lie in [0, 1) — a loss of exactly 1 would silence every
+    /// link and negative values are meaningless.
+    [[nodiscard]] Status validate() const;
   };
 
+  /// The constructor clamps an out-of-range loss into [0, 1) after logging
+  /// (callers wanting an error instead should check validate() first).
   explicit SimCluster(Options options = Options{});
   ~SimCluster();
 
@@ -66,6 +73,7 @@ class SimCluster {
   [[nodiscard]] EventLoop& loop() { return loop_; }
   [[nodiscard]] net::InProcNetwork& network() { return network_; }
   [[nodiscard]] Nanos now() const { return loop_.now(); }
+  [[nodiscard]] const Options& options() const { return options_; }
 
   /// Looks a site up by logical id (dead sites included).
   [[nodiscard]] Site* site_by_id(SiteId id);

@@ -332,6 +332,52 @@ TEST(SimDynamicTest, GracefulSignOffMidRun) {
   testing_util::expect_primes_verdict(cluster.outputs(0, pid.value()), 60, 10);
 }
 
+TEST(SimDynamicTest, KillThenRejoinUnderPartition) {
+  // A site crashes behind an active partition while a replacement joins
+  // through the still-reachable side; after the heal the program must
+  // still commit the right result via checkpoint recovery.
+  SimCluster cluster;
+  SiteConfig cfg;
+  cfg.checkpoints_enabled = true;
+  cfg.checkpoint_interval = kNanosPerSecond / 2;
+  cfg.heartbeat_interval = 100'000'000;
+  cfg.failure_timeout = 400'000'000;
+  cluster.add_sites(4, 1.0, cfg);
+
+  apps::PrimesParams params;
+  params.p = 60;
+  params.width = 8;
+  params.work_mult = 30'000'000;
+  auto pid = cluster.start_program(apps::make_primes_program(params));
+  ASSERT_TRUE(pid.is_ok());
+  cluster.loop().run_for(kNanosPerSecond);
+
+  auto addr = [&](std::size_t i) {
+    return cluster.site(i).transport()->local_address();
+  };
+  cluster.network().partition({addr(0), addr(1)}, {addr(2), addr(3)});
+  cluster.kill(3);
+
+  // The replacement signs on via the home site, which the partition does
+  // not cut off from the new endpoint.
+  Site& fresh = cluster.add_site(cfg, /*contact_index=*/0);
+  EXPECT_TRUE(fresh.joined()) << "join through live side failed";
+
+  // Let the failure detector fire on both sides of the cut, then heal.
+  cluster.loop().run_for(kNanosPerSecond);
+  cluster.network().heal();
+  // heal() clears the fabric's kill set too; the crashed site must stay
+  // black-holed.
+  cluster.network().kill(addr(3));
+
+  auto code = cluster.run_program(pid.value(), 3000 * kNanosPerSecond);
+  ASSERT_TRUE(code.is_ok()) << code.status().to_string();
+  testing_util::expect_primes_verdict(cluster.outputs(0, pid.value()), 60, 8);
+  // The crash (and the unreachable far side) must have triggered at least
+  // one checkpoint recovery at the coordinator.
+  EXPECT_GE(cluster.site(0).crash().recoveries, 1u);
+}
+
 TEST(SimIoTest, OutputRoutedToFrontend) {
   SimCluster cluster;
   cluster.add_sites(3);

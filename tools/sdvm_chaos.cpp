@@ -1,0 +1,173 @@
+// sdvm-chaos: deterministic chaos sweeps over the simulated cluster.
+//
+//   sdvm-chaos --seed 1 --iterations 200          # seeded sweep
+//   sdvm-chaos --seed 7 --trace                   # one run, full trace
+//   sdvm-chaos --replay chaos-artifact.json       # re-run a shrunk artifact
+//
+// A sweep runs seeds S, S+1, ... each through a generated fault schedule
+// and the invariant suite. The first failing seed is shrunk with ddmin to
+// a minimal event list and written as a replayable JSON artifact; the
+// process exits non-zero. Every run is a pure function of its seed, so a
+// failing seed reported by CI reproduces locally with the same binary.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "chaos/harness.hpp"
+#include "chaos/schedule.hpp"
+#include "chaos/shrink.hpp"
+
+namespace {
+
+using sdvm::kNanosPerSecond;
+
+struct CliOptions {
+  std::uint64_t seed = 1;
+  int iterations = 1;
+  std::string schedule_file = "chaos-artifact.json";  // artifact output
+  std::string replay;                                 // artifact input
+  sdvm::chaos::GeneratorOptions generator;
+  bool shrink = true;
+  bool trace = false;
+};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --seed N              first seed of the sweep (default 1)\n"
+      << "  --iterations N        seeds to run: N, starting at --seed\n"
+      << "  --sites N             initial cluster size (default 4)\n"
+      << "  --events N            fault events per schedule (default 12)\n"
+      << "  --loss-max F          enable loss bursts up to drop prob F\n"
+      << "                        (default 0: the runtime assumes reliable\n"
+      << "                        links; loss mode is exploratory)\n"
+      << "  --allow-partitions    emit partition/heal windows (exploratory:\n"
+      << "                        long partitions split-brain the cluster)\n"
+      << "  --allow-home-faults   let the schedule kill the home site\n"
+      << "  --schedule-file PATH  where to write the failure artifact\n"
+      << "                        (default chaos-artifact.json)\n"
+      << "  --replay PATH         run a schedule/artifact JSON instead of\n"
+      << "                        generating one\n"
+      << "  --no-shrink           skip ddmin minimization on failure\n"
+      << "  --trace               print the virtual-time event trace\n";
+  return 2;
+}
+
+void print_report(const sdvm::chaos::RunReport& report, bool trace) {
+  if (trace) {
+    for (const std::string& line : report.trace) {
+      std::cout << "  " << line << "\n";
+    }
+  }
+  for (const auto& v : report.violations) {
+    std::cout << "  violation: " << v.to_line() << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      cli.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--iterations") {
+      cli.iterations = std::atoi(next());
+    } else if (arg == "--sites") {
+      cli.generator.sites = std::atoi(next());
+    } else if (arg == "--events") {
+      cli.generator.events = std::atoi(next());
+    } else if (arg == "--loss-max") {
+      cli.generator.loss_max = std::atof(next());
+    } else if (arg == "--allow-partitions") {
+      cli.generator.allow_partitions = true;
+    } else if (arg == "--allow-home-faults") {
+      cli.generator.allow_home_faults = true;
+    } else if (arg == "--schedule-file") {
+      cli.schedule_file = next();
+    } else if (arg == "--replay") {
+      cli.replay = next();
+    } else if (arg == "--no-shrink") {
+      cli.shrink = false;
+    } else if (arg == "--trace") {
+      cli.trace = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  sdvm::chaos::HarnessOptions harness_options;
+  harness_options.allow_home_faults = cli.generator.allow_home_faults;
+
+  if (!cli.replay.empty()) {
+    std::ifstream in(cli.replay);
+    if (!in) {
+      std::cerr << "cannot open " << cli.replay << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto parsed = sdvm::chaos::ChaosSchedule::from_json(buf.str());
+    if (!parsed.is_ok()) {
+      std::cerr << parsed.status().message() << "\n";
+      return 2;
+    }
+    sdvm::chaos::ChaosHarness harness(harness_options);
+    sdvm::chaos::RunReport report = harness.run(parsed.value());
+    std::cout << "replay seed=" << report.seed << " workload="
+              << report.workload << " -> "
+              << (report.passed ? "PASS" : "FAIL") << "\n";
+    print_report(report, cli.trace);
+    return report.passed ? 0 : 1;
+  }
+
+  for (int i = 0; i < cli.iterations; ++i) {
+    std::uint64_t seed = cli.seed + static_cast<std::uint64_t>(i);
+    sdvm::chaos::ChaosSchedule schedule =
+        sdvm::chaos::generate_schedule(seed, cli.generator);
+    sdvm::chaos::ChaosHarness harness(harness_options);
+    sdvm::chaos::RunReport report = harness.run(schedule);
+    std::cout << "seed " << seed << ": "
+              << (report.passed ? "PASS" : "FAIL") << " workload="
+              << report.workload << " events=" << schedule.events.size()
+              << (report.terminated
+                      ? " exit=" + std::to_string(report.exit_code)
+                      : " (no termination)")
+              << "\n";
+    print_report(report, cli.trace);
+    if (report.passed) continue;
+
+    sdvm::chaos::ChaosSchedule minimal = schedule;
+    if (cli.shrink) {
+      const std::string target = report.violations.front().invariant;
+      std::cout << "shrinking " << schedule.events.size()
+                << " events targeting '" << target << "'...\n";
+      sdvm::chaos::ShrinkResult shrunk =
+          sdvm::chaos::shrink_schedule(schedule, target, harness_options);
+      minimal = shrunk.minimal;
+      report = shrunk.report;
+      std::cout << "minimal schedule: " << minimal.events.size()
+                << " events (" << shrunk.runs << " shrink runs)\n";
+      for (const auto& ev : minimal.events) {
+        std::cout << "  " << ev.to_line() << "\n";
+      }
+    }
+    std::ofstream out(cli.schedule_file);
+    out << sdvm::chaos::make_artifact_json(minimal, report);
+    std::cout << "artifact written to " << cli.schedule_file
+              << " (replay with --replay)\n";
+    return 1;
+  }
+  return 0;
+}
