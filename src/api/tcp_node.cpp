@@ -1,5 +1,6 @@
 #include "api/tcp_node.hpp"
 
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 
@@ -35,11 +36,54 @@ Result<std::unique_ptr<TcpNode>> TcpNode::create(Options options) {
                                        *node->driver_);
   Site* site = node->site_.get();
   auto transport = net::TcpTransport::listen(
-      options.port, [site](std::vector<std::byte> bytes) {
+      options.port,
+      [site](std::vector<std::byte> bytes) {
         site->on_network_data(std::move(bytes));
-      });
+      },
+      options.transport);
   if (!transport.is_ok()) return transport.status();
-  node->site_->attach_transport(std::move(transport).value());
+  auto tcp = std::move(transport).value();
+  node->tcp_ = tcp.get();
+
+  // Transport health lands in Site::introspect() (and thus sdvm-top /
+  // kMetricsQuery) alongside the runtime's own instruments.
+  net::TcpTransport* raw = node->tcp_;
+  site->metrics_registry().register_provider(
+      [raw](metrics::MetricsSnapshot& s) {
+        net::TcpTransport::Stats st = raw->stats();
+        s.add_counter("net.frames_sent", st.frames_sent);
+        s.add_counter("net.bytes_sent", st.bytes_sent);
+        s.add_counter("net.frames_dropped", st.frames_dropped);
+        s.add_counter("net.send_retries", st.send_retries);
+        s.add_counter("net.reconnects", st.reconnects);
+        s.add_counter("net.peers_unreachable", st.peers_unreachable);
+        s.add_counter("net.frames_oversized", st.frames_oversized);
+      });
+
+  // Retry-budget exhaustion is a failure-detector input: an unreachable
+  // verdict accelerates what the heartbeat timeout would conclude anyway.
+  // The hook runs on a writer thread holding no transport locks, so taking
+  // the site lock here respects the site -> transport lock order.
+  node->tcp_->set_unreachable_hook([site](const std::string& address) {
+    std::lock_guard lk(site->lock());
+    if (!site->cluster().joined()) return;
+    for (SiteId sid : site->cluster().known_sites(/*alive_only=*/true)) {
+      auto addr = site->cluster().physical_address(sid);
+      if (addr.is_ok() && addr.value() == address) {
+        site->cluster().mark_dead(sid, /*gossip=*/true);
+        return;
+      }
+    }
+  });
+
+  if (options.faults.has_value()) {
+    auto faulty = std::make_unique<net::FaultyTransport>(std::move(tcp),
+                                                         *options.faults);
+    node->faulty_ = faulty.get();
+    node->site_->attach_transport(std::move(faulty));
+  } else {
+    node->site_->attach_transport(std::move(tcp));
+  }
 
   node->engine_ = std::thread([n = node.get()] {
     while (!n->driver_->stopping()) {
@@ -56,13 +100,34 @@ TcpNode::~TcpNode() { shutdown(); }
 void TcpNode::bootstrap() { site_->bootstrap(); }
 
 Status TcpNode::join_cluster(const std::string& contact, Nanos timeout) {
+  using std::chrono::steady_clock;
+  const auto deadline = steady_clock::now() + std::chrono::nanoseconds(timeout);
+  // The sign-on request itself can be lost (contact not up yet, link flap),
+  // so re-send it with backoff until the deadline truly expires. The
+  // contact dedupes repeated sign-ons by address, so retries are safe.
+  Nanos backoff = 100'000'000;  // 100 ms, doubling, capped at 2 s
   site_->join(contact);
-  auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout);
+  auto next_resend = steady_clock::now() + std::chrono::nanoseconds(backoff);
   while (!site_->joined()) {
-    if (std::chrono::steady_clock::now() >= deadline) {
+    auto now = steady_clock::now();
+    if (now >= deadline) {
+      net::TcpTransport::PeerState ps = tcp_->peer_state(contact);
+      if (ps.last_errno == ECONNREFUSED) {
+        return Status::error(
+            ErrorCode::kUnavailable,
+            "join via " + contact +
+                ": connection refused (is a node listening there?)");
+      }
       return Status::error(ErrorCode::kUnavailable,
                            "join via " + contact + " timed out");
+    }
+    if (now >= next_resend) {
+      // Clear a stale unreachable verdict so the transport re-probes the
+      // contact immediately instead of waiting out its cooldown.
+      tcp_->reset_peer(contact);
+      site_->join(contact);
+      backoff = std::min<Nanos>(backoff * 2, 2'000'000'000);
+      next_resend = now + std::chrono::nanoseconds(backoff);
     }
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }

@@ -4,8 +4,10 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "net/faulty.hpp"
 #include "net/tcp.hpp"
 #include "runtime/site.hpp"
 
@@ -16,6 +18,13 @@ class TcpNode {
   struct Options {
     SiteConfig site;
     std::uint16_t port = 0;  // 0 = ephemeral
+    /// Resilience knobs: connect timeout, retry budget, backoff, queue
+    /// bound, unreachable cooldown.
+    net::TcpTransport::Options transport;
+    /// When set, the transport is wrapped in a seeded FaultyTransport
+    /// (drop/delay/sever by peer and message kind) — the chaos harness's
+    /// fault vocabulary against real sockets.
+    std::optional<net::FaultyTransport::Options> faults;
   };
 
   /// Creates the daemon and starts listening. Call bootstrap() or
@@ -28,11 +37,19 @@ class TcpNode {
 
   void bootstrap();
   /// Joins via "host:port" of a running node; blocks until joined or the
-  /// timeout (wall nanos) expires.
+  /// timeout (wall nanos) expires. The sign-on is retried with backoff for
+  /// the whole deadline (the transport reconnects underneath); on failure
+  /// the error distinguishes "connection refused" from "timed out".
   Status join_cluster(const std::string& contact, Nanos timeout);
 
   [[nodiscard]] Site& site() { return *site_; }
   [[nodiscard]] std::string address() const;
+  /// The underlying TCP transport (stats / peer health), never null after
+  /// create(). When fault injection is active this is the *inner*
+  /// transport; faulty_transport() exposes the decorator.
+  [[nodiscard]] net::TcpTransport& tcp_transport() { return *tcp_; }
+  /// The fault-injection decorator, or nullptr when faults are off.
+  [[nodiscard]] net::FaultyTransport* faulty_transport() { return faulty_; }
 
   Result<ProgramId> start_program(const ProgramSpec& spec);
   Result<std::int64_t> wait_program(ProgramId pid, Nanos timeout = -1);
@@ -61,6 +78,8 @@ class TcpNode {
 
   std::unique_ptr<EngineDriver> driver_;
   std::unique_ptr<Site> site_;
+  net::TcpTransport* tcp_ = nullptr;        // owned via site transport chain
+  net::FaultyTransport* faulty_ = nullptr;  // ditto (nullptr = no faults)
   std::thread engine_;
   std::atomic<bool> stopped_{false};
 };

@@ -1,0 +1,164 @@
+#include "net/faulty.hpp"
+
+#include <chrono>
+
+#include "common/log.hpp"
+
+namespace sdvm::net {
+
+namespace {
+
+Nanos now_nanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// base ∘ peer ∘ kind: independent drop events, additive delay, sticky
+/// sever.
+FaultRule combine(const FaultRule& a, const FaultRule& b) {
+  FaultRule r;
+  r.drop = 1.0 - (1.0 - a.drop) * (1.0 - b.drop);
+  r.delay = a.delay + b.delay;
+  r.delay_jitter = a.delay_jitter + b.delay_jitter;
+  r.sever = a.sever || b.sever;
+  return r;
+}
+
+}  // namespace
+
+int classify_sdvm_frame(std::span<const std::byte> frame) {
+  constexpr std::size_t kTypeOffset = 1 + 1 + 4 + 4 + 1 + 1;
+  if (frame.size() < kTypeOffset + 2) return -1;
+  if (static_cast<std::uint8_t>(frame[1]) != 0) return -1;  // sealed body
+  return static_cast<int>(static_cast<std::uint8_t>(frame[kTypeOffset]) |
+                          (static_cast<std::uint8_t>(frame[kTypeOffset + 1])
+                           << 8));
+}
+
+FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner,
+                                 Options options)
+    : inner_(std::move(inner)),
+      classifier_(options.classifier ? std::move(options.classifier)
+                                     : classify_sdvm_frame),
+      base_(options.base),
+      rng_(options.seed) {
+  delayer_ = std::thread([this] { delayer_loop(); });
+}
+
+FaultyTransport::~FaultyTransport() { close(); }
+
+std::string FaultyTransport::local_address() const {
+  return inner_->local_address();
+}
+
+Status FaultyTransport::send(const std::string& to,
+                             std::vector<std::byte> bytes) {
+  FaultRule rule;
+  Nanos extra = 0;
+  {
+    std::lock_guard lk(mu_);
+    if (stop_) {
+      return Status::error(ErrorCode::kUnavailable, "transport closed");
+    }
+    rule = base_;
+    if (auto it = peer_rules_.find(to); it != peer_rules_.end()) {
+      rule = combine(rule, it->second);
+    }
+    if (classifier_) {
+      int kind = classifier_(bytes);
+      if (auto it = kind_rules_.find(kind); it != kind_rules_.end()) {
+        rule = combine(rule, it->second);
+      }
+    }
+    if (rule.sever) {
+      ++stats_.severed;
+      return Status::error(ErrorCode::kUnavailable,
+                           "link to " + to + " severed (fault injection)");
+    }
+    if (rule.drop > 0.0 && rng_.uniform() < rule.drop) {
+      // Network loss is silent: the frame vanishes, the caller sees ok.
+      ++stats_.dropped;
+      return Status::ok();
+    }
+    extra = rule.delay;
+    if (rule.delay_jitter > 0) {
+      extra += static_cast<Nanos>(
+          rng_.below(static_cast<std::uint64_t>(rule.delay_jitter)));
+    }
+    if (extra > 0) {
+      ++stats_.delayed;
+      delayed_.push(Delayed{now_nanos() + extra, ++delayed_seq_, to,
+                            std::move(bytes)});
+      cv_.notify_all();
+      return Status::ok();
+    }
+    ++stats_.forwarded;
+  }
+  return inner_->send(to, std::move(bytes));
+}
+
+void FaultyTransport::delayer_loop() {
+  std::unique_lock lk(mu_);
+  while (!stop_) {
+    if (delayed_.empty()) {
+      cv_.wait(lk, [&] { return stop_ || !delayed_.empty(); });
+      continue;
+    }
+    Nanos due = delayed_.top().due;
+    Nanos now = now_nanos();
+    if (now < due) {
+      cv_.wait_for(lk, std::chrono::nanoseconds(due - now));
+      continue;
+    }
+    Delayed d = std::move(const_cast<Delayed&>(delayed_.top()));
+    delayed_.pop();
+    lk.unlock();
+    Status st = inner_->send(d.to, std::move(d.bytes));
+    if (!st.is_ok()) {
+      SDVM_DEBUG("faulty") << "delayed send to " << d.to
+                           << " failed: " << st.to_string();
+    }
+    lk.lock();
+  }
+}
+
+void FaultyTransport::close() {
+  {
+    std::lock_guard lk(mu_);
+    if (stop_) return;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (delayer_.joinable()) delayer_.join();
+  inner_->close();
+}
+
+void FaultyTransport::set_peer_rule(const std::string& to, FaultRule rule) {
+  std::lock_guard lk(mu_);
+  peer_rules_[to] = rule;
+}
+
+void FaultyTransport::set_kind_rule(int kind, FaultRule rule) {
+  std::lock_guard lk(mu_);
+  kind_rules_[kind] = rule;
+}
+
+void FaultyTransport::sever(const std::string& to, bool severed) {
+  std::lock_guard lk(mu_);
+  peer_rules_[to].sever = severed;
+}
+
+void FaultyTransport::clear_rules() {
+  std::lock_guard lk(mu_);
+  peer_rules_.clear();
+  kind_rules_.clear();
+  base_ = FaultRule{};
+}
+
+FaultyTransport::Stats FaultyTransport::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+}  // namespace sdvm::net

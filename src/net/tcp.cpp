@@ -1,34 +1,38 @@
 #include "net/tcp.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/log.hpp"
+#include "common/rng.hpp"
 
 namespace sdvm::net {
 
 namespace {
 
-Status write_all(int fd, const void* data, std::size_t n, std::mutex& mu) {
-  std::lock_guard lock(mu);
+bool write_all(int fd, const void* data, std::size_t n, int* err) {
   const char* p = static_cast<const char*>(data);
   while (n > 0) {
     ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
-      return Status::error(ErrorCode::kUnavailable,
-                           std::string("send: ") + std::strerror(errno));
+      if (err != nullptr) *err = errno;
+      return false;
     }
     p += w;
     n -= static_cast<std::size_t>(w);
   }
-  return Status::ok();
+  return true;
 }
 
 bool read_all(int fd, void* data, std::size_t n) {
@@ -45,15 +49,29 @@ bool read_all(int fd, void* data, std::size_t n) {
 
 /// "host:port" → sockaddr_in. Only IPv4 dotted-quad or "127.0.0.1" style
 /// hosts are supported — the SDVM cluster list stores resolved addresses.
+/// Strictly validated: a malformed port must come back as a Status, never
+/// as an exception escaping the transport.
 Result<sockaddr_in> parse_address(const std::string& addr) {
   auto colon = addr.rfind(':');
-  if (colon == std::string::npos) {
+  if (colon == std::string::npos || colon + 1 >= addr.size()) {
     return Status::error(ErrorCode::kInvalidArgument, "bad address " + addr);
+  }
+  std::uint32_t port = 0;
+  for (std::size_t i = colon + 1; i < addr.size(); ++i) {
+    char c = addr[i];
+    if (c < '0' || c > '9') {
+      return Status::error(ErrorCode::kInvalidArgument,
+                           "bad port in address " + addr);
+    }
+    port = port * 10 + static_cast<std::uint32_t>(c - '0');
+    if (port > 65535) {
+      return Status::error(ErrorCode::kInvalidArgument,
+                           "port out of range in address " + addr);
+    }
   }
   sockaddr_in sa{};
   sa.sin_family = AF_INET;
-  sa.sin_port = htons(static_cast<std::uint16_t>(
-      std::stoi(addr.substr(colon + 1))));
+  sa.sin_port = htons(static_cast<std::uint16_t>(port));
   std::string host = addr.substr(0, colon);
   if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
     return Status::error(ErrorCode::kInvalidArgument, "bad host " + host);
@@ -65,8 +83,20 @@ constexpr std::size_t kMaxFrame = 64 * 1024 * 1024;
 
 }  // namespace
 
+Nanos TcpTransport::now_nanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 Result<std::unique_ptr<TcpTransport>> TcpTransport::listen(std::uint16_t port,
                                                            Receiver receiver) {
+  return listen(port, std::move(receiver), Options{});
+}
+
+Result<std::unique_ptr<TcpTransport>> TcpTransport::listen(std::uint16_t port,
+                                                           Receiver receiver,
+                                                           Options options) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::error(ErrorCode::kInternal,
@@ -92,13 +122,16 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::listen(std::uint16_t port,
   socklen_t len = sizeof(sa);
   ::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len);
 
-  return std::unique_ptr<TcpTransport>(
-      new TcpTransport(fd, ntohs(sa.sin_port), std::move(receiver)));
+  return std::unique_ptr<TcpTransport>(new TcpTransport(
+      fd, ntohs(sa.sin_port), std::move(receiver), options));
 }
 
 TcpTransport::TcpTransport(int listen_fd, std::uint16_t port,
-                           Receiver receiver)
-    : listen_fd_(listen_fd), port_(port), receiver_(std::move(receiver)) {
+                           Receiver receiver, Options options)
+    : options_(options),
+      listen_fd_(listen_fd),
+      port_(port),
+      receiver_(std::move(receiver)) {
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -135,6 +168,7 @@ void TcpTransport::read_loop(int fd) {
                     (std::size_t{header[2]} << 16) |
                     (std::size_t{header[3]} << 24);
     if (n > kMaxFrame) {
+      stats_.frames_oversized.fetch_add(1, std::memory_order_relaxed);
       SDVM_WARN("tcp") << "oversized frame (" << n << " bytes), dropping peer";
       break;
     }
@@ -142,57 +176,207 @@ void TcpTransport::read_loop(int fd) {
     if (!read_all(fd, payload.data(), n)) break;
     if (receiver_ && !stopping_.load()) receiver_(std::move(payload));
   }
+  // Deregister-and-close under mu_: close() shuts reader fds down while
+  // holding mu_, so the fd can never be shut down after we released it
+  // (and possibly after the number was reused for a new socket).
+  std::lock_guard lock(mu_);
+  reader_fds_.erase(std::remove(reader_fds_.begin(), reader_fds_.end(), fd),
+                    reader_fds_.end());
   ::close(fd);
 }
 
-Result<std::shared_ptr<TcpTransport::Connection>> TcpTransport::connection_to(
-    const std::string& to) {
-  {
-    std::lock_guard lock(mu_);
-    if (auto it = outgoing_.find(to); it != outgoing_.end()) {
-      return it->second;
-    }
+int TcpTransport::try_connect(const std::string& addr, int* err) {
+  auto sa = parse_address(addr);
+  if (!sa.is_ok()) {
+    if (err != nullptr) *err = EINVAL;
+    return -1;
   }
-  auto sa = parse_address(to);
-  if (!sa.is_ok()) return sa.status();
-
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    return Status::error(ErrorCode::kInternal,
-                         std::string("socket: ") + std::strerror(errno));
+    if (err != nullptr) *err = errno;
+    return -1;
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa.value()),
-                sizeof(sockaddr_in)) != 0) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sa.value()),
+                     sizeof(sockaddr_in));
+  if (rc != 0 && errno != EINPROGRESS) {
+    if (err != nullptr) *err = errno;
     ::close(fd);
-    return Status::error(ErrorCode::kUnavailable,
-                         "connect " + to + ": " + std::strerror(errno));
+    return -1;
   }
+  if (rc != 0) {
+    // Poll in short slices so close() interrupts a hanging connect.
+    Nanos waited = 0;
+    const Nanos slice = 50'000'000;  // 50 ms
+    bool ready = false;
+    while (waited < options_.connect_timeout && !stopping_.load()) {
+      pollfd pfd{fd, POLLOUT, 0};
+      Nanos remain = options_.connect_timeout - waited;
+      int timeout_ms =
+          static_cast<int>(std::min(remain, slice) / 1'000'000);
+      int pr = ::poll(&pfd, 1, std::max(timeout_ms, 1));
+      if (pr > 0) {
+        ready = true;
+        break;
+      }
+      waited += std::min(remain, slice);
+    }
+    if (!ready) {
+      if (err != nullptr) *err = ETIMEDOUT;
+      ::close(fd);
+      return -1;
+    }
+    int so_error = 0;
+    socklen_t elen = sizeof(so_error);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &elen);
+    if (so_error != 0) {
+      if (err != nullptr) *err = so_error;
+      ::close(fd);
+      return -1;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);  // back to blocking for send/recv
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
 
-  auto conn = std::make_shared<Connection>();
-  conn->fd = fd;
-  {
-    std::lock_guard lock(mu_);
-    // Lost a race with another sender? Use theirs, drop ours.
-    if (auto it = outgoing_.find(to); it != outgoing_.end()) {
-      ::close(fd);
-      return it->second;
-    }
-    outgoing_[to] = conn;
-    // Replies can come back on this same connection.
-    reader_fds_.push_back(fd);
-    reader_threads_.emplace_back([this, fd] { read_loop(fd); });
+void TcpTransport::declare_unreachable(Peer& peer,
+                                       std::unique_lock<std::mutex>& lk) {
+  peer.unreachable = true;
+  peer.unreachable_at = now_nanos();
+  peer.attempts = 0;
+  std::size_t dropped = peer.queue.size();
+  peer.queue.clear();
+  stats_.frames_dropped.fetch_add(dropped, std::memory_order_relaxed);
+  stats_.peers_unreachable.fetch_add(1, std::memory_order_relaxed);
+  SDVM_WARN("tcp") << "peer " << peer.addr << " unreachable ("
+                   << std::strerror(peer.last_errno) << "), dropped "
+                   << dropped << " queued frame(s)";
+  if (hook_ && !stopping_.load()) {
+    lk.unlock();
+    hook_(peer.addr);
+    lk.lock();
   }
-  return conn;
+}
+
+void TcpTransport::writer_loop(Peer& peer) {
+  Xoshiro256 rng(options_.jitter_seed ^ std::hash<std::string>{}(peer.addr));
+  std::unique_lock lk(peer.mu);
+  while (true) {
+    peer.cv.wait(lk, [&] {
+      return peer.stop || (!peer.queue.empty() && !peer.unreachable);
+    });
+    if (peer.stop) break;
+
+    if (peer.attempts >= options_.max_attempts) {
+      declare_unreachable(peer, lk);
+      continue;
+    }
+    if (peer.attempts > 0) {
+      // Exponential backoff with jitter before the next attempt; waiting
+      // on the cv keeps close() responsive.
+      Nanos backoff = options_.backoff_base;
+      for (int i = 1; i < peer.attempts && backoff < options_.backoff_max;
+           ++i) {
+        backoff *= 2;
+      }
+      backoff = std::min(backoff, options_.backoff_max);
+      backoff += static_cast<Nanos>(
+          rng.below(static_cast<std::uint64_t>(backoff / 2 + 1)));
+      peer.cv.wait_for(lk, std::chrono::nanoseconds(backoff),
+                       [&] { return peer.stop; });
+      if (peer.stop) break;
+    }
+
+    if (peer.fd < 0) {
+      lk.unlock();
+      int err = 0;
+      int fd = try_connect(peer.addr, &err);
+      lk.lock();
+      if (peer.stop) {
+        if (fd >= 0) ::close(fd);
+        break;
+      }
+      if (fd < 0) {
+        peer.last_errno = err;
+        ++peer.attempts;
+        stats_.send_retries.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      peer.fd = fd;
+      peer.last_errno = 0;
+      if (peer.ever_connected) {
+        stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
+        SDVM_INFO("tcp") << "reconnected to " << peer.addr;
+      }
+      peer.ever_connected = true;
+    }
+    if (peer.queue.empty() || peer.unreachable) continue;
+
+    // The frame stays at the head until fully sent, so a broken write is
+    // retried on the fresh connection, never silently lost.
+    const std::vector<std::byte>& frame = peer.queue.front();
+    int fd = peer.fd;
+    lk.unlock();
+    int err = 0;
+    bool ok = write_all(fd, frame.data(), frame.size(), &err);
+    lk.lock();
+    if (ok) {
+      stats_.frames_sent.fetch_add(1, std::memory_order_relaxed);
+      stats_.bytes_sent.fetch_add(frame.size(), std::memory_order_relaxed);
+      peer.queue.pop_front();
+      peer.attempts = 0;
+    } else {
+      // EPIPE/ECONNRESET or similar: the writer owns the outgoing fd, so
+      // close it (under peer.mu — close() only shuts fds down under the
+      // same lock) and reconnect on the next pass.
+      peer.last_errno = err;
+      ++peer.attempts;
+      stats_.send_retries.fetch_add(1, std::memory_order_relaxed);
+      if (peer.fd == fd) {
+        ::close(fd);
+        peer.fd = -1;
+      }
+    }
+  }
+  if (peer.fd >= 0) {
+    ::close(peer.fd);
+    peer.fd = -1;
+  }
 }
 
 Status TcpTransport::send(const std::string& to, std::vector<std::byte> bytes) {
   if (bytes.size() > kMaxFrame) {
     return Status::error(ErrorCode::kInvalidArgument, "frame too large");
   }
-  auto conn = connection_to(to);
-  if (!conn.is_ok()) return conn.status();
+  {
+    auto sa = parse_address(to);
+    if (!sa.is_ok()) return sa.status();
+  }
+  if (stopping_.load()) {
+    return Status::error(ErrorCode::kUnavailable, "transport closed");
+  }
+
+  std::shared_ptr<Peer> peer;
+  {
+    std::lock_guard lock(mu_);
+    // Checked under mu_: close() sets stopping_ before snapshotting peers_,
+    // so a peer created here is guaranteed to be joined by close().
+    if (stopping_.load()) {
+      return Status::error(ErrorCode::kUnavailable, "transport closed");
+    }
+    auto it = peers_.find(to);
+    if (it == peers_.end()) {
+      peer = std::make_shared<Peer>(to);
+      peer->writer = std::thread([this, p = peer.get()] { writer_loop(*p); });
+      peers_[to] = peer;
+    } else {
+      peer = it->second;
+    }
+  }
 
   std::uint8_t header[4] = {
       static_cast<std::uint8_t>(bytes.size()),
@@ -204,31 +388,105 @@ Status TcpTransport::send(const std::string& to, std::vector<std::byte> bytes) {
   std::memcpy(framed.data(), header, 4);
   std::memcpy(framed.data() + 4, bytes.data(), bytes.size());
 
-  Status st = write_all(conn.value()->fd, framed.data(), framed.size(),
-                        conn.value()->write_mu);
-  if (!st.is_ok()) {
-    // Connection went bad: forget it so the next send reconnects.
-    std::lock_guard lock(mu_);
-    auto it = outgoing_.find(to);
-    if (it != outgoing_.end() && it->second == conn.value()) {
-      outgoing_.erase(it);
+  std::lock_guard plk(peer->mu);
+  if (peer->unreachable) {
+    if (now_nanos() - peer->unreachable_at < options_.unreachable_cooldown) {
+      stats_.frames_dropped.fetch_add(1, std::memory_order_relaxed);
+      return Status::error(ErrorCode::kUnavailable,
+                           "peer " + to + " unreachable");
     }
+    // Cooldown elapsed: re-probe with a fresh retry budget.
+    peer->unreachable = false;
+    peer->attempts = 0;
   }
-  return st;
+  if (peer->queue.size() >= options_.max_queued_frames) {
+    stats_.frames_dropped.fetch_add(1, std::memory_order_relaxed);
+    return Status::error(ErrorCode::kResourceExhausted,
+                         "outbound queue to " + to + " full");
+  }
+  peer->queue.push_back(std::move(framed));
+  peer->cv.notify_all();
+  return Status::ok();
+}
+
+TcpTransport::Stats TcpTransport::stats() const {
+  Stats s;
+  s.frames_sent = stats_.frames_sent.load(std::memory_order_relaxed);
+  s.bytes_sent = stats_.bytes_sent.load(std::memory_order_relaxed);
+  s.frames_dropped = stats_.frames_dropped.load(std::memory_order_relaxed);
+  s.send_retries = stats_.send_retries.load(std::memory_order_relaxed);
+  s.reconnects = stats_.reconnects.load(std::memory_order_relaxed);
+  s.peers_unreachable =
+      stats_.peers_unreachable.load(std::memory_order_relaxed);
+  s.frames_oversized =
+      stats_.frames_oversized.load(std::memory_order_relaxed);
+  return s;
+}
+
+TcpTransport::PeerState TcpTransport::peer_state(const std::string& to) const {
+  std::shared_ptr<Peer> peer;
+  {
+    std::lock_guard lock(mu_);
+    auto it = peers_.find(to);
+    if (it == peers_.end()) return {};
+    peer = it->second;
+  }
+  std::lock_guard plk(peer->mu);
+  PeerState s;
+  s.known = true;
+  s.unreachable = peer->unreachable;
+  s.last_errno = peer->last_errno;
+  s.queued = peer->queue.size();
+  return s;
+}
+
+void TcpTransport::reset_peer(const std::string& to) {
+  std::shared_ptr<Peer> peer;
+  {
+    std::lock_guard lock(mu_);
+    auto it = peers_.find(to);
+    if (it == peers_.end()) return;
+    peer = it->second;
+  }
+  std::lock_guard plk(peer->mu);
+  peer->unreachable = false;
+  peer->attempts = 0;
+  peer->cv.notify_all();
 }
 
 void TcpTransport::close() {
   bool expected = false;
   if (!stopping_.compare_exchange_strong(expected, true)) return;
 
+  // Unblock accept(); the fd itself is closed after the thread joins.
   ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
+
+  // Stop the writers first: each owns its outgoing fd and closes it on the
+  // way out. The shutdown (under peer->mu, like every fd transition)
+  // unblocks a writer stuck in a blocking send.
+  std::vector<std::shared_ptr<Peer>> peers;
   {
     std::lock_guard lock(mu_);
-    // Wake every reader thread, inbound and outbound alike.
+    for (auto& [addr, peer] : peers_) peers.push_back(peer);
+  }
+  for (auto& peer : peers) {
+    std::lock_guard plk(peer->mu);
+    peer->stop = true;
+    if (peer->fd >= 0) ::shutdown(peer->fd, SHUT_RDWR);
+    peer->cv.notify_all();
+  }
+  for (auto& peer : peers) {
+    if (peer->writer.joinable()) peer->writer.join();
+  }
+
+  {
+    std::lock_guard lock(mu_);
+    // Wake blocked readers. Readers deregister-and-close under mu_, so any
+    // fd still listed here is guaranteed live.
     for (int fd : reader_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
   std::vector<std::thread> readers;
   {
     std::lock_guard lock(mu_);

@@ -3,13 +3,29 @@
 // established"; outgoing connections are cached per peer. Messages are
 // length-framed (u32 little-endian) byte blobs.
 //
+// Resilience model (the "may join or leave the cluster at runtime" claim has
+// to survive real sockets, not just the simulator):
+//   * every peer gets an outbound queue drained by a dedicated writer
+//     thread, so send() never blocks on connect or a slow receiver;
+//   * connects are non-blocking with a configurable timeout; failures are
+//     retried with exponential backoff + deterministic jitter;
+//   * a broken connection (EPIPE/ECONNRESET, peer restart) reconnects
+//     automatically, keeping the unsent frame at the queue head;
+//   * once the retry budget for one outage is exhausted the peer is declared
+//     unreachable: queued frames are dropped (counted), an optional hook
+//     surfaces the verdict to the runtime (the failure detector), and sends
+//     fast-fail with kUnavailable until a cooldown elapses.
+//
 // The paper notes TCP's connection overhead and mentions T/TCP as future
 // work; we keep persistent connections per peer instead, which achieves the
 // same goal (no per-message handshake) with plain TCP.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -17,14 +33,59 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/types.hpp"
 #include "net/transport.hpp"
 
 namespace sdvm::net {
 
 class TcpTransport final : public Transport {
  public:
+  struct Options {
+    /// Per connect attempt: how long to wait for the three-way handshake.
+    Nanos connect_timeout = 1 * kNanosPerSecond;
+    /// Failed connects + broken sends tolerated within one outage before
+    /// the peer is declared unreachable.
+    int max_attempts = 5;
+    /// First retry delay; doubles per attempt up to backoff_max.
+    Nanos backoff_base = 25'000'000;  // 25 ms
+    Nanos backoff_max = 1 * kNanosPerSecond;
+    /// After an unreachable verdict, sends fast-fail for this long; the
+    /// next send after the cooldown re-probes the peer.
+    Nanos unreachable_cooldown = 1 * kNanosPerSecond;
+    /// Bound on frames parked per peer; overflow is dropped (counted).
+    std::size_t max_queued_frames = 4096;
+    /// Seeds the backoff jitter (deterministic per transport).
+    std::uint64_t jitter_seed = 1;
+  };
+
+  /// Monotonic transport-health counters (mirrored as "net.*" metrics).
+  struct Stats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t frames_dropped = 0;    // queue overflow + unreachable
+    std::uint64_t send_retries = 0;      // failed attempts that were retried
+    std::uint64_t reconnects = 0;        // successful re-establishments
+    std::uint64_t peers_unreachable = 0; // retry budgets exhausted
+    std::uint64_t frames_oversized = 0;  // inbound frames over the limit
+  };
+
+  /// Point-in-time view of one peer's health (join-error diagnostics).
+  struct PeerState {
+    bool known = false;
+    bool unreachable = false;
+    int last_errno = 0;     // errno of the last failed connect/send
+    std::size_t queued = 0;
+  };
+
+  /// Invoked (from a writer thread, no locks held) when a peer's retry
+  /// budget is exhausted — the transport-level failure verdict.
+  using UnreachableHook = std::function<void(const std::string& address)>;
+
   /// Binds and listens on 127.0.0.1:port (port 0 = ephemeral). Starts the
   /// listener thread immediately.
+  static Result<std::unique_ptr<TcpTransport>> listen(std::uint16_t port,
+                                                      Receiver receiver,
+                                                      Options options);
   static Result<std::unique_ptr<TcpTransport>> listen(std::uint16_t port,
                                                       Receiver receiver);
 
@@ -33,31 +94,84 @@ class TcpTransport final : public Transport {
   TcpTransport& operator=(const TcpTransport&) = delete;
 
   [[nodiscard]] std::string local_address() const override;
+
+  /// Never blocks: validates, enqueues on the peer's outbound queue and
+  /// returns. kInvalidArgument = bad address/frame, kUnavailable = peer
+  /// currently unreachable, kResourceExhausted = queue full.
   Status send(const std::string& to, std::vector<std::byte> bytes) override;
+
   void close() override;
 
- private:
-  TcpTransport(int listen_fd, std::uint16_t port, Receiver receiver);
+  /// Must be set before traffic flows (not thread-safe against send).
+  void set_unreachable_hook(UnreachableHook hook) { hook_ = std::move(hook); }
 
-  struct Connection {
-    int fd = -1;
-    std::mutex write_mu;
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] PeerState peer_state(const std::string& to) const;
+  /// Clears an unreachable verdict so the next send reconnects immediately
+  /// (used when the runtime knows the peer restarted).
+  void reset_peer(const std::string& to);
+
+ private:
+  TcpTransport(int listen_fd, std::uint16_t port, Receiver receiver,
+               Options options);
+
+  struct Peer {
+    explicit Peer(std::string a) : addr(std::move(a)) {}
+    const std::string addr;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::vector<std::byte>> queue;  // framed (header + payload)
+    int fd = -1;                // live outgoing socket, -1 = disconnected
+    int attempts = 0;           // failures in the current outage
+    int last_errno = 0;
+    bool unreachable = false;
+    Nanos unreachable_at = 0;   // steady-clock nanos of the verdict
+    bool ever_connected = false;
+    bool stop = false;
+    std::uint64_t jitter_state = 0;
+    std::thread writer;
   };
 
+  // fd ownership: writers own their outgoing fds (created by try_connect,
+  // closed by the writer under peer.mu); readers own accepted fds (closed
+  // under mu_ as they deregister). close() only ever shutdown()s, always
+  // under the same lock as the owner's transitions — no fd is closed while
+  // another thread can still act on it.
   void accept_loop();
   void read_loop(int fd);
-  void track_fd(int fd);
-  Result<std::shared_ptr<Connection>> connection_to(const std::string& to);
+  void writer_loop(Peer& peer);
+  /// Blocking-with-timeout connect; returns fd or -1 (errno in *err).
+  int try_connect(const std::string& addr, int* err);
+  /// Under peer.mu (via lk): drops the queue, records the verdict, fires
+  /// the hook with the lock released.
+  void declare_unreachable(Peer& peer, std::unique_lock<std::mutex>& lk);
 
+  static Nanos now_nanos();
+
+  const Options options_;
   int listen_fd_;
   std::uint16_t port_;
   Receiver receiver_;
+  UnreachableHook hook_;
   std::thread accept_thread_;
   std::vector<std::thread> reader_threads_;
-  std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<Connection>> outgoing_;
-  std::vector<int> reader_fds_;  // every fd a reader thread may block on
+  mutable std::mutex mu_;  // guards peers_, reader_threads_, reader_fds_
+  std::unordered_map<std::string, std::shared_ptr<Peer>> peers_;
+  std::vector<int> reader_fds_;  // live accepted fds readers may block on
   std::atomic<bool> stopping_{false};
+
+  // Counters live on transport threads outside the site lock, so they are
+  // atomics rather than metrics::Counter slots.
+  struct AtomicStats {
+    std::atomic<std::uint64_t> frames_sent{0};
+    std::atomic<std::uint64_t> bytes_sent{0};
+    std::atomic<std::uint64_t> frames_dropped{0};
+    std::atomic<std::uint64_t> send_retries{0};
+    std::atomic<std::uint64_t> reconnects{0};
+    std::atomic<std::uint64_t> peers_unreachable{0};
+    std::atomic<std::uint64_t> frames_oversized{0};
+  };
+  AtomicStats stats_;
 };
 
 }  // namespace sdvm::net

@@ -292,6 +292,21 @@ std::optional<SiteId> ClusterManager::try_allocate_id() {
 
 void ClusterManager::handle_sign_on_request(const SdMessage& msg) {
   ++signon_messages;
+  // A joiner behind a flaky link retries its sign-on until the deadline
+  // expires; duplicates must not allocate a second logical id. If an alive
+  // site already claims the request's physical address, re-send its reply.
+  if (auto p = SignOnPayload::deserialize(msg.payload); p.is_ok()) {
+    for (const auto& [sid, info] : sites_) {
+      if (info.alive && !info.address.empty() &&
+          info.address == p.value().address) {
+        SDVM_DEBUG(site_.tag())
+            << "duplicate sign-on from " << info.address
+            << ", re-sending reply for site " << sid;
+        send_sign_on_reply(info.address, sid);
+        return;
+      }
+    }
+  }
   auto id = try_allocate_id();
   if (id.has_value()) {
     complete_sign_on(msg, *id);
@@ -353,6 +368,14 @@ void ClusterManager::complete_sign_on(const SdMessage& request, SiteId new_id) {
   sites_[new_id] = info;
 
   refresh_local_info();
+  ++sites_admitted;
+  send_sign_on_reply(info.address, new_id);
+  SDVM_INFO(site_.tag()) << "admitted new site " << new_id << " ("
+                         << info.platform << ", speed " << info.speed << ")";
+}
+
+void ClusterManager::send_sign_on_reply(const std::string& address,
+                                        SiteId new_id) {
   ByteWriter w;
   w.site(new_id);
   auto list = encode_cluster_list();
@@ -364,10 +387,7 @@ void ClusterManager::complete_sign_on(const SdMessage& request, SiteId new_id) {
   reply.type = MsgType::kSignOnReply;
   reply.payload = w.take();
   ++signon_messages;
-  ++sites_admitted;
-  (void)site_.messages().send_to_address(info.address, std::move(reply));
-  SDVM_INFO(site_.tag()) << "admitted new site " << new_id << " ("
-                         << info.platform << ", speed " << info.speed << ")";
+  (void)site_.messages().send_to_address(address, std::move(reply));
 }
 
 void ClusterManager::request_id_block(std::function<void()> then) {

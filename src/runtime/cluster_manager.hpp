@@ -104,6 +104,7 @@ class ClusterManager {
  private:
   void handle_sign_on_request(const SdMessage& msg);
   void complete_sign_on(const SdMessage& original_request, SiteId new_id);
+  void send_sign_on_reply(const std::string& address, SiteId new_id);
   [[nodiscard]] std::optional<SiteId> try_allocate_id();
   void request_id_block(std::function<void()> then);
 

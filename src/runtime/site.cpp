@@ -71,6 +71,9 @@ void Site::join(const std::string& contact_address) {
 }
 
 bool Site::joined() const {
+  // Pollers (TcpNode::join_cluster) race the engine thread assigning the
+  // id, so this read must take the site lock like every other accessor.
+  std::lock_guard lock(mu_);
   return cluster_mgr_->joined();
 }
 

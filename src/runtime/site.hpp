@@ -152,7 +152,7 @@ class Site {
   Driver& driver_;
   std::unique_ptr<net::Transport> transport_;
 
-  std::recursive_mutex mu_;
+  mutable std::recursive_mutex mu_;
 
   std::mutex inbox_mu_;
   std::deque<std::vector<std::byte>> inbox_;

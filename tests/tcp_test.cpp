@@ -105,11 +105,28 @@ TEST(TcpTransportTest, LargeFrame) {
 }
 
 TEST(TcpTransportTest, SendToDeadAddressFails) {
-  auto a = net::TcpTransport::listen(0, [](std::vector<std::byte>) {});
+  net::TcpTransport::Options opt;
+  opt.max_attempts = 2;
+  opt.backoff_base = 1'000'000;  // 1 ms
+  opt.backoff_max = 2'000'000;
+  auto a = net::TcpTransport::listen(0, [](std::vector<std::byte>) {}, opt);
   ASSERT_TRUE(a.is_ok());
-  // Port 1 on localhost is virtually guaranteed closed.
-  Status st = a.value()->send("127.0.0.1:1", bytes_of("x"));
+  // Port 1 on localhost is virtually guaranteed closed. Sends are queued,
+  // so the first one succeeds; the unreachable verdict arrives once the
+  // writer thread exhausts its retry budget, and later sends fast-fail.
+  ASSERT_TRUE(a.value()->send("127.0.0.1:1", bytes_of("x")).is_ok());
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!a.value()->peer_state("127.0.0.1:1").unreachable &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(a.value()->peer_state("127.0.0.1:1").unreachable);
+  Status st = a.value()->send("127.0.0.1:1", bytes_of("y"));
   EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), ErrorCode::kUnavailable);
+  auto stats = a.value()->stats();
+  EXPECT_GE(stats.peers_unreachable, 1u);
+  EXPECT_GE(stats.frames_dropped, 1u);
   a.value()->close();
 }
 

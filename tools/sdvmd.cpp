@@ -14,6 +14,9 @@
 //   --code-site        act as a code distribution site
 //   --encrypt PW       enable the security manager with this password
 //   --checkpoints      enable crash management (checkpoint + recovery)
+//   --heartbeat-ms N       heartbeat emission interval
+//   --failure-timeout-ms N silence window before a peer is declared dead
+//   --checkpoint-ms N      coordinated checkpoint interval
 //   --status-every S   print the site status every S seconds
 //
 // The daemon runs until SIGINT/SIGTERM, then signs off gracefully
@@ -64,6 +67,15 @@ int main(int argc, char** argv) {
       options.site.cluster_password = need("--encrypt");
     } else if (std::strcmp(argv[i], "--checkpoints") == 0) {
       options.site.checkpoints_enabled = true;
+    } else if (std::strcmp(argv[i], "--heartbeat-ms") == 0) {
+      options.site.heartbeat_interval =
+          std::atoll(need("--heartbeat-ms")) * 1'000'000;
+    } else if (std::strcmp(argv[i], "--failure-timeout-ms") == 0) {
+      options.site.failure_timeout =
+          std::atoll(need("--failure-timeout-ms")) * 1'000'000;
+    } else if (std::strcmp(argv[i], "--checkpoint-ms") == 0) {
+      options.site.checkpoint_interval =
+          std::atoll(need("--checkpoint-ms")) * 1'000'000;
     } else if (std::strcmp(argv[i], "--status-every") == 0) {
       status_every = std::atoi(need("--status-every"));
     } else {
