@@ -27,16 +27,26 @@ struct RunResult {
   metrics::MetricsSnapshot metrics;
 };
 
+/// Captures the cluster-wide aggregated metrics snapshot through the
+/// abstract Cluster facade — works identically for SimCluster,
+/// LocalCluster and TcpNode handles.
+inline void capture_metrics(Cluster& cluster, RunResult& r) {
+  auto cs = cluster.cluster_status(/*via_index=*/0, 2 * kNanosPerSecond);
+  if (cs.is_ok()) r.metrics = cs.value().aggregate();
+}
+
 inline RunResult run_primes_sim(int sites, const apps::PrimesParams& params,
                                 const SiteConfig& base = {},
                                 sim::SimCluster::Options options = {}) {
   sim::SimCluster cluster(options);
   cluster.add_sites(sites, /*speed=*/1.0, base);
   Nanos start = cluster.now();
-  auto pid = cluster.start_program(apps::make_primes_program(params));
+  // Drive the run through the Cluster facade (run == run_program in sim).
+  Cluster& handle = cluster;
+  auto pid = handle.start_program(apps::make_primes_program(params));
   RunResult r;
   if (!pid.is_ok()) return r;
-  auto code = cluster.run_program(pid.value(), 100'000 * kNanosPerSecond);
+  auto code = handle.run(pid.value(), 100'000 * kNanosPerSecond);
   if (!code.is_ok()) return r;
   r.ok = true;
   r.exit_code = code.value();
@@ -46,8 +56,7 @@ inline RunResult run_primes_sim(int sites, const apps::PrimesParams& params,
     r.messages += cluster.site(i).messages().sent_count;
     r.help_requests += cluster.site(i).scheduling().help_requests_sent;
   }
-  auto cs = cluster.cluster_status(/*via_index=*/0);
-  if (cs.is_ok()) r.metrics = cs.value().aggregate();
+  capture_metrics(handle, r);
   return r;
 }
 

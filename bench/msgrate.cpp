@@ -1,0 +1,188 @@
+// msgrate — small-message throughput of the TCP transport, with and
+// without coalescing. The SDVM wire is dominated by ~60 B messages
+// (apply-param, signals; see BENCH_slot_scaling), so the quantity that
+// gates scaling is messages per second between two daemons on one host.
+//
+//   bench_msgrate [--smoke] [--msgs N] [--size BYTES]
+//
+// Two configurations of the same event-loop transport are measured:
+//   * unbatched — flush_frames=1, flush_deadline=0: every frame leaves in
+//     its own writev, reproducing the pre-batching one-datagram-at-a-time
+//     wire behaviour;
+//   * batched   — default flush policy (32 KiB / 256 frames / 200 us).
+// The emitted BENCH_msgrate.json record carries msgs/sec for both, the
+// speedup, bytes/msg on the wire, and the flush-size histogram
+// (frames-per-batch buckets) of the batched run.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/tcp.hpp"
+
+using namespace sdvm;
+
+namespace {
+
+struct RateResult {
+  bool ok = false;
+  double msgs_per_sec = 0;
+  double bytes_per_msg = 0;  // wire bytes incl. framing / messages
+  net::TcpTransport::Stats stats;
+};
+
+/// `burst` > 1 enqueues via send_batch() in bursts of that many frames —
+/// how the runtime's fan-out paths (heartbeats, deferred results) emit
+/// since the API redesign; `burst` == 1 is the per-datagram send() path.
+RateResult run_rate(std::size_t msgs, std::size_t size, std::size_t burst,
+                    net::TcpTransport::Options options) {
+  struct Sink {
+    std::mutex m;
+    std::condition_variable cv;
+    std::atomic<std::size_t> received{0};
+  };
+  auto sink = std::make_shared<Sink>();
+  std::size_t want = msgs;
+  auto receiver = [sink, want](std::vector<std::byte> frame) {
+    (void)frame;
+    if (sink->received.fetch_add(1, std::memory_order_relaxed) + 1 == want) {
+      std::lock_guard lk(sink->m);
+      sink->cv.notify_all();
+    }
+  };
+  auto rx = net::TcpTransport::listen(0, receiver);
+  if (!rx.is_ok()) {
+    std::fprintf(stderr, "rx listen: %s\n", rx.status().to_string().c_str());
+    return {};
+  }
+  auto tx = net::TcpTransport::listen(0, [](std::vector<std::byte>) {},
+                                      options);
+  if (!tx.is_ok()) {
+    std::fprintf(stderr, "tx listen: %s\n", tx.status().to_string().c_str());
+    return {};
+  }
+  const std::string dest = rx.value()->local_address();
+  std::vector<std::byte> payload(size, std::byte{0x5a});
+
+  auto submit = [&](std::size_t n) -> bool {
+    for (;;) {
+      Status st;
+      if (n == 1) {
+        st = tx.value()->send(dest, payload);
+      } else {
+        std::vector<net::Frame> frames(n, payload);
+        st = tx.value()->send_batch(dest, std::move(frames));
+      }
+      if (st.is_ok()) return true;
+      if (st.code() != ErrorCode::kResourceExhausted) {
+        std::fprintf(stderr, "send: %s\n", st.to_string().c_str());
+        return false;
+      }
+      // Queue full: natural backpressure, let the loop drain.
+      std::this_thread::yield();
+    }
+  };
+
+  auto start = std::chrono::steady_clock::now();
+  for (std::size_t sent = 0; sent < msgs;) {
+    std::size_t n = std::min(burst, msgs - sent);
+    if (!submit(n)) return {};
+    sent += n;
+  }
+  tx.value()->flush(dest);
+  {
+    std::unique_lock lk(sink->m);
+    if (!sink->cv.wait_for(lk, std::chrono::seconds(120),
+                           [&] { return sink->received.load() >= want; })) {
+      std::fprintf(stderr, "timeout: received %zu of %zu\n",
+                   sink->received.load(), want);
+      return {};
+    }
+  }
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+
+  RateResult r;
+  r.ok = true;
+  r.msgs_per_sec = static_cast<double>(msgs) / elapsed;
+  r.stats = tx.value()->stats();
+  r.bytes_per_msg =
+      static_cast<double>(r.stats.bytes_sent) / static_cast<double>(msgs);
+  tx.value()->close();
+  rx.value()->close();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t msgs = 200'000;
+  std::size_t size = 64;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      msgs = 20'000;
+    } else if (std::strcmp(argv[i], "--msgs") == 0 && i + 1 < argc) {
+      msgs = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--size") == 0 && i + 1 < argc) {
+      size = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: bench_msgrate [--smoke] [--msgs N] "
+                           "[--size BYTES]\n");
+      return 2;
+    }
+  }
+
+  net::TcpTransport::Options unbatched;
+  unbatched.flush_frames = 1;
+  unbatched.flush_deadline = 0;  // one writev per frame: pre-batching wire
+  unbatched.max_queued_frames = 1 << 16;
+  std::printf("msgrate: %zu msgs x %zu B, unbatched baseline...\n", msgs,
+              size);
+  RateResult base = run_rate(msgs, size, /*burst=*/1, unbatched);
+  if (!base.ok) return 1;
+  std::printf("  unbatched: %.0f msgs/s (%.1f B/msg on the wire)\n",
+              base.msgs_per_sec, base.bytes_per_msg);
+
+  net::TcpTransport::Options batched;  // default flush policy
+  batched.max_queued_frames = 1 << 16;
+  std::printf("msgrate: batched (flush %zu B / %zu frames / %lld ns)...\n",
+              batched.flush_bytes, batched.flush_frames,
+              static_cast<long long>(batched.flush_deadline));
+  RateResult bat = run_rate(msgs, size, /*burst=*/256, batched);
+  if (!bat.ok) return 1;
+  double speedup = bat.msgs_per_sec / base.msgs_per_sec;
+  std::printf("  batched:   %.0f msgs/s (%.1f B/msg on the wire), "
+              "%.1fx vs unbatched\n",
+              bat.msgs_per_sec, bat.bytes_per_msg, speedup);
+
+  std::FILE* f = std::fopen("BENCH_msgrate.json", "a");
+  if (f != nullptr) {
+    std::string hist;
+    for (std::size_t k = 0;
+         k < net::TcpTransport::Stats::kBatchBuckets; ++k) {
+      if (!hist.empty()) hist += ",";
+      hist += std::to_string(bat.stats.frames_per_batch[k]);
+    }
+    std::fprintf(
+        f,
+        "{\"bench\":\"msgrate\",\"msgs\":%zu,\"size\":%zu,"
+        "\"msgs_per_sec\":%.1f,\"bytes_per_msg\":%.2f,"
+        "\"unbatched_msgs_per_sec\":%.1f,\"unbatched_bytes_per_msg\":%.2f,"
+        "\"speedup_vs_unbatched\":%.3f,"
+        "\"batches_sent\":%llu,\"flush_size_hits\":%llu,"
+        "\"flush_deadline_hits\":%llu,\"frames_per_batch\":[%s]}\n",
+        msgs, size, bat.msgs_per_sec, bat.bytes_per_msg, base.msgs_per_sec,
+        base.bytes_per_msg, speedup,
+        static_cast<unsigned long long>(bat.stats.batches_sent),
+        static_cast<unsigned long long>(bat.stats.flush_size_hits),
+        static_cast<unsigned long long>(bat.stats.flush_deadline_hits),
+        hist.c_str());
+    std::fclose(f);
+  }
+  return 0;
+}

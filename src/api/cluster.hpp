@@ -1,0 +1,59 @@
+// Cluster: the one program-facing surface shared by every deployment mode.
+// The paper runs the same SDVM on three substrates — real threads over the
+// in-process fabric (LocalCluster), the discrete-event simulator
+// (sim::SimCluster) and real TCP daemons (TcpNode) — and the tools that sit
+// on top (sdvm-top, the bench harness, experiment drivers) should not care
+// which one they were handed. This interface extracts the previously
+// triplicated status()/cluster_status()/install_trace_hook()/run surface
+// into one abstract contract.
+//
+// Semantics per mode:
+//   * run() blocks on wall time for LocalCluster/TcpNode (wait_program) and
+//     advances virtual time for SimCluster (run_program); `limit` is wall
+//     nanos resp. a virtual deadline, <0 = none.
+//   * a TcpNode hosts exactly one site, so size() == 1 and only index 0 /
+//     home_index 0 are valid.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "runtime/site.hpp"
+
+namespace sdvm {
+
+class Cluster {
+ public:
+  virtual ~Cluster() = default;
+
+  /// Number of sites this handle can address locally (cluster peers of a
+  /// TcpNode are reachable via cluster_status(), not by index).
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Starts a program whose home is the site at `home_index`.
+  ///
+  /// (Default arguments below are repeated identically on every override —
+  /// defaults bind statically, so base and derived must agree.)
+  virtual Result<ProgramId> start_program(const ProgramSpec& spec,
+                                          std::size_t home_index = 0) = 0;
+
+  /// Runs/waits until the program terminates and returns its exit code.
+  /// Blocks wall time on live clusters; advances virtual time on the
+  /// simulator. `limit` <0 = no deadline.
+  virtual Result<std::int64_t> run(ProgramId pid, Nanos limit = -1) = 0;
+
+  /// Unified snapshot of one member site (Site::introspect()).
+  [[nodiscard]] virtual Result<SiteStatus> status(std::size_t index = 0) = 0;
+
+  /// Cluster-wide aggregated snapshot queried through the site at
+  /// `via_index` (kMetricsQuery fan-out). Sites that do not answer within
+  /// `timeout` land in ClusterStatus::unreachable.
+  [[nodiscard]] virtual Result<ClusterStatus> cluster_status(
+      std::size_t via_index = 0, Nanos timeout = 2'000'000'000) = 0;
+
+  /// Installs a frame-career trace hook on one site.
+  virtual Status install_trace_hook(std::size_t index,
+                                    FrameTraceHook hook) = 0;
+};
+
+}  // namespace sdvm

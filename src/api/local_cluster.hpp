@@ -11,12 +11,13 @@
 #include <thread>
 #include <vector>
 
+#include "api/cluster.hpp"
 #include "net/inproc.hpp"
 #include "runtime/site.hpp"
 
 namespace sdvm {
 
-class LocalCluster {
+class LocalCluster final : public Cluster {
  public:
   struct Options {
     net::LinkModel link;       // default 0 latency: a fast intranet
@@ -26,7 +27,7 @@ class LocalCluster {
   };
 
   explicit LocalCluster(Options options = Options{});
-  ~LocalCluster();
+  ~LocalCluster() override;
 
   LocalCluster(const LocalCluster&) = delete;
   LocalCluster& operator=(const LocalCluster&) = delete;
@@ -36,14 +37,19 @@ class LocalCluster {
   void add_sites(int n, const SiteConfig& base = {});
 
   [[nodiscard]] Site& site(std::size_t index) { return *entries_[index]->site; }
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const override { return entries_.size(); }
 
   Result<ProgramId> start_program(const ProgramSpec& spec,
-                                  std::size_t home_index = 0);
+                                  std::size_t home_index = 0) override;
 
   /// Blocks until the program terminates anywhere (timeout in wall nanos,
   /// <0 = forever). Returns the exit code.
   Result<std::int64_t> wait_program(ProgramId pid, Nanos timeout = -1);
+
+  /// Cluster facade: alias for wait_program (wall-clock mode).
+  Result<std::int64_t> run(ProgramId pid, Nanos limit = -1) override {
+    return wait_program(pid, limit);
+  }
 
   Result<SiteId> sign_off(std::size_t index);
   void kill(std::size_t index);
@@ -53,21 +59,20 @@ class LocalCluster {
   [[nodiscard]] net::InProcNetwork& network() { return network_; }
   [[nodiscard]] Site* site_by_id(SiteId id);
 
-  // --- observability facade ----------------------------------------------
-  // Identical signatures on LocalCluster, sim::SimCluster and TcpNode.
+  // --- observability facade (the Cluster interface) -----------------------
 
   /// Unified snapshot of one member site (Site::introspect()).
-  [[nodiscard]] Result<SiteStatus> status(std::size_t index);
+  [[nodiscard]] Result<SiteStatus> status(std::size_t index = 0) override;
 
   /// Cluster-wide aggregated snapshot, queried through the site at
   /// `via_index` (kMetricsQuery fan-out). Blocks up to `timeout` wall
   /// nanos; sites that do not answer in time land in `unreachable`.
   [[nodiscard]] Result<ClusterStatus> cluster_status(
-      std::size_t via_index = 0, Nanos timeout = 2'000'000'000);
+      std::size_t via_index = 0, Nanos timeout = 2'000'000'000) override;
 
   /// Installs a frame-career trace hook on one site (runs under that
   /// site's lock).
-  Status install_trace_hook(std::size_t index, FrameTraceHook hook);
+  Status install_trace_hook(std::size_t index, FrameTraceHook hook) override;
 
  private:
   class EngineDriver;

@@ -53,17 +53,29 @@ Result<std::unique_ptr<TcpNode>> TcpNode::create(Options options) {
         net::TcpTransport::Stats st = raw->stats();
         s.add_counter("net.frames_sent", st.frames_sent);
         s.add_counter("net.bytes_sent", st.bytes_sent);
+        s.add_counter("net.batches_sent", st.batches_sent);
+        s.add_counter("net.flush_deadline_hits", st.flush_deadline_hits);
+        s.add_counter("net.flush_size_hits", st.flush_size_hits);
         s.add_counter("net.frames_dropped", st.frames_dropped);
         s.add_counter("net.send_retries", st.send_retries);
         s.add_counter("net.reconnects", st.reconnects);
         s.add_counter("net.peers_unreachable", st.peers_unreachable);
         s.add_counter("net.frames_oversized", st.frames_oversized);
+        s.add_counter("net.batches_malformed", st.batches_malformed);
+        // Coalescing efficacy: batches carrying [2^k, 2^(k+1)) frames.
+        for (std::size_t k = 0;
+             k < net::TcpTransport::Stats::kBatchBuckets; ++k) {
+          if (st.frames_per_batch[k] == 0) continue;
+          s.add_counter("net.frames_per_batch.ge" + std::to_string(1u << k),
+                        st.frames_per_batch[k]);
+        }
       });
 
   // Retry-budget exhaustion is a failure-detector input: an unreachable
   // verdict accelerates what the heartbeat timeout would conclude anyway.
-  // The hook runs on a writer thread holding no transport locks, so taking
-  // the site lock here respects the site -> transport lock order.
+  // The hook runs on the transport's event-loop thread with no transport
+  // locks held, so taking the site lock here respects the site -> transport
+  // lock order.
   node->tcp_->set_unreachable_hook([site](const std::string& address) {
     std::lock_guard lk(site->lock());
     if (!site->cluster().joined()) return;
@@ -138,7 +150,12 @@ std::string TcpNode::address() const {
   return site_->transport()->local_address();
 }
 
-Result<ProgramId> TcpNode::start_program(const ProgramSpec& spec) {
+Result<ProgramId> TcpNode::start_program(const ProgramSpec& spec,
+                                         std::size_t home_index) {
+  if (home_index != 0) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "a TcpNode hosts exactly one site (home_index 0)");
+  }
   return site_->start_program(spec);
 }
 

@@ -7,13 +7,14 @@
 #include <optional>
 #include <string>
 
+#include "api/cluster.hpp"
 #include "net/faulty.hpp"
 #include "net/tcp.hpp"
 #include "runtime/site.hpp"
 
 namespace sdvm {
 
-class TcpNode {
+class TcpNode final : public Cluster {
  public:
   struct Options {
     SiteConfig site;
@@ -31,7 +32,7 @@ class TcpNode {
   /// join_cluster() next.
   static Result<std::unique_ptr<TcpNode>> create(Options options);
 
-  ~TcpNode();
+  ~TcpNode() override;
   TcpNode(const TcpNode&) = delete;
   TcpNode& operator=(const TcpNode&) = delete;
 
@@ -51,23 +52,32 @@ class TcpNode {
   /// The fault-injection decorator, or nullptr when faults are off.
   [[nodiscard]] net::FaultyTransport* faulty_transport() { return faulty_; }
 
-  Result<ProgramId> start_program(const ProgramSpec& spec);
+  /// A TcpNode hosts exactly one site; home_index must be 0.
+  Result<ProgramId> start_program(const ProgramSpec& spec,
+                                  std::size_t home_index = 0) override;
   Result<std::int64_t> wait_program(ProgramId pid, Nanos timeout = -1);
 
-  // --- observability facade ----------------------------------------------
-  // Identical signatures on LocalCluster, sim::SimCluster and TcpNode. A
-  // TcpNode hosts exactly one site, so only index 0 is valid.
+  // --- observability facade (the Cluster interface) -----------------------
+  // A TcpNode hosts exactly one site, so only index 0 is valid; peers are
+  // reachable through cluster_status().
+
+  [[nodiscard]] std::size_t size() const override { return 1; }
+
+  /// Cluster facade: alias for wait_program (wall-clock mode).
+  Result<std::int64_t> run(ProgramId pid, Nanos limit = -1) override {
+    return wait_program(pid, limit);
+  }
 
   /// Unified snapshot of the local site (Site::introspect()).
-  [[nodiscard]] Result<SiteStatus> status(std::size_t index = 0);
+  [[nodiscard]] Result<SiteStatus> status(std::size_t index = 0) override;
 
   /// Cluster-wide aggregated snapshot queried through the local site
   /// (kMetricsQuery fan-out over TCP). Blocks up to `timeout` wall nanos.
   [[nodiscard]] Result<ClusterStatus> cluster_status(
-      std::size_t via_index = 0, Nanos timeout = 2'000'000'000);
+      std::size_t via_index = 0, Nanos timeout = 2'000'000'000) override;
 
   /// Installs a frame-career trace hook on the local site.
-  Status install_trace_hook(std::size_t index, FrameTraceHook hook);
+  Status install_trace_hook(std::size_t index, FrameTraceHook hook) override;
 
   /// Graceful leave + engine shutdown.
   void shutdown();

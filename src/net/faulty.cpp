@@ -52,51 +52,100 @@ std::string FaultyTransport::local_address() const {
   return inner_->local_address();
 }
 
+FaultyTransport::Verdict FaultyTransport::apply_rules(
+    const std::string& to, std::vector<std::byte>& bytes) {
+  FaultRule rule = base_;
+  if (auto it = peer_rules_.find(to); it != peer_rules_.end()) {
+    rule = combine(rule, it->second);
+  }
+  if (classifier_) {
+    int kind = classifier_(bytes);
+    if (auto it = kind_rules_.find(kind); it != kind_rules_.end()) {
+      rule = combine(rule, it->second);
+    }
+  }
+  if (rule.sever) {
+    ++stats_.severed;
+    return Verdict::kSevered;
+  }
+  if (rule.drop > 0.0 && rng_.uniform() < rule.drop) {
+    // Network loss is silent: the frame vanishes, the caller sees ok.
+    ++stats_.dropped;
+    return Verdict::kDropped;
+  }
+  Nanos extra = rule.delay;
+  if (rule.delay_jitter > 0) {
+    extra += static_cast<Nanos>(
+        rng_.below(static_cast<std::uint64_t>(rule.delay_jitter)));
+  }
+  if (extra > 0) {
+    ++stats_.delayed;
+    delayed_.push(
+        Delayed{now_nanos() + extra, ++delayed_seq_, to, std::move(bytes)});
+    cv_.notify_all();
+    return Verdict::kDelayed;
+  }
+  ++stats_.forwarded;
+  return Verdict::kForward;
+}
+
 Status FaultyTransport::send(const std::string& to,
                              std::vector<std::byte> bytes) {
-  FaultRule rule;
-  Nanos extra = 0;
   {
     std::lock_guard lk(mu_);
     if (stop_) {
       return Status::error(ErrorCode::kUnavailable, "transport closed");
     }
-    rule = base_;
-    if (auto it = peer_rules_.find(to); it != peer_rules_.end()) {
-      rule = combine(rule, it->second);
+    switch (apply_rules(to, bytes)) {
+      case Verdict::kSevered:
+        return Status::error(ErrorCode::kUnavailable,
+                             "link to " + to + " severed (fault injection)");
+      case Verdict::kDropped:
+      case Verdict::kDelayed:
+        return Status::ok();
+      case Verdict::kForward:
+        break;
     }
-    if (classifier_) {
-      int kind = classifier_(bytes);
-      if (auto it = kind_rules_.find(kind); it != kind_rules_.end()) {
-        rule = combine(rule, it->second);
-      }
-    }
-    if (rule.sever) {
-      ++stats_.severed;
-      return Status::error(ErrorCode::kUnavailable,
-                           "link to " + to + " severed (fault injection)");
-    }
-    if (rule.drop > 0.0 && rng_.uniform() < rule.drop) {
-      // Network loss is silent: the frame vanishes, the caller sees ok.
-      ++stats_.dropped;
-      return Status::ok();
-    }
-    extra = rule.delay;
-    if (rule.delay_jitter > 0) {
-      extra += static_cast<Nanos>(
-          rng_.below(static_cast<std::uint64_t>(rule.delay_jitter)));
-    }
-    if (extra > 0) {
-      ++stats_.delayed;
-      delayed_.push(Delayed{now_nanos() + extra, ++delayed_seq_, to,
-                            std::move(bytes)});
-      cv_.notify_all();
-      return Status::ok();
-    }
-    ++stats_.forwarded;
   }
   return inner_->send(to, std::move(bytes));
 }
+
+Status FaultyTransport::send_batch(const std::string& to,
+                                   std::vector<Frame> frames) {
+  Status first = Status::ok();
+  std::vector<Frame> survivors;
+  {
+    std::lock_guard lk(mu_);
+    if (stop_) {
+      return Status::error(ErrorCode::kUnavailable, "transport closed");
+    }
+    survivors.reserve(frames.size());
+    for (auto& f : frames) {
+      switch (apply_rules(to, f)) {
+        case Verdict::kSevered:
+          if (first.is_ok()) {
+            first = Status::error(
+                ErrorCode::kUnavailable,
+                "link to " + to + " severed (fault injection)");
+          }
+          break;
+        case Verdict::kDropped:
+        case Verdict::kDelayed:
+          break;
+        case Verdict::kForward:
+          survivors.push_back(std::move(f));
+          break;
+      }
+    }
+  }
+  if (!survivors.empty()) {
+    Status st = inner_->send_batch(to, std::move(survivors));
+    if (!st.is_ok() && first.is_ok()) first = st;
+  }
+  return first;
+}
+
+void FaultyTransport::flush(const std::string& to) { inner_->flush(to); }
 
 void FaultyTransport::delayer_loop() {
   std::unique_lock lk(mu_);

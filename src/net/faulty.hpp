@@ -75,6 +75,12 @@ class FaultyTransport final : public Transport {
 
   [[nodiscard]] std::string local_address() const override;
   Status send(const std::string& to, std::vector<std::byte> bytes) override;
+  /// Applies the fault rules to every frame of the burst individually —
+  /// the RNG consumes decisions in frame order, exactly as if each frame
+  /// had been sent alone — then forwards the survivors as one batch.
+  Status send_batch(const std::string& to, std::vector<Frame> frames) override;
+  /// Forwards to the inner transport (delayed frames flush when due).
+  void flush(const std::string& to) override;
   void close() override;
 
   // --- rule surface (thread-safe; effective for subsequent sends) --------
@@ -89,6 +95,12 @@ class FaultyTransport final : public Transport {
   [[nodiscard]] Transport* inner() { return inner_.get(); }
 
  private:
+  /// Per-frame fault decision shared by send() and send_batch().
+  enum class Verdict { kForward, kDropped, kDelayed, kSevered };
+  /// Requires mu_ held. A kDelayed verdict has already scheduled the frame
+  /// (bytes consumed); all other verdicts leave `bytes` untouched.
+  Verdict apply_rules(const std::string& to, std::vector<std::byte>& bytes);
+
   void delayer_loop();
 
   std::unique_ptr<Transport> inner_;

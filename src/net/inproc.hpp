@@ -42,7 +42,11 @@ struct LinkStats {
 
 class InProcNetwork;
 
-/// One endpoint on the fabric; implements Transport.
+/// One endpoint on the fabric; implements Transport. Batched sends use
+/// the base-class default (send_batch loops send, flush is a no-op) on
+/// purpose: the fabric has no wire to coalesce for, and looping keeps
+/// the loss RNG and the trace hook firing once per frame — the same
+/// per-frame contract the batched TCP path guarantees.
 class InProcEndpoint final : public Transport {
  public:
   InProcEndpoint(InProcNetwork* net, std::string address, Receiver receiver)

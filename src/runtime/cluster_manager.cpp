@@ -527,6 +527,7 @@ void ClusterManager::mark_dead(SiteId id, bool gossip) {
   if (gossip) {
     ByteWriter w;
     w.site(id);
+    std::vector<SdMessage> burst;
     for (SiteId sid : known_sites(/*alive_only=*/true)) {
       if (sid == local_id_) continue;
       SdMessage msg;
@@ -534,8 +535,9 @@ void ClusterManager::mark_dead(SiteId id, bool gossip) {
       msg.src_mgr = msg.dst_mgr = ManagerId::kCluster;
       msg.type = MsgType::kSiteDead;
       msg.payload = w.bytes();
-      (void)site_.messages().send(std::move(msg));
+      burst.push_back(std::move(msg));
     }
+    (void)site_.messages().send_burst(std::move(burst));
   }
 }
 
@@ -549,6 +551,7 @@ void ClusterManager::set_successor(SiteId dead, SiteId heir, bool gossip) {
     ByteWriter w;
     w.site(dead);
     w.site(heir);
+    std::vector<SdMessage> burst;
     for (SiteId sid : known_sites(/*alive_only=*/true)) {
       if (sid == local_id_) continue;
       SdMessage msg;
@@ -556,8 +559,9 @@ void ClusterManager::set_successor(SiteId dead, SiteId heir, bool gossip) {
       msg.src_mgr = msg.dst_mgr = ManagerId::kCluster;
       msg.type = MsgType::kSignOffNotice;
       msg.payload = w.bytes();
-      (void)site_.messages().send(std::move(msg));
+      burst.push_back(std::move(msg));
     }
+    (void)site_.messages().send_burst(std::move(burst));
   }
 }
 
@@ -566,9 +570,11 @@ void ClusterManager::on_tick() {
   Nanos now = site_.clock().now();
   refresh_local_info();
 
-  // Heartbeats to every known live peer.
+  // Heartbeats to every known live peer, as one burst so the transport can
+  // coalesce the fan-out per destination.
   ByteWriter w;
   sites_[local_id_].serialize(w);
+  std::vector<SdMessage> beats;
   for (SiteId sid : known_sites(/*alive_only=*/true)) {
     if (sid == local_id_) continue;
     SdMessage msg;
@@ -577,8 +583,9 @@ void ClusterManager::on_tick() {
     msg.type = MsgType::kHeartbeat;
     msg.payload = w.bytes();
     ++heartbeats_sent;
-    (void)site_.messages().send(std::move(msg));
+    beats.push_back(std::move(msg));
   }
+  (void)site_.messages().send_burst(std::move(beats));
 
   // Failure detection: no traffic within the timeout → dead. A site we
   // have never heard from is granted a full timeout from when we first

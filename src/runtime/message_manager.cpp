@@ -1,5 +1,7 @@
 #include "runtime/message_manager.hpp"
 
+#include <algorithm>
+
 #include "runtime/site.hpp"
 
 namespace sdvm {
@@ -37,6 +39,55 @@ Status MessageManager::send(SdMessage msg) {
     return Status::ok();
   }
   return transmit(std::move(msg));
+}
+
+Status MessageManager::send_burst(std::vector<SdMessage> msgs) {
+  Status first = Status::ok();
+  SiteId local = site_.cluster().local_id();
+  // Group by destination address, preserving per-destination order.
+  std::vector<std::pair<std::string, std::vector<net::Frame>>> by_dest;
+  for (auto& msg : msgs) {
+    msg.src = local;
+    if (msg.seq == 0) msg.seq = next_seq();
+    if (defer_ != nullptr) {
+      defer_->push_back(std::move(msg));
+      continue;
+    }
+    if (msg.dst == local && local != kInvalidSite) {
+      count_sent(msg.type);
+      count_received(msg.type);
+      deliver(msg);
+      continue;
+    }
+    auto addr = site_.cluster().physical_address(msg.dst);
+    if (!addr.is_ok()) {
+      if (first.is_ok()) first = addr.status();
+      continue;
+    }
+    if (site_.transport() == nullptr) {
+      if (first.is_ok()) {
+        first = Status::error(ErrorCode::kFailedPrecondition, "no transport");
+      }
+      continue;
+    }
+    count_sent(msg.type);
+    auto wire = site_.security().protect(msg);
+    bytes_sent += wire.size();
+    auto it = std::find_if(by_dest.begin(), by_dest.end(), [&](auto& e) {
+      return e.first == addr.value();
+    });
+    if (it == by_dest.end()) {
+      by_dest.emplace_back(addr.value(), std::vector<net::Frame>{});
+      it = std::prev(by_dest.end());
+    }
+    it->second.push_back(std::move(wire));
+  }
+  for (auto& [dest, frames] : by_dest) {
+    Status st = site_.transport()->send_batch(dest, std::move(frames));
+    if (!st.is_ok() && first.is_ok()) first = st;
+    site_.transport()->flush(dest);
+  }
+  return first;
 }
 
 Status MessageManager::request(SdMessage msg, ReplyHandler on_reply) {

@@ -26,6 +26,13 @@ class MessageManager {
   /// local site are dispatched directly (loopback).
   Status send(SdMessage msg);
 
+  /// Fire-and-forget burst. Messages are grouped by destination and handed
+  /// to the transport as per-peer batches (Transport::send_batch + flush),
+  /// so a fan-out of N tiny messages leaves the site in O(peers) wire
+  /// batches instead of N datagrams. Loopback messages dispatch directly;
+  /// the first failure's status is returned, later messages still go out.
+  Status send_burst(std::vector<SdMessage> msgs);
+
   /// Request expecting a reply (matched on reply_to == seq). The handler
   /// runs under the site lock when the reply (or a failure) arrives.
   using ReplyHandler = std::function<void(Result<SdMessage>)>;

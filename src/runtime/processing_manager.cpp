@@ -169,9 +169,8 @@ Nanos ProcessingManager::execute_one_sim() {
     auto msgs = std::make_shared<std::vector<SdMessage>>(
         std::move(ctx.deferred));
     site_.schedule_after(cost, [this, msgs] {
-      for (auto& m : *msgs) {
-        (void)site_.messages().transmit_deferred(std::move(m));
-      }
+      // One burst: the transport groups by destination and coalesces.
+      (void)site_.messages().send_burst(std::move(*msgs));
     });
   }
   return cost;

@@ -10,13 +10,14 @@
 #include <string>
 #include <vector>
 
+#include "api/cluster.hpp"
 #include "net/inproc.hpp"
 #include "runtime/site.hpp"
 #include "sim/event_loop.hpp"
 
 namespace sdvm::sim {
 
-class SimCluster {
+class SimCluster final : public Cluster {
  public:
   struct Options {
     std::uint64_t seed = 1;
@@ -36,7 +37,7 @@ class SimCluster {
   /// The constructor clamps an out-of-range loss into [0, 1) after logging
   /// (callers wanting an error instead should check validate() first).
   explicit SimCluster(Options options = Options{});
-  ~SimCluster();
+  ~SimCluster() override;
 
   SimCluster(const SimCluster&) = delete;
   SimCluster& operator=(const SimCluster&) = delete;
@@ -51,15 +52,20 @@ class SimCluster {
   void add_sites(int n, double speed = 1.0, const SiteConfig& base = {});
 
   [[nodiscard]] Site& site(std::size_t index) { return *entries_[index]->site; }
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const override { return entries_.size(); }
 
   /// Starts a program on `home_index` and returns its id.
   Result<ProgramId> start_program(const ProgramSpec& spec,
-                                  std::size_t home_index = 0);
+                                  std::size_t home_index = 0) override;
 
   /// Runs until the program terminates (or virtual deadline, <0 = none).
   /// Returns the exit code.
   Result<std::int64_t> run_program(ProgramId pid, Nanos deadline = -1);
+
+  /// Cluster facade: alias for run_program (virtual-time mode).
+  Result<std::int64_t> run(ProgramId pid, Nanos limit = -1) override {
+    return run_program(pid, limit);
+  }
 
   /// Graceful departure of a site mid-run.
   Result<SiteId> sign_off(std::size_t index);
@@ -78,21 +84,20 @@ class SimCluster {
   /// Looks a site up by logical id (dead sites included).
   [[nodiscard]] Site* site_by_id(SiteId id);
 
-  // --- observability facade ----------------------------------------------
-  // Identical signatures on LocalCluster, SimCluster and TcpNode.
+  // --- observability facade (the Cluster interface) -----------------------
 
   /// Unified snapshot of one member site (Site::introspect()).
-  [[nodiscard]] Result<SiteStatus> status(std::size_t index);
+  [[nodiscard]] Result<SiteStatus> status(std::size_t index = 0) override;
 
   /// Cluster-wide aggregated snapshot, queried through the site at
   /// `via_index` (kMetricsQuery fan-out). Runs the event loop up to
   /// `timeout` virtual nanos; sites that do not answer land in
   /// `unreachable`.
   [[nodiscard]] Result<ClusterStatus> cluster_status(
-      std::size_t via_index = 0, Nanos timeout = 2'000'000'000);
+      std::size_t via_index = 0, Nanos timeout = 2'000'000'000) override;
 
   /// Installs a frame-career trace hook on one site.
-  Status install_trace_hook(std::size_t index, FrameTraceHook hook);
+  Status install_trace_hook(std::size_t index, FrameTraceHook hook) override;
 
  private:
   class SimDriver;

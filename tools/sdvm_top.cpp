@@ -15,6 +15,7 @@
 #include <cstring>
 #include <thread>
 
+#include "api/cluster.hpp"
 #include "api/tcp_node.hpp"
 
 using namespace sdvm;
@@ -48,6 +49,26 @@ void print_table(const ClusterStatus& cs, const std::string& join_addr,
   if (with_metrics) {
     std::printf("--- aggregate metrics ---\n%s",
                 cs.aggregate().to_text("  ").c_str());
+  }
+}
+
+/// The monitor loop proper. Programs against the abstract Cluster facade —
+/// any deployment mode that implements cluster_status() can be watched.
+void monitor(Cluster& cluster, const std::string& join_addr, SiteId self,
+             int interval_s, bool once, bool json, bool metrics) {
+  for (;;) {
+    auto cs = cluster.cluster_status(0, 2 * kNanosPerSecond);
+    if (!cs.is_ok()) {
+      std::fprintf(stderr, "status query failed: %s\n",
+                   cs.status().to_string().c_str());
+    } else if (json) {
+      std::printf("%s\n", cs.value().to_json().c_str());
+    } else {
+      print_table(cs.value(), join_addr, self, metrics);
+    }
+    std::fflush(stdout);
+    if (once) break;
+    std::this_thread::sleep_for(std::chrono::seconds(interval_s));
   }
 }
 
@@ -109,20 +130,7 @@ int main(int argc, char** argv) {
   }
 
   SiteId self = node.value()->site().id();
-  for (;;) {
-    auto cs = node.value()->cluster_status(0, 2 * kNanosPerSecond);
-    if (!cs.is_ok()) {
-      std::fprintf(stderr, "status query failed: %s\n",
-                   cs.status().to_string().c_str());
-    } else if (json) {
-      std::printf("%s\n", cs.value().to_json().c_str());
-    } else {
-      print_table(cs.value(), join_addr, self, metrics);
-    }
-    std::fflush(stdout);
-    if (once) break;
-    std::this_thread::sleep_for(std::chrono::seconds(interval_s));
-  }
+  monitor(*node.value(), join_addr, self, interval_s, once, json, metrics);
 
   {
     Site& site = node.value()->site();
