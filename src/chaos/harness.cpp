@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "apps/chaos_mix.hpp"
+#include "runtime/checkpoint_store.hpp"
 #include "runtime/site.hpp"
 
 namespace sdvm::chaos {
@@ -13,12 +14,15 @@ namespace {
 /// Site config used for every chaos run: checkpointing on a sub-second
 /// cadence and an aggressive failure detector, so recovery machinery is
 /// exercised inside the schedule horizon.
-SiteConfig chaos_site_config() {
+SiteConfig chaos_site_config(bool durable) {
   SiteConfig cfg;
   cfg.checkpoints_enabled = true;
   cfg.checkpoint_interval = kNanosPerSecond / 2;
   cfg.heartbeat_interval = 100'000'000;   // 100 ms
   cfg.failure_timeout = 400'000'000;      // 400 ms
+  // Durable sweeps replicate every committed epoch to all live sites, so
+  // any survivor (or cold-restarted store) can re-home the program.
+  if (durable) cfg.replication_factor = 0;
   return cfg;
 }
 
@@ -36,9 +40,15 @@ RunReport ChaosHarness::run(const ChaosSchedule& schedule) {
 
   sim::SimCluster::Options opts;
   opts.seed = schedule.seed;
+  opts.durable_state = options_.durable_state;
+  opts.disk_faults = options_.disk_faults;
+  // Mix the schedule seed in so each seed sees a distinct-but-replayable
+  // fault pattern even when the CLI passes one fixed disk-fault seed.
+  opts.disk_faults.seed ^= schedule.seed * 0x9E3779B97F4A7C15ull;
   const net::LinkModel base_link = opts.link;
   sim::SimCluster cluster(opts);
-  cluster.add_sites(std::max(schedule.sites, 1), 1.0, chaos_site_config());
+  cluster.add_sites(std::max(schedule.sites, 1), 1.0,
+                    chaos_site_config(options_.durable_state));
 
   std::vector<SiteRecord> records(cluster.size());
   InvariantChecker checker;
@@ -121,12 +131,16 @@ RunReport ChaosHarness::run(const ChaosSchedule& schedule) {
       case EventKind::kKill:
       case EventKind::kSignOff: {
         std::size_t t = ev.target;
-        const char* what =
-            ev.kind == EventKind::kKill ? "kill" : "sign-off";
         if (t >= records.size() || !live(t)) return skip("target not live");
         if (live_count() <= 2) return skip("would leave <2 live sites");
         if (t == 0 && !options_.allow_home_faults) {
           return skip("home site protected");
+        }
+        if (t == 0 && ev.kind == EventKind::kSignOff) {
+          // allow_home_faults covers *crashes* (durable recovery re-homes
+          // the program); graceful departure of the home is not a
+          // supported relocation path.
+          return skip("home sign-off unsupported");
         }
         if (ev.kind == EventKind::kSignOff && partition_active) {
           return skip("no graceful sign-off across a partition");
@@ -156,7 +170,8 @@ RunReport ChaosHarness::run(const ChaosSchedule& schedule) {
         }
         if (contact < 0) return skip("no live contact");
         trace("#" + std::to_string(index) + " apply " + ev.to_line());
-        Site& added = cluster.add_site(chaos_site_config(), contact);
+        Site& added =
+            cluster.add_site(chaos_site_config(options_.durable_state), contact);
         records.push_back(SiteRecord{});
         if (!added.joined()) {
           records.back().join_failed = true;
@@ -200,17 +215,49 @@ RunReport ChaosHarness::run(const ChaosSchedule& schedule) {
         loss_active = false;
         return;
       }
+      case EventKind::kRestart: {
+        std::size_t t = ev.target;
+        if (t >= records.size() || !records[t].killed) {
+          return skip("target not killed");
+        }
+        if (partition_active) return skip("no restart across a partition");
+        trace("#" + std::to_string(index) + " apply " + ev.to_line());
+        Site& back = cluster.restart(t);
+        records[t].killed = false;
+        records[t].join_failed = !back.joined();
+        if (records[t].join_failed) {
+          trace("#" + std::to_string(index) + " rejoin did not complete");
+        }
+        // The slot hosts a new incarnation; its committed-epoch gauge
+        // restarts from the durable store, not from the old site's view.
+        checker.note_restart(t);
+        return;
+      }
     }
   };
 
   trace("run seed=" + std::to_string(schedule.seed) + " sites=" +
         std::to_string(schedule.sites) + " workload=" + workload.name);
 
+  // What the submitting client has seen so far. Output streams to the
+  // frontend as it is produced; a site killed *after* the last line landed
+  // must not erase it from the harness's view, so the longest log among
+  // live sites is latched continuously, not sampled once at the end.
+  std::vector<std::string> best_out;
+  auto latch_outputs = [&] {
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      if (!live(i)) continue;
+      std::vector<std::string> candidate = cluster.outputs(i, pid);
+      if (candidate.size() > best_out.size()) best_out = std::move(candidate);
+    }
+  };
+
   const Nanos t0 = cluster.now();
   for (std::size_t i = 0; i < schedule.events.size(); ++i) {
     const ChaosEvent& ev = schedule.events[i];
     Nanos due = t0 + ev.at;
     if (due > cluster.now()) cluster.loop().run_for(due - cluster.now());
+    latch_outputs();
     apply(ev, static_cast<int>(i));
     run_checks(static_cast<int>(i), /*at_quiescence=*/false);
   }
@@ -253,6 +300,7 @@ RunReport ChaosHarness::run(const ChaosSchedule& schedule) {
     Nanos slice =
         std::min<Nanos>(kNanosPerSecond / 2, deadline - cluster.now());
     cluster.loop().run_for(slice);
+    latch_outputs();
     run_checks(post_events, /*at_quiescence=*/false);
     if (report.terminated) break;
   }
@@ -268,23 +316,49 @@ RunReport ChaosHarness::run(const ChaosSchedule& schedule) {
   run_checks(/*event_index=*/-1, /*at_quiescence=*/true);
 
   if (report.terminated) {
-    std::vector<std::string> out;
-    if (live(0)) {
-      out = cluster.outputs(0, pid);
-    } else {
-      for (std::size_t i = 0; i < cluster.size(); ++i) {
-        if (!live(i)) continue;
-        out = cluster.outputs(i, pid);
-        if (!out.empty()) break;
-      }
-    }
-    if (std::optional<std::string> bad = workload.verify(out)) {
+    // Output lands at the program's home and moves with it on takeover
+    // (the replicated io log is imported at the new home), so the longest
+    // log among live sites — latched across the whole run — is the
+    // authoritative one.
+    latch_outputs();
+    if (std::optional<std::string> bad = workload.verify(best_out)) {
       Violation v{"result-correct", *bad, -1, cluster.now()};
       trace("VIOLATION " + v.invariant + ": " + v.detail);
       report.violations.push_back(std::move(v));
     }
   }
 
+  report.disk_faults_injected = cluster.disk_faults_injected();
+  if (report.disk_faults_injected > 0) {
+    trace("disk faults injected: " +
+          std::to_string(report.disk_faults_injected));
+  }
+  if (options_.durable_state) {
+    // Postmortem listing of every slot's durable store: artifact name,
+    // size, and whether the CRC framing still validates. CI attaches this
+    // on failure so a corrupt/missing epoch is visible without a local
+    // re-run.
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      auto store = cluster.state_store(i);
+      if (store == nullptr) continue;
+      for (const std::string& name : store->list()) {
+        auto bytes = store->get(name);
+        std::string line = "slot" + std::to_string(i) + " " + name;
+        if (!bytes.is_ok()) {
+          line += " unreadable";
+        } else {
+          line += " " + std::to_string(bytes.value().size()) + "B";
+          if (name.find(".ckpt") != std::string::npos) {
+            line += CheckpointStore::unframe(bytes.value(), ProgramId{})
+                            .is_ok()
+                        ? " valid"
+                        : " CORRUPT";
+          }
+        }
+        report.state_dump.push_back(std::move(line));
+      }
+    }
+  }
   report.passed = report.violations.empty();
   trace(report.passed ? "verdict PASS" : "verdict FAIL");
   return report;

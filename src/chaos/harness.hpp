@@ -28,6 +28,14 @@ struct HarnessOptions {
   /// GeneratorOptions::allow_home_faults; the harness enforces it again at
   /// apply time so shrunk event subsets stay survivable-by-design.
   bool allow_home_faults = false;
+  /// Give every site a durable state store that survives kRestart events,
+  /// and replicate committed checkpoints to every live site
+  /// (replication_factor = 0). Enables the durable invariants
+  /// (durable-epoch-monotone, durable-program-lost).
+  bool durable_state = false;
+  /// Disk-fault injection for the durable stores. The seed is mixed with
+  /// the schedule seed so every run stays deterministic and replayable.
+  FaultyStateStore::Options disk_faults;
 };
 
 struct RunReport {
@@ -36,6 +44,13 @@ struct RunReport {
   bool passed = false;
   bool terminated = false;
   std::int64_t exit_code = 0;
+  /// Disk faults the FaultyStateStore layer actually injected (durable
+  /// runs only) — distinguishes "survived faults" from "no faults fired".
+  std::uint64_t disk_faults_injected = 0;
+  /// Durable-store postmortem (durable runs only): one line per stored
+  /// artifact across all slots, with size and CRC validity. Written to a
+  /// file by `sdvm-chaos --state-dump` when a run fails.
+  std::vector<std::string> state_dump;
   std::vector<Violation> violations;
   /// Virtual-time-stamped event/verdict lines; deterministic per schedule.
   std::vector<std::string> trace;

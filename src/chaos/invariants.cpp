@@ -1,8 +1,10 @@
 #include "chaos/invariants.hpp"
 
+#include <algorithm>
 #include <optional>
 #include <sstream>
 
+#include "runtime/checkpoint_store.hpp"
 #include "runtime/site.hpp"
 
 namespace sdvm::chaos {
@@ -25,10 +27,12 @@ std::vector<Violation> InvariantChecker::check(ChaosContext& ctx,
   check_exit_codes(ctx, found);
   check_epochs(ctx, found);
   check_progress(ctx, found);
+  check_durable_stores(ctx, found);
   if (ctx.at_quiescence) {
     check_membership(ctx, found);
     check_directory_owners(ctx, found);
     check_termination(ctx, found);
+    check_program_home(ctx, found);
   }
   for (Violation& v : found) {
     v.event_index = event_index;
@@ -220,6 +224,80 @@ void InvariantChecker::check_termination(ChaosContext& ctx,
     }
   }
   out.push_back(Violation{"program-terminates", detail, 0, 0});
+}
+
+// Durable no-un-persist: the best recoverable epoch in each state store
+// never regresses while the program lives. CheckpointStore::persist
+// verifies the written frame before garbage-collecting older generations,
+// so a torn or bit-flipped write may fail to advance the store but can
+// never take a previously committed epoch away. (Termination legitimately
+// drops the artifacts.) Stores are keyed by SimCluster slot, which is
+// stable across cold restarts — exactly the property under test.
+void InvariantChecker::check_durable_stores(ChaosContext& ctx,
+                                            std::vector<Violation>& out) {
+  for (std::size_t i = 0; i < ctx.cluster.size(); ++i) {
+    std::shared_ptr<StateStore> store = ctx.cluster.state_store(i);
+    if (store == nullptr) continue;
+    CheckpointStore cs(store);
+    std::uint64_t best = 0;
+    for (const auto& [pid, epoch] : cs.recoverable()) {
+      if (pid == ctx.pid) best = std::max(best, epoch);
+    }
+    auto it = durable_best_.find(i);
+    if (it != durable_best_.end() && !ctx.terminated && best < it->second) {
+      out.push_back(Violation{
+          "durable-epoch-monotone",
+          "state store of slot " + std::to_string(i) +
+              " best recoverable epoch went " + std::to_string(it->second) +
+              " -> " + std::to_string(best),
+          0, 0});
+    }
+    durable_best_[i] = best;
+  }
+}
+
+// Durable no-loss + re-homing: at quiescence an unterminated program with
+// a committed epoch persisted on some *live* site must still be hosted
+// somewhere (the recovery election must have re-homed it), and every live
+// site's view of the program's home must resolve to a live site — a
+// takeover that landed on a dead "survivor" is a silent loss.
+void InvariantChecker::check_program_home(ChaosContext& ctx,
+                                          std::vector<Violation>& out) {
+  bool hosted = false;
+  std::size_t live_replicas = 0;
+  for (std::size_t i = 0; i < ctx.cluster.size(); ++i) {
+    if (!ctx.live(i)) continue;
+    Site& site = ctx.cluster.site(i);
+    if (!site.joined()) continue;
+    const ProgramInfo* info = site.programs().find(ctx.pid);
+    if (info != nullptr && !site.programs().is_terminated(ctx.pid)) {
+      SiteId resolved = site.cluster().resolve_successor(info->home_site);
+      const SiteInfo* home = site.cluster().find(resolved);
+      if (home != nullptr && !home->alive) {
+        out.push_back(Violation{
+            "program-home-live",
+            "site " + std::to_string(site.id()) + " sees program home " +
+                std::to_string(info->home_site) + " resolving to dead site " +
+                std::to_string(resolved),
+            0, 0});
+      } else {
+        hosted = true;
+      }
+    }
+    if (std::shared_ptr<StateStore> store = ctx.cluster.state_store(i)) {
+      CheckpointStore cs(store);
+      for (const auto& [pid, epoch] : cs.recoverable()) {
+        if (pid == ctx.pid && epoch > 0) ++live_replicas;
+      }
+    }
+  }
+  if (!ctx.terminated && live_replicas > 0 && !hosted) {
+    out.push_back(Violation{
+        "durable-program-lost",
+        "program not hosted by any live site despite " +
+            std::to_string(live_replicas) + " persisted replica(s)",
+        0, 0});
+  }
 }
 
 }  // namespace sdvm::chaos

@@ -62,6 +62,12 @@ class InvariantChecker {
   [[nodiscard]] std::vector<Violation> check(ChaosContext& ctx,
                                              int event_index);
 
+  /// A cold restart replaces the site behind `index`: its committed-epoch
+  /// gauge restarts from whatever the durable store recovers, so the
+  /// per-site monotonicity history must be reset. The per-*store* history
+  /// is kept — the store itself survived the crash.
+  void note_restart(std::size_t index) { last_epoch_.erase(index); }
+
   /// Virtual time a cluster with queued work may make zero execution
   /// progress (outside partitions/loss windows) before the starvation
   /// invariant fires. Covers checkpoint freeze rounds, which legally
@@ -75,8 +81,11 @@ class InvariantChecker {
   void check_membership(ChaosContext& ctx, std::vector<Violation>& out);
   void check_directory_owners(ChaosContext& ctx, std::vector<Violation>& out);
   void check_termination(ChaosContext& ctx, std::vector<Violation>& out);
+  void check_durable_stores(ChaosContext& ctx, std::vector<Violation>& out);
+  void check_program_home(ChaosContext& ctx, std::vector<Violation>& out);
 
   std::map<std::size_t, std::uint64_t> last_epoch_;  // site index → epoch
+  std::map<std::size_t, std::uint64_t> durable_best_;  // store slot → epoch
   std::uint64_t last_executed_total_ = 0;
   Nanos last_progress_at_ = 0;
   bool progress_initialized_ = false;

@@ -19,6 +19,7 @@ const char* to_string(EventKind kind) {
     case EventKind::kHeal:      return "heal";
     case EventKind::kLossBurst: return "loss-burst";
     case EventKind::kLossClear: return "loss-clear";
+    case EventKind::kRestart:   return "restart";
   }
   return "unknown";
 }
@@ -26,7 +27,8 @@ const char* to_string(EventKind kind) {
 Result<EventKind> event_kind_from_string(const std::string& s) {
   for (auto kind : {EventKind::kKill, EventKind::kSignOff, EventKind::kAddSite,
                     EventKind::kPartition, EventKind::kHeal,
-                    EventKind::kLossBurst, EventKind::kLossClear}) {
+                    EventKind::kLossBurst, EventKind::kLossClear,
+                    EventKind::kRestart}) {
     if (s == to_string(kind)) return kind;
   }
   return Status::error(ErrorCode::kInvalidArgument,
@@ -39,6 +41,7 @@ std::string ChaosEvent::to_line() const {
   switch (kind) {
     case EventKind::kKill:
     case EventKind::kSignOff:
+    case EventKind::kRestart:
       os << " site#" << target;
       break;
     case EventKind::kAddSite:
@@ -72,6 +75,9 @@ ChaosSchedule generate_schedule(std::uint64_t seed,
   // Planning census mirroring what the harness will do at apply time.
   int total = schedule.sites;  // entries ever created (indices 0..total-1)
   std::vector<bool> live(static_cast<std::size_t>(total), true);
+  // Killed-not-signed-off sites are cold-restart candidates (their state
+  // store survives the crash; a graceful sign-off relinquishes it).
+  std::vector<bool> restartable(static_cast<std::size_t>(total), false);
   auto live_count = [&] {
     return static_cast<int>(std::count(live.begin(), live.end(), true));
   };
@@ -103,6 +109,12 @@ ChaosSchedule generate_schedule(std::uint64_t seed,
     if (partitioned) menu.push_back(EventKind::kHeal);
     if (options.loss_max > 0 && !lossy) menu.push_back(EventKind::kLossBurst);
     if (lossy) menu.push_back(EventKind::kLossClear);
+    bool has_restartable =
+        std::find(restartable.begin(), restartable.end(), true) !=
+        restartable.end();
+    if (options.allow_restarts && has_restartable && !partitioned) {
+      menu.push_back(EventKind::kRestart);
+    }
 
     ChaosEvent ev;
     ev.at = at;
@@ -110,17 +122,40 @@ ChaosSchedule generate_schedule(std::uint64_t seed,
     switch (ev.kind) {
       case EventKind::kKill:
       case EventKind::kSignOff: {
+        // allow_home_faults extends *kills* to site 0 (crash recovery
+        // re-homes the program); graceful home departure stays off-menu.
+        int lowest = ev.kind == EventKind::kKill ? first_victim : 1;
         std::vector<int> victims;
-        for (int s = first_victim; s < total; ++s) {
+        for (int s = lowest; s < total; ++s) {
           if (live[static_cast<std::size_t>(s)]) victims.push_back(s);
+        }
+        if (victims.empty()) {
+          ev.kind = EventKind::kAddSite;
+          live.push_back(true);
+          restartable.push_back(false);
+          ++total;
+          break;
         }
         ev.target = static_cast<std::uint32_t>(
             victims[rng.below(victims.size())]);
         live[ev.target] = false;
+        restartable[ev.target] = ev.kind == EventKind::kKill;
+        break;
+      }
+      case EventKind::kRestart: {
+        std::vector<int> candidates;
+        for (int s = 0; s < total; ++s) {
+          if (restartable[static_cast<std::size_t>(s)]) candidates.push_back(s);
+        }
+        ev.target = static_cast<std::uint32_t>(
+            candidates[rng.below(candidates.size())]);
+        live[ev.target] = true;
+        restartable[ev.target] = false;
         break;
       }
       case EventKind::kAddSite:
         live.push_back(true);
+        restartable.push_back(false);
         ++total;
         break;
       case EventKind::kPartition:

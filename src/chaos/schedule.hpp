@@ -29,6 +29,7 @@ enum class EventKind : std::uint8_t {
   kHeal,        // clear all partitions
   kLossBurst,   // default-link drop probability becomes `loss`
   kLossClear,   // restore the lossless default link
+  kRestart,     // cold-restart previously killed site `target`
 };
 
 [[nodiscard]] const char* to_string(EventKind kind);
@@ -75,10 +76,15 @@ struct GeneratorOptions {
   /// post-heal merge the runtime does not reconcile (split-brain — see
   /// DESIGN.md "Chaos testing" for the shrunk repro). Exploratory mode.
   bool allow_partitions = false;
-  /// Allow kill/sign-off of site 0 (the workload home). Off by default:
-  /// home loss before the first checkpoint replica is unrecoverable by
-  /// design, which would make sweeps fail for uninteresting reasons.
+  /// Allow kill/sign-off of site 0 (the workload home). Off by default
+  /// for the memory-only profile; with durable state and k-replica
+  /// placement home loss is survivable, so the durability sweep turns
+  /// this on.
   bool allow_home_faults = false;
+  /// Emit cold-restart events for previously killed sites. Only
+  /// meaningful when the harness runs with durable state: a restarted
+  /// site re-opens its state store and re-enters the recovery election.
+  bool allow_restarts = false;
 };
 
 /// Expands a seed into a concrete schedule. Pure function of its inputs.

@@ -64,6 +64,17 @@ struct SiteConfig {
   Nanos heartbeat_interval = 200'000'000;   // 200 ms
   Nanos failure_timeout = 1 * kNanosPerSecond;
 
+  /// Durable checkpoints: directory committed epochs are persisted to
+  /// (`sdvmd --state-dir`). Empty = in-memory replicas only, unless a
+  /// state store is attached explicitly (the simulator does this).
+  std::string state_dir;
+
+  /// Copies of each committed checkpoint: the home site plus
+  /// `replication_factor - 1` deterministically chosen replica holders.
+  /// 0 = every live site holds a replica. A commit is acknowledged only
+  /// after a majority of the copies persisted.
+  std::uint32_t replication_factor = 2;
+
   /// Message drain wait before a frozen site snapshots its checkpoint
   /// shard (bounded-channel-delay assumption of coordinated checkpointing).
   Nanos checkpoint_drain = 5'000'000;  // 5 ms

@@ -80,11 +80,11 @@ Status AttractionMemory::apply_param(GlobalAddress frame, std::size_t slot,
 
   SiteId home = site_.cluster().resolve_successor(frame.home_site());
   if (home == site_.id()) {
-    // Homed here but unknown: consumed, shipped, or a post-recovery
-    // duplicate. Dataflow slots fill exactly once, so this is benign noise
-    // after recovery and a program bug otherwise.
-    SDVM_DEBUG(site_.tag()) << "param for unknown local frame "
-                            << frame.value;
+    // Homed here but unknown. Either the frame is still in flight to us (a
+    // signing-off site's kDirectoryImport races the frame's own results),
+    // or it was consumed and this is a post-recovery duplicate. Park the
+    // value: adoption applies it, the TTL purge forgets true duplicates.
+    park_param(frame, slot, std::move(value));
     return Status::ok();
   }
 
@@ -116,8 +116,43 @@ Result<Microframe> AttractionMemory::take_frame(FrameId id) {
   return f;
 }
 
+void AttractionMemory::park_param(GlobalAddress frame, std::size_t slot,
+                                  std::vector<std::byte> value) {
+  purge_stale_params();
+  SDVM_DEBUG(site_.tag()) << "parking param for absent local frame "
+                          << frame.value;
+  pending_params_[frame].push_back(PendingParam{
+      static_cast<std::uint32_t>(slot), std::move(value),
+      site_.clock().now()});
+}
+
+void AttractionMemory::purge_stale_params() {
+  const Nanos ttl = 8 * site_.config().failure_timeout;
+  const Nanos now = site_.clock().now();
+  for (auto& [fid, parked] : pending_params_) {
+    std::erase_if(parked, [&](const PendingParam& p) {
+      return now - p.parked_at > ttl;
+    });
+  }
+  std::erase_if(pending_params_,
+                [](const auto& kv) { return kv.second.empty(); });
+}
+
 void AttractionMemory::adopt_frame(Microframe frame) {
   site_.trace(FrameEvent::kAdopted, frame.id, frame.thread);
+  if (auto parked = pending_params_.extract(frame.id); !parked.empty()) {
+    for (PendingParam& p : parked.mapped()) {
+      Status st = frame.apply(p.slot, std::move(p.value));
+      if (!st.is_ok()) {
+        SDVM_WARN(site_.tag()) << "parked param for frame "
+                               << frame.id.value
+                               << " rejected: " << st.to_string();
+      } else {
+        ++params_applied;
+        site_.trace(FrameEvent::kParamApplied, frame.id, frame.thread);
+      }
+    }
+  }
   if (frame.executable()) {
     frame.state = FrameState::kExecutable;
     frame_became_executable(std::move(frame));
@@ -431,6 +466,26 @@ void AttractionMemory::handle(const SdMessage& msg) {
       }
       break;
     }
+    case MsgType::kObjectGrant: {
+      // Unsolicited: a grant addressed to a site that signed off before it
+      // arrived, relayed here. Keep the object — the homesite's directory
+      // points at the departed site, and recalls sent there are relayed to
+      // us the same way.
+      try {
+        ByteReader r(msg.payload);
+        auto obj = MemObject::deserialize(r);
+        if (obj.is_ok()) {
+          GlobalAddress addr = obj.value().addr;
+          install_object(std::move(obj).value());
+          if (auto it = directory_.find(addr); it != directory_.end()) {
+            it->second.owner = site_.id();
+            grant_next(addr);
+          }
+        }
+      } catch (const DecodeError&) {
+      }
+      break;
+    }
     case MsgType::kObjectReturn: {
       // Unsolicited return (sign-off relocation): we are the homesite and
       // become the owner again.
@@ -466,6 +521,13 @@ void AttractionMemory::handle(const SdMessage& msg) {
           if (f.is_ok()) adopt_frame(std::move(f).value());
         }
         restore_snapshot(r);
+        std::uint32_t nsources = r.count(/*min_bytes_each=*/8);
+        for (std::uint32_t i = 0; i < nsources; ++i) {
+          ProgramId spid = r.program();
+          MicrothreadId tid = r.u32();
+          std::string src = r.str();
+          site_.code().import_sources(spid, {{tid, std::move(src)}});
+        }
         SDVM_INFO(site_.tag()) << "absorbed state from signing-off site "
                                << msg.src;
       } catch (const DecodeError&) {
@@ -585,6 +647,23 @@ void AttractionMemory::relocate_all_to(SiteId successor) {
   // -- memory snapshot --
   auto snap = snapshot(ProgramId{});
   w.raw(snap.data(), snap.size());
+  // -- code sources --
+  // The home is implicitly a code distribution site; if that role has
+  // migrated here through a successor chain, hand it on too. Otherwise a
+  // cluster whose original members all departed gracefully ends up with
+  // live frames and no site able to serve their code.
+  std::vector<std::tuple<ProgramId, MicrothreadId, std::string>> sources;
+  for (ProgramId pid : pids) {
+    for (auto& [tid, src] : site_.code().export_sources(pid)) {
+      sources.emplace_back(pid, tid, std::move(src));
+    }
+  }
+  w.u32(static_cast<std::uint32_t>(sources.size()));
+  for (const auto& [pid, tid, src] : sources) {
+    w.program(pid);
+    w.u32(tid);
+    w.str(src);
+  }
 
   SdMessage imp;
   imp.dst = successor;
@@ -597,6 +676,25 @@ void AttractionMemory::relocate_all_to(SiteId successor) {
   frames_.clear();
   objects_.clear();
   directory_.clear();
+
+  // Parked results ride along too: their frames are in the import blob
+  // above, so re-address each one to the successor (re-parked there if it
+  // outruns the import).
+  for (auto& [fid, parked] : pending_params_) {
+    for (PendingParam& p : parked) {
+      ByteWriter pw;
+      pw.address(fid);
+      pw.u32(p.slot);
+      pw.blob(p.value);
+      SdMessage pm;
+      pm.dst = successor;
+      pm.src_mgr = pm.dst_mgr = ManagerId::kAttractionMemory;
+      pm.type = MsgType::kApplyParam;
+      pm.payload = pw.take();
+      (void)site_.messages().send(std::move(pm));
+    }
+  }
+  pending_params_.clear();
 }
 
 void AttractionMemory::drop_program(ProgramId pid) {

@@ -194,6 +194,21 @@ class AttractionMemory {
   std::unordered_map<FrameId, Microframe> frames_;
   std::unordered_map<GlobalAddress, MemObject> objects_;
 
+  // Results that arrived for a frame homed here but not (yet) present.
+  // During a graceful sign-off the relocated frame (kDirectoryImport) races
+  // its own in-flight results; dropping the result would strand the frame
+  // forever. Parked values are applied when the frame is adopted and
+  // purged after a generous TTL (post-recovery duplicates are benign).
+  struct PendingParam {
+    std::uint32_t slot = 0;
+    std::vector<std::byte> value;
+    Nanos parked_at = 0;
+  };
+  std::unordered_map<FrameId, std::vector<PendingParam>> pending_params_;
+  void park_param(GlobalAddress frame, std::size_t slot,
+                  std::vector<std::byte> value);
+  void purge_stale_params();
+
   // Homesite directory for objects created here: current owner site plus
   // the queue of sites waiting for migration (homesite-mediated protocol).
   struct Waiter {

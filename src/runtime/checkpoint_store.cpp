@@ -1,0 +1,491 @@
+#include "runtime/checkpoint_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "common/log.hpp"
+
+namespace sdvm {
+
+// ---------------------------------------------------------------------------
+// CRC32
+// ---------------------------------------------------------------------------
+
+std::uint32_t crc32(std::span<const std::byte> data) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::byte b : data) {
+    c = table[(c ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// MemStateStore
+// ---------------------------------------------------------------------------
+
+Status MemStateStore::put(const std::string& name,
+                          std::span<const std::byte> data) {
+  std::lock_guard lk(mu_);
+  files_[name].assign(data.begin(), data.end());
+  return Status::ok();
+}
+
+Result<std::vector<std::byte>> MemStateStore::get(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Status::error(ErrorCode::kNotFound, "no state file '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> MemStateStore::list() {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, bytes] : files_) names.push_back(name);
+  return names;
+}
+
+void MemStateStore::remove(const std::string& name) {
+  std::lock_guard lk(mu_);
+  files_.erase(name);
+}
+
+// ---------------------------------------------------------------------------
+// DirStateStore
+// ---------------------------------------------------------------------------
+
+DirStateStore::DirStateStore(std::string root) : root_(std::move(root)) {
+  std::error_code ec;
+  std::filesystem::create_directories(root_, ec);
+  if (ec) {
+    SDVM_ERROR("state-store") << "cannot create " << root_ << ": "
+                              << ec.message();
+  }
+}
+
+Status DirStateStore::put(const std::string& name,
+                          std::span<const std::byte> data) {
+  std::string tmp = root_ + "/" + name + ".tmp";
+  std::string final_path = root_ + "/" + name;
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::error(ErrorCode::kInternal, "open " + tmp + " failed");
+  }
+  std::size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::error(ErrorCode::kInternal, "write " + tmp + " failed");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: the rename must never become visible while the
+  // data is still only in the page cache.
+  (void)::fsync(fd);
+  ::close(fd);
+  if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::error(ErrorCode::kInternal,
+                         "rename to " + final_path + " failed");
+  }
+  return Status::ok();
+}
+
+Result<std::vector<std::byte>> DirStateStore::get(const std::string& name) {
+  std::string path = root_ + "/" + name;
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::error(ErrorCode::kNotFound, "no state file '" + name + "'");
+  }
+  std::vector<std::byte> out;
+  std::array<std::byte, 65536> buf;
+  for (;;) {
+    ssize_t n = ::read(fd, buf.data(), buf.size());
+    if (n < 0) {
+      ::close(fd);
+      return Status::error(ErrorCode::kInternal, "read " + path + " failed");
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf.begin(), buf.begin() + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+std::vector<std::string> DirStateStore::list() {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(root_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.ends_with(".tmp")) continue;  // torn write
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+void DirStateStore::remove(const std::string& name) {
+  ::unlink((root_ + "/" + name).c_str());
+}
+
+// ---------------------------------------------------------------------------
+// FaultyStateStore
+// ---------------------------------------------------------------------------
+
+Status FaultyStateStore::put(const std::string& name,
+                             std::span<const std::byte> data) {
+  double roll = rng_.uniform();
+  if (roll < opts_.drop_write) {
+    ++faults_injected_;
+    return Status::ok();  // write silently lost — like a crash before fsync
+  }
+  roll -= opts_.drop_write;
+  if (roll < opts_.torn_write && !data.empty()) {
+    ++faults_injected_;
+    std::size_t keep = rng_.below(data.size());
+    return inner_->put(name, data.subspan(0, keep));
+  }
+  roll -= opts_.torn_write;
+  if (roll < opts_.bit_flip && !data.empty()) {
+    ++faults_injected_;
+    std::vector<std::byte> mangled(data.begin(), data.end());
+    std::size_t at = rng_.below(mangled.size());
+    mangled[at] ^= std::byte{static_cast<std::uint8_t>(1u << rng_.below(8))};
+    return inner_->put(name, mangled);
+  }
+  return inner_->put(name, data);
+}
+
+// ---------------------------------------------------------------------------
+// DurableEpoch
+// ---------------------------------------------------------------------------
+
+void DurableEpoch::serialize(ByteWriter& w) const {
+  w.program(pid);
+  w.u64(epoch);
+  info.serialize(w);
+  w.u32(static_cast<std::uint32_t>(shards.size()));
+  for (const auto& [sid, blob] : shards) {
+    w.site(sid);
+    w.blob(blob);
+  }
+  w.u32(static_cast<std::uint32_t>(sources.size()));
+  for (const auto& [tid, src] : sources) {
+    w.u32(tid);
+    w.str(src);
+  }
+  w.u32(static_cast<std::uint32_t>(io_log.size()));
+  for (const auto& rec : io_log) {
+    w.u64(rec.epoch);
+    w.u64(rec.seq);
+    w.str(rec.text);
+  }
+}
+
+Result<DurableEpoch> DurableEpoch::deserialize(ByteReader& r) {
+  try {
+    DurableEpoch d;
+    d.pid = r.program();
+    d.epoch = r.u64();
+    auto info = ProgramInfo::deserialize(r);
+    if (!info.is_ok()) return info.status();
+    d.info = std::move(info).value();
+    std::uint32_t nshards = r.count(/*min_bytes_each=*/8);
+    for (std::uint32_t i = 0; i < nshards; ++i) {
+      SiteId sid = r.site();
+      d.shards[sid] = r.blob();
+    }
+    std::uint32_t nsrc = r.count(/*min_bytes_each=*/8);
+    for (std::uint32_t i = 0; i < nsrc; ++i) {
+      MicrothreadId tid = r.u32();
+      d.sources.emplace_back(tid, r.str());
+    }
+    std::uint32_t nlog = r.count(/*min_bytes_each=*/20);
+    for (std::uint32_t i = 0; i < nlog; ++i) {
+      IoRecord rec;
+      rec.epoch = r.u64();
+      rec.seq = r.u64();
+      rec.text = r.str();
+      d.io_log.push_back(std::move(rec));
+    }
+    return d;
+  } catch (const DecodeError& e) {
+    return Status::error(ErrorCode::kCorrupt,
+                         std::string("bad DurableEpoch: ") + e.what());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointStore
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::uint32_t kFrameMagic = 0x4B434453u;  // "SDCK"
+constexpr std::uint32_t kFrameVersion = 1;
+constexpr std::uint64_t kManifestEpoch = ~std::uint64_t{0};
+}  // namespace
+
+std::vector<std::byte> CheckpointStore::frame(
+    ProgramId pid, std::uint64_t epoch, std::span<const std::byte> payload) {
+  ByteWriter w;
+  w.u32(kFrameMagic);
+  w.u32(kFrameVersion);
+  w.u64(pid.value);
+  w.u64(epoch);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(crc32(payload));
+  w.raw(payload.data(), payload.size());
+  return w.take();
+}
+
+Result<std::vector<std::byte>> CheckpointStore::unframe(
+    std::span<const std::byte> file, ProgramId expected_pid) {
+  try {
+    ByteReader r(file);
+    if (r.u32() != kFrameMagic) {
+      return Status::error(ErrorCode::kCorrupt, "bad checkpoint magic");
+    }
+    if (r.u32() != kFrameVersion) {
+      return Status::error(ErrorCode::kCorrupt, "bad checkpoint version");
+    }
+    std::uint64_t pid = r.u64();
+    if (expected_pid.value != 0 && pid != expected_pid.value) {
+      return Status::error(ErrorCode::kCorrupt, "checkpoint pid mismatch");
+    }
+    (void)r.u64();  // epoch: informational in the frame, name is canonical
+    std::uint32_t len = r.u32();
+    std::uint32_t want_crc = r.u32();
+    if (r.remaining() != len) {
+      return Status::error(ErrorCode::kCorrupt,
+                           "checkpoint length mismatch (torn write?)");
+    }
+    std::vector<std::byte> payload(file.end() - static_cast<std::ptrdiff_t>(len),
+                                   file.end());
+    if (crc32(payload) != want_crc) {
+      return Status::error(ErrorCode::kCorrupt, "checkpoint CRC mismatch");
+    }
+    return payload;
+  } catch (const DecodeError& e) {
+    return Status::error(ErrorCode::kCorrupt,
+                         std::string("truncated checkpoint: ") + e.what());
+  }
+}
+
+std::string CheckpointStore::epoch_file_name(ProgramId pid,
+                                             std::uint64_t epoch) {
+  return "p" + std::to_string(pid.value) + "-e" + std::to_string(epoch) +
+         ".ckpt";
+}
+
+std::string CheckpointStore::manifest_name(ProgramId pid) {
+  return "p" + std::to_string(pid.value) + ".manifest";
+}
+
+bool CheckpointStore::parse_name(const std::string& name, ProgramId* pid,
+                                 std::uint64_t* epoch) {
+  if (name.empty() || name[0] != 'p') return false;
+  std::size_t i = 1;
+  std::uint64_t pv = 0;
+  bool any = false;
+  while (i < name.size() && name[i] >= '0' && name[i] <= '9') {
+    pv = pv * 10 + static_cast<std::uint64_t>(name[i] - '0');
+    ++i;
+    any = true;
+  }
+  if (!any) return false;
+  if (name.compare(i, std::string::npos, ".manifest") == 0) {
+    *pid = ProgramId{pv};
+    *epoch = kManifestEpoch;
+    return true;
+  }
+  if (i >= name.size() || name.compare(i, 2, "-e") != 0) return false;
+  i += 2;
+  std::uint64_t ev = 0;
+  any = false;
+  while (i < name.size() && name[i] >= '0' && name[i] <= '9') {
+    ev = ev * 10 + static_cast<std::uint64_t>(name[i] - '0');
+    ++i;
+    any = true;
+  }
+  if (!any || name.compare(i, std::string::npos, ".ckpt") != 0) return false;
+  *pid = ProgramId{pv};
+  *epoch = ev;
+  return true;
+}
+
+Status CheckpointStore::persist(const DurableEpoch& snap) {
+  // Never overwrite an epoch file that already validates: re-replication
+  // after a home takeover resends epochs we may already hold, and an
+  // in-place rewrite torn by a faulty medium would destroy the one valid
+  // copy it was meant to refresh. Any valid consistent cut at this epoch
+  // serves recovery equally well.
+  if (auto existing = backend_->get(epoch_file_name(snap.pid, snap.epoch));
+      existing.is_ok() && unframe(existing.value(), snap.pid).is_ok()) {
+    return Status::ok();
+  }
+
+  ByteWriter payload;
+  snap.serialize(payload);
+  auto file = frame(snap.pid, snap.epoch, payload.bytes());
+  Status st = backend_->put(epoch_file_name(snap.pid, snap.epoch), file);
+  if (!st.is_ok()) return st;
+
+  // Read-back verification: a faulty medium can tear or flip the write we
+  // just made while reporting success. Only a frame that validates counts
+  // as persisted (quorum members must hold real replicas), points the
+  // manifest at itself, or licenses garbage collection — otherwise GC
+  // could delete the last *valid* generation behind a corrupt newest one.
+  auto written = backend_->get(epoch_file_name(snap.pid, snap.epoch));
+  if (!written.is_ok() || !unframe(written.value(), snap.pid).is_ok()) {
+    ++corrupt_skipped_;
+    return Status::error(ErrorCode::kCorrupt,
+                         "checkpoint write failed verification (epoch " +
+                             std::to_string(snap.epoch) + ")");
+  }
+
+  // An older epoch can arrive after a newer one (a freshly adopting
+  // coordinator re-replicating its bootstrap snapshot, or a stale
+  // retransmit). The manifest must keep naming the newest *valid*
+  // generation, so only move it forward.
+  std::uint64_t newest = snap.epoch;
+  if (auto mf = backend_->get(manifest_name(snap.pid)); mf.is_ok()) {
+    if (auto payload = unframe(mf.value(), snap.pid); payload.is_ok()) {
+      try {
+        ByteReader r(payload.value());
+        std::uint64_t cur = r.u64();
+        if (cur > newest && load_epoch_file(snap.pid, cur).is_ok()) {
+          newest = cur;
+        }
+      } catch (const DecodeError&) {
+      }
+    }
+  }
+  if (newest == snap.epoch) {
+    ByteWriter m;
+    m.u64(snap.epoch);
+    st = backend_->put(manifest_name(snap.pid),
+                       frame(snap.pid, snap.epoch, m.bytes()));
+    if (!st.is_ok()) return st;
+  }
+  ++persisted_;
+
+  // GC: keep the newest two generations so the previous epoch survives a
+  // torn write of the current one. Safe because the newest generation was
+  // verified (above for a fresh write, via load_epoch_file when an older
+  // manifest won).
+  for (const std::string& name : backend_->list()) {
+    ProgramId pid{0};
+    std::uint64_t epoch = 0;
+    if (!parse_name(name, &pid, &epoch)) continue;
+    if (pid != snap.pid || epoch == kManifestEpoch) continue;
+    if (epoch + 1 < newest) backend_->remove(name);
+  }
+  return Status::ok();
+}
+
+Result<DurableEpoch> CheckpointStore::load_epoch_file(ProgramId pid,
+                                                      std::uint64_t epoch) {
+  auto file = backend_->get(epoch_file_name(pid, epoch));
+  if (!file.is_ok()) return file.status();
+  auto payload = unframe(file.value(), pid);
+  if (!payload.is_ok()) return payload.status();
+  ByteReader r(payload.value());
+  auto snap = DurableEpoch::deserialize(r);
+  if (!snap.is_ok()) return snap.status();
+  if (snap.value().pid != pid || snap.value().epoch != epoch) {
+    return Status::error(ErrorCode::kCorrupt, "checkpoint identity mismatch");
+  }
+  return snap;
+}
+
+Result<DurableEpoch> CheckpointStore::load_latest(ProgramId pid) {
+  // Fast path: the manifest names the newest epoch.
+  std::uint64_t manifest_epoch = kManifestEpoch;
+  if (auto mf = backend_->get(manifest_name(pid)); mf.is_ok()) {
+    auto payload = unframe(mf.value(), pid);
+    if (payload.is_ok()) {
+      try {
+        ByteReader r(payload.value());
+        manifest_epoch = r.u64();
+      } catch (const DecodeError&) {
+        ++corrupt_skipped_;
+      }
+    } else {
+      ++corrupt_skipped_;
+    }
+  }
+  if (manifest_epoch != kManifestEpoch) {
+    auto snap = load_epoch_file(pid, manifest_epoch);
+    if (snap.is_ok()) return snap;
+    ++corrupt_skipped_;
+  }
+
+  // Fallback: scan epoch files newest-first and take the first that
+  // validates (missing manifest, torn manifest, or torn newest epoch).
+  std::vector<std::uint64_t> epochs;
+  for (const std::string& name : backend_->list()) {
+    ProgramId p{0};
+    std::uint64_t e = 0;
+    if (parse_name(name, &p, &e) && p == pid && e != kManifestEpoch &&
+        e != manifest_epoch) {
+      epochs.push_back(e);
+    }
+  }
+  std::sort(epochs.rbegin(), epochs.rend());
+  for (std::uint64_t e : epochs) {
+    auto snap = load_epoch_file(pid, e);
+    if (snap.is_ok()) return snap;
+    ++corrupt_skipped_;
+  }
+  return Status::error(ErrorCode::kNotFound,
+                       "no valid checkpoint for program " +
+                           std::to_string(pid.value));
+}
+
+std::vector<std::pair<ProgramId, std::uint64_t>>
+CheckpointStore::recoverable() {
+  std::set<ProgramId> pids;
+  for (const std::string& name : backend_->list()) {
+    ProgramId pid{0};
+    std::uint64_t epoch = 0;
+    if (parse_name(name, &pid, &epoch)) pids.insert(pid);
+  }
+  std::vector<std::pair<ProgramId, std::uint64_t>> out;
+  for (ProgramId pid : pids) {
+    auto snap = load_latest(pid);
+    if (snap.is_ok()) out.emplace_back(pid, snap.value().epoch);
+  }
+  return out;
+}
+
+void CheckpointStore::drop(ProgramId pid) {
+  for (const std::string& name : backend_->list()) {
+    ProgramId p{0};
+    std::uint64_t e = 0;
+    if (parse_name(name, &p, &e) && p == pid) backend_->remove(name);
+  }
+}
+
+}  // namespace sdvm

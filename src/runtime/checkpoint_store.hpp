@@ -1,0 +1,203 @@
+// Durable checkpoint storage (paper §6: "execution state is never lost
+// once an epoch commits" — made true across process death).
+//
+// Three layers:
+//   * StateStore — a tiny durable key→bytes map with atomic writes.
+//     MemStateStore backs the simulator (survives a simulated restart when
+//     held outside the Site), DirStateStore backs real daemons
+//     (`sdvmd --state-dir`, write-to-temp + rename), FaultyStateStore is a
+//     seeded fault-injecting decorator (torn write, bit flip, dropped
+//     write) for chaos runs.
+//   * DurableEpoch — everything a site needs to resurrect a program from a
+//     committed epoch: program info, per-site state shards, microthread
+//     sources, and the frontend's tagged output log.
+//   * CheckpointStore — the on-disk format: per-epoch files
+//     (`p<pid>-e<epoch>.ckpt`) framed with magic/version/CRC32, plus a
+//     `p<pid>.manifest` naming the latest epoch. Writes are epoch-
+//     versioned: a torn write of epoch N leaves epoch N-1 intact, and
+//     loading falls back from a corrupt manifest or epoch file to the
+//     newest file that still validates. Corrupt artifacts are counted
+//     (surfaced as `crash.disk_corrupt_skipped`), never trusted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "runtime/program.hpp"
+
+namespace sdvm {
+
+/// One line of program output, tagged for exactly-once replay: `epoch` is
+/// the last committed checkpoint epoch when the line landed at the
+/// frontend, `seq` its position in the log. Recovery truncates records
+/// with epoch >= the restored epoch; replay regenerates exactly those.
+struct IoRecord {
+  std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;
+  std::string text;
+};
+
+/// Minimal durable key→bytes map. `put` must be atomic: after a crash the
+/// reader sees either the old value or the new one, never a mix (the
+/// directory implementation writes a temp file and renames).
+class StateStore {
+ public:
+  virtual ~StateStore() = default;
+  virtual Status put(const std::string& name,
+                     std::span<const std::byte> data) = 0;
+  virtual Result<std::vector<std::byte>> get(const std::string& name) = 0;
+  virtual std::vector<std::string> list() = 0;
+  virtual void remove(const std::string& name) = 0;
+};
+
+/// In-memory backend for the simulator: the SimCluster owns one per site
+/// slot, so it survives a simulated daemon restart the way a directory
+/// survives a real one.
+class MemStateStore : public StateStore {
+ public:
+  Status put(const std::string& name,
+             std::span<const std::byte> data) override;
+  Result<std::vector<std::byte>> get(const std::string& name) override;
+  std::vector<std::string> list() override;
+  void remove(const std::string& name) override;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<std::byte>> files_;
+};
+
+/// Filesystem backend (`sdvmd --state-dir DIR`). Creates the directory;
+/// writes go to `<name>.tmp`, are fsynced, then renamed over `<name>`.
+class DirStateStore : public StateStore {
+ public:
+  explicit DirStateStore(std::string root);
+
+  Status put(const std::string& name,
+             std::span<const std::byte> data) override;
+  Result<std::vector<std::byte>> get(const std::string& name) override;
+  std::vector<std::string> list() override;
+  void remove(const std::string& name) override;
+
+ private:
+  std::string root_;
+};
+
+/// Seeded disk-fault decorator: with the configured probabilities a put is
+/// truncated mid-write (torn write), lands with one bit flipped, or is
+/// silently dropped. Reads pass through — the corruption is durable, which
+/// is exactly what the CRC framing must catch.
+class FaultyStateStore : public StateStore {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    double torn_write = 0.0;
+    double bit_flip = 0.0;
+    double drop_write = 0.0;
+  };
+
+  FaultyStateStore(std::shared_ptr<StateStore> inner, Options opts)
+      : inner_(std::move(inner)), opts_(opts), rng_(opts.seed) {}
+
+  Status put(const std::string& name,
+             std::span<const std::byte> data) override;
+  Result<std::vector<std::byte>> get(const std::string& name) override {
+    return inner_->get(name);
+  }
+  std::vector<std::string> list() override { return inner_->list(); }
+  void remove(const std::string& name) override { inner_->remove(name); }
+
+  [[nodiscard]] std::uint64_t faults_injected() const {
+    return faults_injected_;
+  }
+
+ private:
+  std::shared_ptr<StateStore> inner_;
+  Options opts_;
+  Xoshiro256 rng_;
+  std::uint64_t faults_injected_ = 0;
+};
+
+/// Everything needed to resurrect a program from a committed epoch.
+struct DurableEpoch {
+  ProgramId pid{0};
+  std::uint64_t epoch = 0;
+  ProgramInfo info;
+  // Per contributing site: serialized state shard (frames + memory).
+  std::map<SiteId, std::vector<std::byte>> shards;
+  // Microthread sources so a new home can serve code.
+  std::vector<std::pair<MicrothreadId, std::string>> sources;
+  // The frontend's tagged output log (duplicate suppression on replay).
+  std::vector<IoRecord> io_log;
+
+  void serialize(ByteWriter& w) const;
+  [[nodiscard]] static Result<DurableEpoch> deserialize(ByteReader& r);
+};
+
+/// CRC32 (IEEE, reflected) over a byte span — exposed for tests.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::byte> data);
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::shared_ptr<StateStore> backend)
+      : backend_(std::move(backend)) {}
+
+  /// Writes the epoch file, updates the manifest, then garbage-collects
+  /// everything older than the previous epoch (two generations survive so
+  /// a torn write of epoch N still leaves N-1 loadable).
+  Status persist(const DurableEpoch& snap);
+
+  /// Newest epoch of `pid` that validates (manifest first, then a scan of
+  /// epoch files from newest to oldest). Corrupt artifacts increment
+  /// corrupt_skipped() and are ignored.
+  Result<DurableEpoch> load_latest(ProgramId pid);
+
+  /// Every `(program, best valid epoch)` pair in the store — what a
+  /// restarted daemon advertises during sign-on.
+  std::vector<std::pair<ProgramId, std::uint64_t>> recoverable();
+
+  /// Removes every artifact of `pid` (program terminated).
+  void drop(ProgramId pid);
+
+  [[nodiscard]] std::uint64_t corrupt_skipped() const {
+    return corrupt_skipped_;
+  }
+  [[nodiscard]] std::uint64_t persisted() const { return persisted_; }
+  [[nodiscard]] StateStore& backend() { return *backend_; }
+
+  // --- framing (exposed for fuzz tests) ---------------------------------
+  /// `[magic u32][version u32][pid u64][epoch u64][len u32][crc u32][payload]`
+  [[nodiscard]] static std::vector<std::byte> frame(
+      ProgramId pid, std::uint64_t epoch, std::span<const std::byte> payload);
+  /// Validates magic/version/length/CRC and (if nonzero) the expected pid;
+  /// returns the payload.
+  [[nodiscard]] static Result<std::vector<std::byte>> unframe(
+      std::span<const std::byte> file, ProgramId expected_pid);
+
+  [[nodiscard]] static std::string epoch_file_name(ProgramId pid,
+                                                   std::uint64_t epoch);
+  [[nodiscard]] static std::string manifest_name(ProgramId pid);
+
+ private:
+  /// Parses `p<pid>-e<epoch>.ckpt` / `p<pid>.manifest`; epoch is
+  /// `UINT64_MAX` for manifests. Returns false for foreign names.
+  static bool parse_name(const std::string& name, ProgramId* pid,
+                         std::uint64_t* epoch);
+
+  Result<DurableEpoch> load_epoch_file(ProgramId pid, std::uint64_t epoch);
+
+  std::shared_ptr<StateStore> backend_;
+  std::uint64_t corrupt_skipped_ = 0;
+  std::uint64_t persisted_ = 0;
+};
+
+}  // namespace sdvm

@@ -93,7 +93,34 @@ void ClusterManager::join(const std::string& contact_address,
     auto cb = std::move(join_done_);
     join_done_ = nullptr;
     cb(st);
+    return;
   }
+  // The request can be lost: the contact may forward it to an allocator
+  // that just died (the reply then never comes). Re-send until the
+  // allocator takeover makes a live site answer; duplicate sign-ons are
+  // deduplicated by physical address on the receiving side.
+  join_contact_ = contact_address;
+  site_.schedule_after(site_.config().failure_timeout,
+                       [this] { retry_join(); });
+}
+
+void ClusterManager::retry_join() {
+  if (joined() || join_contact_.empty()) return;
+  SignOnPayload p;
+  p.address = site_.transport() ? site_.transport()->local_address() : "";
+  p.name = site_.config().name;
+  p.platform = site_.config().platform;
+  p.speed = site_.config().speed;
+  p.code_site = site_.config().code_distribution_site;
+  SdMessage msg;
+  msg.dst = kInvalidSite;
+  msg.src_mgr = msg.dst_mgr = ManagerId::kCluster;
+  msg.type = MsgType::kSignOnRequest;
+  msg.payload = p.serialize();
+  ++signon_messages;
+  (void)site_.messages().send_to_address(join_contact_, msg);
+  site_.schedule_after(site_.config().failure_timeout,
+                       [this] { retry_join(); });
 }
 
 void ClusterManager::announce_sign_off(SiteId successor) {
@@ -257,10 +284,29 @@ void ClusterManager::absorb_cluster_list(ByteReader& r) {
 
 std::optional<SiteId> ClusterManager::try_allocate_id() {
   switch (site_.config().id_alloc) {
-    case IdAllocStrategy::kCentralContact:
-      // Only the central contact site (site 1) allocates.
+    case IdAllocStrategy::kCentralContact: {
+      // Only the central contact site (site 1) allocates — the paper's
+      // named single point of failure. When site 1 is dead, the lowest
+      // live site inherits the allocator role (otherwise a daemon
+      // restarted after losing site 1 could never rejoin). It starts past
+      // every id it has ever seen, so inherited allocations never collide
+      // with members that joined while site 1 was still alive.
       if (local_id_ == 1) return next_central_id_++;
+      const SiteInfo* central = find(1);
+      if (central != nullptr && !central->alive) {
+        SiteId lowest = local_id_;
+        for (SiteId sid : known_sites(/*alive_only=*/true)) {
+          lowest = std::min(lowest, sid);
+        }
+        if (lowest == local_id_) {
+          SiteId base = 1;
+          for (const auto& [sid, info] : sites_) base = std::max(base, sid);
+          next_central_id_ = std::max(next_central_id_, base + 1);
+          return next_central_id_++;
+        }
+      }
       return std::nullopt;
+    }
 
     case IdAllocStrategy::kContingent:
       if (local_id_ == 1) {
@@ -315,10 +361,19 @@ void ClusterManager::handle_sign_on_request(const SdMessage& msg) {
 
   switch (site_.config().id_alloc) {
     case IdAllocStrategy::kCentralContact: {
-      // Forward to the central contact site; it replies to the joiner
-      // directly (its physical address is in the payload).
+      // Forward to the allocator; it replies to the joiner directly (its
+      // physical address is in the payload). Normally site 1 — or, after
+      // its death, the lowest live site that inherited the role.
+      SiteId allocator = 1;
+      const SiteInfo* central = find(1);
+      if (central != nullptr && !central->alive) {
+        allocator = local_id_;
+        for (SiteId sid : known_sites(/*alive_only=*/true)) {
+          allocator = std::min(allocator, sid);
+        }
+      }
       SdMessage fwd;
-      fwd.dst = 1;
+      fwd.dst = allocator;
       fwd.src_mgr = fwd.dst_mgr = ManagerId::kCluster;
       fwd.type = MsgType::kSignOnRequest;
       fwd.payload = msg.payload;
@@ -542,8 +597,24 @@ void ClusterManager::mark_dead(SiteId id, bool gossip) {
 }
 
 void ClusterManager::set_successor(SiteId dead, SiteId heir, bool gossip) {
+  if (dead == heir || dead == kInvalidSite) return;
   auto it = sites_.find(dead);
-  if (it == sites_.end()) return;
+  if (it == sites_.end()) {
+    // Cold-restart recovery routes ids of a previous cluster incarnation
+    // that this membership never met: record a ghost entry so lookups for
+    // the dead id resolve to the heir.
+    SiteInfo ghost;
+    ghost.id = dead;
+    ghost.alive = false;
+    ghost.successor = heir;
+    ghost.version = 1;
+    it = sites_.emplace(dead, std::move(ghost)).first;
+  } else if (it->second.alive) {
+    // Never let a recovery message mark a live member dead: after a full
+    // restart, a previous incarnation's shard-owner ids can collide with
+    // live fresh ids. Callers route genuinely dead sites via mark_dead.
+    return;
+  }
   it->second.alive = false;
   it->second.successor = heir;
   it->second.version++;

@@ -109,7 +109,10 @@ class ClusterManager {
   void request_id_block(std::function<void()> then);
 
   Site& site_;
+  void retry_join();
+
   SiteId local_id_ = kInvalidSite;
+  std::string join_contact_;
   std::map<SiteId, SiteInfo> sites_;
   std::function<void(Status)> join_done_;
 

@@ -125,6 +125,15 @@ void CodeManager::fetch_remote(ProgramId pid, MicrothreadId tid) {
   if (std::find(targets->begin(), targets->end(), home) == targets->end()) {
     targets->push_back(home);
   }
+  // Last resort: every other live member. After a crash-recovery the home
+  // recorded in our ProgramInfo may be stale (the takeover site only
+  // broadcasts the re-homed info to sites alive at that moment), but any
+  // site that ever compiled the thread serves it from its source cache.
+  for (SiteId sid : site_.cluster().known_sites(/*alive_only=*/true)) {
+    if (std::find(targets->begin(), targets->end(), sid) == targets->end()) {
+      targets->push_back(sid);
+    }
+  }
   std::erase(*targets, site_.id());
   if (targets->empty()) {
     finish(key, Status::error(ErrorCode::kNotFound,
@@ -222,8 +231,9 @@ void CodeManager::fetch_from(ProgramId pid, MicrothreadId tid,
         break;
       }
       default:
-        finish(key, Status::error(ErrorCode::kUnsupported,
-                                  "no binary or source available"));
+        // kCodeReplyMissing (or anything unexpected): this target cannot
+        // serve the thread, but a later one still may.
+        fetch_from(pid, tid, targets, index + 1);
     }
   });
 }

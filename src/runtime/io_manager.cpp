@@ -8,6 +8,7 @@ void IoManager::register_metrics(metrics::MetricsRegistry& registry) {
   registry.register_counter("io.rerouted_reads", &rerouted_reads);
   registry.register_counter("io.rerouted_writes", &rerouted_writes);
   registry.register_counter("io.outputs_delivered", &outputs_delivered);
+  registry.register_counter("io.outputs_deduped", &outputs_deduped);
   registry.register_gauge("io.vfs_files", [this] {
     return static_cast<std::int64_t>(vfs_.size());
   });
@@ -40,13 +41,50 @@ void IoManager::output_str(ProgramId pid, std::string text) {
 
 void IoManager::deliver_output(ProgramId pid, std::string line) {
   ++outputs_delivered;
-  outputs_[pid].push_back(line);
+  auto& log = outputs_[pid];
+  IoRecord rec;
+  // Tagged with the last committed epoch: everything the program does
+  // after commit E (until E+1 commits) replays from E on recovery, so
+  // these are exactly the records a rollback to E must drop.
+  rec.epoch = site_.crash().committed_epoch(pid);
+  rec.seq = log.size();
+  rec.text = line;
+  log.push_back(std::move(rec));
   if (callback_) callback_(pid, line);
 }
 
 std::vector<std::string> IoManager::outputs(ProgramId pid) const {
   auto it = outputs_.find(pid);
-  return it == outputs_.end() ? std::vector<std::string>{} : it->second;
+  std::vector<std::string> lines;
+  if (it == outputs_.end()) return lines;
+  lines.reserve(it->second.size());
+  for (const IoRecord& rec : it->second) lines.push_back(rec.text);
+  return lines;
+}
+
+std::vector<IoRecord> IoManager::export_log(ProgramId pid) const {
+  auto it = outputs_.find(pid);
+  return it == outputs_.end() ? std::vector<IoRecord>{} : it->second;
+}
+
+void IoManager::import_log(ProgramId pid, std::vector<IoRecord> log) {
+  // Taking over as frontend: the replicated log replaces whatever partial
+  // view this site had (it was not the frontend before, or it is being
+  // reset to the committed epoch anyway).
+  outputs_[pid] = std::move(log);
+}
+
+void IoManager::on_rollback(ProgramId pid, std::uint64_t epoch) {
+  auto it = outputs_.find(pid);
+  if (it == outputs_.end()) return;
+  auto& log = it->second;
+  std::size_t before = log.size();
+  std::erase_if(log, [epoch](const IoRecord& rec) {
+    return rec.epoch >= epoch;
+  });
+  outputs_deduped += static_cast<std::uint64_t>(before - log.size());
+  // seq stays positional: replayed lines refill the truncated tail.
+  for (std::size_t i = 0; i < log.size(); ++i) log[i].seq = i;
 }
 
 void IoManager::vfs_put(const std::string& path, std::string data) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "runtime/checkpoint_store.hpp"
 #include "runtime/message.hpp"
 #include "runtime/metrics.hpp"
 
@@ -36,6 +37,14 @@ class IoManager {
 
   /// Frontend side: collected output lines, in arrival order.
   [[nodiscard]] std::vector<std::string> outputs(ProgramId pid) const;
+  /// The raw tagged records (tests and checkpoint export).
+  [[nodiscard]] std::vector<IoRecord> export_log(ProgramId pid) const;
+  /// New frontend after a home takeover: installs the replicated log so
+  /// pre-crash output survives and replayed lines dedupe against it.
+  void import_log(ProgramId pid, std::vector<IoRecord> log);
+  /// Recovery to `epoch`: drops records tagged >= epoch — replay from that
+  /// epoch regenerates exactly those lines, so output lands exactly once.
+  void on_rollback(ProgramId pid, std::uint64_t epoch);
   /// Optional live hook (e.g. the API surfaces this to the user).
   using OutputCallback = std::function<void(ProgramId, const std::string&)>;
   void set_output_callback(OutputCallback cb) { callback_ = std::move(cb); }
@@ -99,6 +108,7 @@ class IoManager {
   metrics::Counter rerouted_reads;
   metrics::Counter rerouted_writes;
   metrics::Counter outputs_delivered;  // lines landed at the frontend
+  metrics::Counter outputs_deduped;    // replayed lines dropped on rollback
 
  private:
   /// Splits "@3/data.txt" into (3, "data.txt"); plain paths → local id.
@@ -107,7 +117,7 @@ class IoManager {
   void deliver_output(ProgramId pid, std::string line);
 
   Site& site_;
-  std::map<ProgramId, std::vector<std::string>> outputs_;
+  std::map<ProgramId, std::vector<IoRecord>> outputs_;
   std::map<std::string, std::string> vfs_;
   OutputCallback callback_;
   SimFileHook sim_file_;

@@ -49,6 +49,9 @@ const char* to_string(MsgType t) {
     case MsgType::kCheckpointReplica:  return "checkpoint-replica";
     case MsgType::kRecoveryRestore:    return "recovery-restore";
     case MsgType::kRecoveryAck:        return "recovery-ack";
+    case MsgType::kCheckpointReplicaAck: return "checkpoint-replica-ack";
+    case MsgType::kRecoveryOffer:      return "recovery-offer";
+    case MsgType::kRecoveryActive:     return "recovery-active";
   }
   return "unknown";
 }
@@ -61,6 +64,7 @@ std::vector<std::byte> SdMessage::serialize_body() const {
   w.program(program);
   w.u64(seq);
   w.u64(reply_to);
+  w.u8(hops);
   w.blob(payload);
   return w.take();
 }
@@ -78,6 +82,7 @@ Result<SdMessage> SdMessage::deserialize_body(SiteId src, SiteId dst,
     m.program = r.program();
     m.seq = r.u64();
     m.reply_to = r.u64();
+    m.hops = r.u8();
     m.payload = r.blob();
     return m;
   } catch (const DecodeError& e) {

@@ -78,9 +78,12 @@ enum class MsgType : std::uint16_t {
   kCheckpointTakeShard,    // coordinator → sites: drain over, snapshot now
   kCheckpointData,         // site → coordinator: frozen frames + memory
   kCheckpointCommit,       // coordinator → sites: epoch committed, resume
-  kCheckpointReplica,      // coordinator → backup site: snapshot copy
+  kCheckpointReplica,      // coordinator → replica holder: snapshot copy
   kRecoveryRestore,        // coordinator → sites: reset program, take shard
   kRecoveryAck,
+  kCheckpointReplicaAck,   // holder → coordinator: replica persisted
+  kRecoveryOffer,          // restarted site: I hold (program, epoch) on disk
+  kRecoveryActive,         // live home → offerer: stand down (+terminated?)
 };
 
 [[nodiscard]] const char* to_string(MsgType t);
@@ -94,6 +97,7 @@ struct SdMessage {
   ProgramId program;          // kInvalid when not program-scoped
   std::uint64_t seq = 0;      // sender-unique, for request/reply pairing
   std::uint64_t reply_to = 0; // seq of the request this answers (0 = none)
+  std::uint8_t hops = 0;      // times forwarded by a departed site (capped)
   std::vector<std::byte> payload;
 
   /// Serializes the body (everything after src/dst). The message manager

@@ -11,6 +11,7 @@ void MessageManager::register_metrics(metrics::MetricsRegistry& registry) {
   registry.register_counter("msg.received", &received_count);
   registry.register_counter("msg.bytes_sent", &bytes_sent);
   registry.register_counter("msg.bytes_received", &bytes_received);
+  registry.register_counter("msg.forwarded_departed", &forwarded_departed);
   registry.register_provider([this](metrics::MetricsSnapshot& s) {
     for (std::size_t i = 0; i < kTypeSlots; ++i) {
       if (sent_by_type_[i] != 0) {
@@ -159,6 +160,71 @@ void MessageManager::on_raw(std::span<const std::byte> wire) {
   bytes_received += wire.size();
   count_received(msg.value().type);
   deliver(msg.value());
+}
+
+namespace {
+
+/// Messages a departed site must relay to its successor: anything carrying
+/// program state (microframes, results, memory objects, io, another site's
+/// sign-off import). Control-plane traffic (heartbeats, gossip, checkpoint
+/// coordination, status queries) is addressed to *this* site's role and
+/// dies with it.
+bool forwardable_after_sign_off(MsgType t) {
+  switch (t) {
+    case MsgType::kHelpReplyFrame:
+    case MsgType::kApplyParam:
+    case MsgType::kApplyParamNack:
+    case MsgType::kObjectRequest:
+    case MsgType::kObjectGrant:
+    case MsgType::kObjectRecall:
+    case MsgType::kObjectReturn:
+    case MsgType::kObjectMiss:
+    case MsgType::kDirectoryImport:
+    case MsgType::kIoOutput:
+    case MsgType::kFileRead:
+    case MsgType::kFileReadReply:
+    case MsgType::kFileWrite:
+    case MsgType::kFileWriteAck:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Bounds relay chains through concurrently departing sites; a cycle can
+/// only arise when two sites pick each other as successors before either
+/// hears the other's announcement.
+constexpr std::uint8_t kMaxForwardHops = 8;
+
+}  // namespace
+
+void MessageManager::on_raw_departed(std::span<const std::byte> wire) {
+  auto msg = site_.security().unprotect(wire);
+  if (!msg.is_ok()) return;
+  SdMessage m = std::move(msg).value();
+  if (!forwardable_after_sign_off(m.type)) return;
+  if (m.hops >= kMaxForwardHops) {
+    SDVM_WARN(site_.tag()) << "dropping " << to_string(m.type)
+                           << " after " << int(m.hops) << " sign-off relays";
+    return;
+  }
+  SiteId local = site_.cluster().local_id();
+  SiteId succ = site_.cluster().resolve_successor(local);
+  if (succ == kInvalidSite || succ == local) return;
+  auto addr = site_.cluster().physical_address(succ);
+  if (!addr.is_ok() || site_.transport() == nullptr) return;
+  m.dst = succ;
+  // The successor never issued the request this reply answers; a preserved
+  // reply_to would be dropped there as an orphan. Clear it so the payload
+  // (a given-away frame, a granted object, ...) dispatches to the manager
+  // as unsolicited state. Requests keep their seq, so the successor's
+  // respond() still reaches the original requester.
+  m.reply_to = 0;
+  ++m.hops;
+  ++forwarded_departed;
+  auto out = site_.security().protect(m);
+  bytes_sent += out.size();
+  (void)site_.transport()->send(addr.value(), std::move(out));
 }
 
 void MessageManager::deliver(const SdMessage& msg) {

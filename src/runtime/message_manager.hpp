@@ -48,6 +48,13 @@ class MessageManager {
   /// Entry point for raw wire data (called under the site lock).
   void on_raw(std::span<const std::byte> wire);
 
+  /// Raw wire data arriving after this site signed off. State-carrying
+  /// traffic (frames, results, objects, io, sign-off imports) still in
+  /// flight when the site departed is forwarded to the announced
+  /// successor — dropping it would strand the microframes the departing
+  /// site just relocated there. Hop-capped against sign-off cycles.
+  void on_raw_departed(std::span<const std::byte> wire);
+
   /// Fails every pending request addressed to a site now believed dead.
   void fail_pending_to(SiteId dead);
 
@@ -68,6 +75,7 @@ class MessageManager {
   metrics::Counter received_count;
   metrics::Counter bytes_sent;      // wire bytes (loopback excluded)
   metrics::Counter bytes_received;
+  metrics::Counter forwarded_departed;  // relayed after sign-off
 
  private:
   Status transmit(SdMessage msg);

@@ -54,6 +54,10 @@ Result<ProgramId> ProgramManager::start_program(const ProgramSpec& spec) {
       site_.memory().apply_param(f, 0, to_bytes(std::int64_t{0}));
   if (!st.is_ok()) return st;
 
+  // Seed epoch-0 durability (persist + replicate info and sources) so the
+  // program survives a home death even before the first checkpoint.
+  site_.crash().on_program_started(info.id);
+
   SDVM_INFO(site_.tag()) << "started program '" << spec.name << "' as "
                          << info.id.value;
   return info.id;

@@ -50,6 +50,13 @@ class ProgramManager {
   [[nodiscard]] std::vector<ProgramId> active_programs() const;
   [[nodiscard]] std::size_t program_count() const { return infos_.size(); }
 
+  /// Every program that finished on this site, with its exit code
+  /// (sdvmd prints these as they land on the frontend).
+  [[nodiscard]] std::vector<std::pair<ProgramId, std::int64_t>>
+  terminated_programs() const {
+    return {terminated_.begin(), terminated_.end()};
+  }
+
   void handle(const SdMessage& msg);
 
  private:

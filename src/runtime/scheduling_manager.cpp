@@ -272,6 +272,31 @@ void SchedulingManager::handle(const SdMessage& msg) {
       (void)site_.messages().respond(msg, std::move(reply));
       break;
     }
+    case MsgType::kHelpReplyFrame: {
+      // Unsolicited: a reply given to a site that signed off before it
+      // arrived, relayed here by the departed site's pump. Adopt the frame
+      // — it was already removed from the giver's queues.
+      try {
+        ByteReader rd(msg.payload);
+        bool has_info = rd.boolean();
+        if (has_info) {
+          auto info = ProgramInfo::deserialize(rd);
+          if (info.is_ok() &&
+              site_.programs().find(info.value().id) == nullptr) {
+            site_.programs().register_info(info.value());
+          }
+        }
+        auto frame = Microframe::deserialize(rd);
+        if (frame.is_ok()) {
+          ++help_frames_received;
+          site_.memory().adopt_frame(std::move(frame).value());
+        }
+      } catch (const DecodeError&) {
+      }
+      break;
+    }
+    case MsgType::kHelpReplyNone:
+      break;  // relayed "can't help" for a departed site: nothing to do
     default:
       SDVM_WARN(site_.tag()) << "scheduling manager: unexpected "
                              << to_string(msg.type);

@@ -26,6 +26,10 @@ Site::Site(SiteConfig config, Clock& clock, Driver& driver)
   processing_mgr_->register_metrics(metrics_);
   io_mgr_->register_metrics(metrics_);
   crash_mgr_->register_metrics(metrics_);
+
+  if (!config_.state_dir.empty()) {
+    state_store_ = std::make_shared<DirStateStore>(config_.state_dir);
+  }
 }
 
 Site::~Site() { processing_mgr_->stop(); }
@@ -49,6 +53,9 @@ void Site::bootstrap() {
     processing_mgr_->start_workers(config_.executor_slots);
   }
   bootstrap_tick();
+  // A freshly bootstrapped site may be a cold restart: its state store
+  // can hold programs the (dead) previous cluster never finished.
+  crash_mgr_->on_cluster_entered();
 }
 
 void Site::join(const std::string& contact_address) {
@@ -65,6 +72,7 @@ void Site::join(const std::string& contact_address) {
     SDVM_INFO(tag()) << "joined cluster as site "
                      << cluster_mgr_->local_id();
     bootstrap_tick();
+    crash_mgr_->on_cluster_entered();
     // "The first action of the new site will be to request ... work."
     check_starvation();
   });
@@ -114,7 +122,13 @@ Nanos Site::pump() {
 
   std::lock_guard lock(mu_);
   for (auto& raw : batch) {
-    if (signed_off_) break;  // departed sites drop traffic
+    if (signed_off_) {
+      // In-flight state (results, frames, objects) addressed here races
+      // the sign-off announcement; relay it to the successor instead of
+      // stranding the frames we just relocated there.
+      message_mgr_->on_raw_departed(raw);
+      continue;
+    }
     message_mgr_->on_raw(raw);
   }
 

@@ -51,6 +51,17 @@ class Site {
   /// Attach the physical transport (must happen before bootstrap/join).
   void attach_transport(std::unique_ptr<net::Transport> transport);
 
+  /// Attach a durable state store for checkpoint epochs (must happen
+  /// before bootstrap/join). The constructor attaches a DirStateStore
+  /// automatically when config.state_dir is set; the simulator attaches
+  /// MemStateStores that survive simulated restarts.
+  void attach_state_store(std::shared_ptr<StateStore> store) {
+    state_store_ = std::move(store);
+  }
+  [[nodiscard]] std::shared_ptr<StateStore> state_store() const {
+    return state_store_;
+  }
+
   // --- lifecycle -----------------------------------------------------------
   /// Starts a brand-new cluster: this site becomes logical site 1.
   void bootstrap();
@@ -151,6 +162,7 @@ class Site {
   Clock& clock_;
   Driver& driver_;
   std::unique_ptr<net::Transport> transport_;
+  std::shared_ptr<StateStore> state_store_;
 
   mutable std::recursive_mutex mu_;
 

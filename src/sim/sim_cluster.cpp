@@ -15,6 +15,13 @@ class SimCluster::SimDriver final : public Driver {
     killed_ = killed;
   }
 
+  /// The slot restarted: this driver's site is a dead incarnation. Stop
+  /// pumping it — the killed flag is about to be reused by the new site.
+  void retire() {
+    site_ = nullptr;
+    killed_ = nullptr;
+  }
+
   void request_wakeup(Nanos delay) override { schedule_pump(delay); }
   void notify_work() override { schedule_pump(0); }
   [[nodiscard]] bool simulated() const override { return true; }
@@ -29,7 +36,9 @@ class SimCluster::SimDriver final : public Driver {
     }
     loop_.schedule(delay, [this, timed = delay != 0] {
       if (!timed) pump_pending_ = false;
-      if (site_ != nullptr && !*killed_) (void)site_->pump();
+      if (site_ != nullptr && killed_ != nullptr && !*killed_) {
+        (void)site_->pump();
+      }
     });
   }
 
@@ -68,30 +77,50 @@ SimCluster::SimCluster(Options options)
 
 SimCluster::~SimCluster() = default;
 
-Site& SimCluster::add_site(SiteConfig config, int contact_index) {
-  auto entry = std::make_unique<Entry>();
-  Entry* e = entry.get();
-  e->config = config;
+// The Site owns a Transport; wrap the endpoint in a thin forwarder so the
+// endpoint's lifetime stays with the entry (kill() needs its address).
+namespace {
+struct Forwarder final : net::Transport {
+  net::InProcEndpoint* ep;
+  explicit Forwarder(net::InProcEndpoint* e) : ep(e) {}
+  std::string local_address() const override { return ep->local_address(); }
+  Status send(const std::string& to, std::vector<std::byte> b) override {
+    return ep->send(to, std::move(b));
+  }
+  void close() override {}
+};
+}  // namespace
+
+void SimCluster::wire_site(Entry* e) {
   e->driver = std::make_unique<SimDriver>(loop_);
-  e->site = std::make_unique<Site>(config, loop_.clock(), *e->driver);
+  e->site = std::make_unique<Site>(e->config, loop_.clock(), *e->driver);
   e->driver->bind(e->site.get(), &e->killed);
   e->endpoint = network_.attach(
       [site = e->site.get()](std::vector<std::byte> bytes) {
         site->on_network_data(std::move(bytes));
       });
-  // The Site owns a Transport; wrap the endpoint in a thin forwarder so
-  // the endpoint's lifetime stays with the entry (kill() needs its
-  // address).
-  struct Forwarder final : net::Transport {
-    net::InProcEndpoint* ep;
-    explicit Forwarder(net::InProcEndpoint* e) : ep(e) {}
-    std::string local_address() const override { return ep->local_address(); }
-    Status send(const std::string& to, std::vector<std::byte> b) override {
-      return ep->send(to, std::move(b));
-    }
-    void close() override {}
-  };
   e->site->attach_transport(std::make_unique<Forwarder>(e->endpoint.get()));
+  if (e->store != nullptr) e->site->attach_state_store(e->store);
+}
+
+Site& SimCluster::add_site(SiteConfig config, int contact_index) {
+  auto entry = std::make_unique<Entry>();
+  Entry* e = entry.get();
+  e->config = std::move(config);
+  if (options_.durable_state && e->config.state_dir.empty()) {
+    auto mem = std::make_shared<MemStateStore>();
+    const auto& f = options_.disk_faults;
+    if (f.torn_write > 0 || f.bit_flip > 0 || f.drop_write > 0) {
+      // Per-slot seed so fault schedules stay deterministic under churn.
+      FaultyStateStore::Options per_slot = f;
+      per_slot.seed = f.seed + entries_.size() * 0x9E3779B9u + 1;
+      e->faulty = std::make_shared<FaultyStateStore>(mem, per_slot);
+      e->store = e->faulty;
+    } else {
+      e->store = std::move(mem);
+    }
+  }
+  wire_site(e);
 
   entries_.push_back(std::move(entry));
 
@@ -286,6 +315,52 @@ void SimCluster::kill(std::size_t index) {
   Entry* e = entries_.at(index).get();
   e->killed = true;
   network_.kill(e->endpoint->local_address());
+}
+
+Site& SimCluster::restart(std::size_t index) {
+  Entry* e = entries_.at(index).get();
+  if (!e->killed) kill(index);
+
+  // Retire (don't destroy) the dead incarnation: queued event-loop
+  // callbacks and in-flight deliveries still point into it.
+  e->driver->retire();
+  retired_.push_back(Retired{std::move(e->driver), std::move(e->endpoint),
+                             std::move(e->site)});
+
+  e->killed = false;
+  wire_site(e);
+
+  // Join through any live member — like a real restarted daemon redialing
+  // its peers. With nobody left, bootstrap a fresh cluster; recovery then
+  // rests entirely on the state stores.
+  Entry* contact = nullptr;
+  for (auto& other : entries_) {
+    if (other.get() == e || other->killed) continue;
+    if (other->site->signed_off() || !other->site->joined()) continue;
+    contact = other.get();
+    break;
+  }
+  if (contact == nullptr) {
+    e->site->bootstrap();
+  } else {
+    e->site->join(contact->endpoint->local_address());
+    bool ok = loop_.run_until([e] { return e->site->joined(); },
+                              loop_.now() + 10 * kNanosPerSecond);
+    if (!ok) {
+      SDVM_ERROR("sim") << "restarted site failed to join within virtual 10s";
+    }
+  }
+  install_memory_oracle(*e->site);
+  install_file_oracle(*e->site);
+  return *e->site;
+}
+
+std::uint64_t SimCluster::disk_faults_injected() const {
+  std::uint64_t total = 0;
+  for (const auto& e : entries_) {
+    if (e->faulty != nullptr) total += e->faulty->faults_injected();
+  }
+  return total;
 }
 
 std::vector<std::string> SimCluster::outputs(std::size_t frontend_index,

@@ -23,6 +23,14 @@ class SimCluster final : public Cluster {
     std::uint64_t seed = 1;
     net::LinkModel link;  // default latency/bandwidth between all sites
 
+    /// Give every site a MemStateStore owned by the cluster, so committed
+    /// checkpoint epochs survive kill()+restart() the way a --state-dir
+    /// survives a real daemon crash.
+    bool durable_state = false;
+    /// Seeded disk-fault injection on those stores (torn writes, bit
+    /// flips, dropped writes). Only meaningful with durable_state.
+    FaultyStateStore::Options disk_faults;
+
     Options() {
       link.latency = 100'000;  // 100 us, intranet class
       link.per_byte = 10;      // ~100 MB/s
@@ -71,6 +79,19 @@ class SimCluster final : public Cluster {
   Result<SiteId> sign_off(std::size_t index);
   /// Uncontrolled crash: the site stops pumping and its traffic black-holes.
   void kill(std::size_t index);
+  /// Cold restart of a (killed) slot: a brand-new Site with the same
+  /// config and the same state store — the simulated equivalent of
+  /// restarting sdvmd with the same --state-dir. Joins through any live
+  /// member, or bootstraps a fresh cluster if none is left.
+  Site& restart(std::size_t index);
+
+  /// The durable store behind a slot (null without durable_state /
+  /// state-store attachment). Survives kill() and restart().
+  [[nodiscard]] std::shared_ptr<StateStore> state_store(std::size_t index) {
+    return entries_.at(index)->store;
+  }
+  /// Disk faults injected so far across all slots (durable_state mode).
+  [[nodiscard]] std::uint64_t disk_faults_injected() const;
 
   /// Output lines collected at the program's frontend.
   [[nodiscard]] std::vector<std::string> outputs(std::size_t frontend_index,
@@ -115,8 +136,22 @@ class SimCluster final : public Cluster {
     std::unique_ptr<net::InProcEndpoint> endpoint;
     std::unique_ptr<Site> site;
     bool killed = false;
+    /// Owned here, not by the Site: survives restart().
+    std::shared_ptr<StateStore> store;
+    std::shared_ptr<FaultyStateStore> faulty;  // non-null when injecting
   };
   std::vector<std::unique_ptr<Entry>> entries_;
+
+  void wire_site(Entry* e);
+
+  /// Dead incarnations are kept, not destroyed: queued event-loop
+  /// callbacks and network deliveries still hold raw pointers into them.
+  struct Retired {
+    std::unique_ptr<SimDriver> driver;
+    std::unique_ptr<net::InProcEndpoint> endpoint;
+    std::unique_ptr<Site> site;
+  };
+  std::vector<Retired> retired_;
 };
 
 }  // namespace sdvm::sim

@@ -29,7 +29,10 @@ struct CliOptions {
   int iterations = 1;
   std::string schedule_file = "chaos-artifact.json";  // artifact output
   std::string replay;                                 // artifact input
+  std::string state_dump;                             // postmortem output
   sdvm::chaos::GeneratorOptions generator;
+  bool durable = false;
+  double disk_fault_prob = 0.0;
   bool shrink = true;
   bool trace = false;
 };
@@ -47,6 +50,15 @@ int usage(const char* argv0) {
       << "  --allow-partitions    emit partition/heal windows (exploratory:\n"
       << "                        long partitions split-brain the cluster)\n"
       << "  --allow-home-faults   let the schedule kill the home site\n"
+      << "  --durable             give every site a durable state store,\n"
+      << "                        replicate committed epochs to all live\n"
+      << "                        sites, and emit cold-restart events\n"
+      << "  --disk-faults F       with --durable: inject torn writes, bit\n"
+      << "                        flips and dropped writes, each with\n"
+      << "                        probability F per checkpoint put\n"
+      << "  --state-dump PATH     on failure, write the durable-store\n"
+      << "                        postmortem (artifact names, sizes, CRC\n"
+      << "                        validity per slot) to PATH\n"
       << "  --schedule-file PATH  where to write the failure artifact\n"
       << "                        (default chaos-artifact.json)\n"
       << "  --replay PATH         run a schedule/artifact JSON instead of\n"
@@ -94,6 +106,13 @@ int main(int argc, char** argv) {
       cli.generator.allow_partitions = true;
     } else if (arg == "--allow-home-faults") {
       cli.generator.allow_home_faults = true;
+    } else if (arg == "--durable") {
+      cli.durable = true;
+      cli.generator.allow_restarts = true;
+    } else if (arg == "--disk-faults") {
+      cli.disk_fault_prob = std::atof(next());
+    } else if (arg == "--state-dump") {
+      cli.state_dump = next();
     } else if (arg == "--schedule-file") {
       cli.schedule_file = next();
     } else if (arg == "--replay") {
@@ -109,6 +128,20 @@ int main(int argc, char** argv) {
 
   sdvm::chaos::HarnessOptions harness_options;
   harness_options.allow_home_faults = cli.generator.allow_home_faults;
+  harness_options.durable_state = cli.durable;
+  if (cli.disk_fault_prob > 0.0) {
+    harness_options.disk_faults.torn_write = cli.disk_fault_prob;
+    harness_options.disk_faults.bit_flip = cli.disk_fault_prob;
+    harness_options.disk_faults.drop_write = cli.disk_fault_prob;
+  }
+
+  auto dump_state = [&](const sdvm::chaos::RunReport& report) {
+    if (cli.state_dump.empty() || report.state_dump.empty()) return;
+    std::ofstream out(cli.state_dump);
+    for (const std::string& line : report.state_dump) out << line << "\n";
+    std::cout << "durable-store postmortem written to " << cli.state_dump
+              << "\n";
+  };
 
   if (!cli.replay.empty()) {
     std::ifstream in(cli.replay);
@@ -129,6 +162,7 @@ int main(int argc, char** argv) {
               << report.workload << " -> "
               << (report.passed ? "PASS" : "FAIL") << "\n";
     print_report(report, cli.trace);
+    if (!report.passed) dump_state(report);
     return report.passed ? 0 : 1;
   }
 
@@ -167,6 +201,7 @@ int main(int argc, char** argv) {
     out << sdvm::chaos::make_artifact_json(minimal, report);
     std::cout << "artifact written to " << cli.schedule_file
               << " (replay with --replay)\n";
+    dump_state(report);
     return 1;
   }
   return 0;

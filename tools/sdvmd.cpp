@@ -14,6 +14,10 @@
 //   --code-site        act as a code distribution site
 //   --encrypt PW       enable the security manager with this password
 //   --checkpoints      enable crash management (checkpoint + recovery)
+//   --state-dir DIR    durable checkpoint directory; a daemon restarted
+//                      with the same directory advertises its recoverable
+//                      programs during sign-on (cold-restart recovery)
+//   --replication K    replicate committed epochs to K sites (0 = all)
 //   --heartbeat-ms N       heartbeat emission interval
 //   --failure-timeout-ms N silence window before a peer is declared dead
 //   --checkpoint-ms N      coordinated checkpoint interval
@@ -67,6 +71,12 @@ int main(int argc, char** argv) {
       options.site.cluster_password = need("--encrypt");
     } else if (std::strcmp(argv[i], "--checkpoints") == 0) {
       options.site.checkpoints_enabled = true;
+    } else if (std::strcmp(argv[i], "--state-dir") == 0) {
+      options.site.state_dir = need("--state-dir");
+      options.site.checkpoints_enabled = true;  // durability implies it
+    } else if (std::strcmp(argv[i], "--replication") == 0) {
+      options.site.replication_factor =
+          static_cast<std::uint32_t>(std::atoi(need("--replication")));
     } else if (std::strcmp(argv[i], "--heartbeat-ms") == 0) {
       options.site.heartbeat_interval =
           std::atoll(need("--heartbeat-ms")) * 1'000'000;
