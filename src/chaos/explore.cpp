@@ -1,0 +1,303 @@
+#include "chaos/explore.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "apps/chaos_mix.hpp"
+#include "runtime/site.hpp"
+#include "sim/sim_cluster.hpp"
+
+namespace sdvm::chaos {
+
+namespace {
+
+/// Chooser that replays a decision prefix and records every choice point
+/// it passes: which index ran, and which alternatives a DFS expansion
+/// should try. Past the prefix it always takes index 0 (timestamp order),
+/// so a run is fully determined by its prefix — stateless replay.
+class RecordingChooser final : public sim::EventChooser {
+ public:
+  struct Decision {
+    std::size_t chosen = 0;
+    /// Indices worth branching to from this node: events acting on the
+    /// same site as the default choice. Deliveries to *different* sites
+    /// commute (each site consumes only its own inbox), and any pair of
+    /// them stays co-enabled in the child state, where their swapped
+    /// order gets its own branch — the sleep-set-style pruning that keeps
+    /// the tree polynomial instead of factorial in co-enabled events.
+    std::vector<std::size_t> alternatives;
+  };
+
+  explicit RecordingChooser(std::vector<std::size_t> prefix)
+      : prefix_(std::move(prefix)) {}
+
+  std::size_t choose(const std::vector<Choice>& enabled) override {
+    const std::size_t k = decisions_.size();
+    std::size_t pick = 0;
+    if (k < prefix_.size() && prefix_[k] < enabled.size()) {
+      pick = prefix_[k];
+    }
+    Decision d;
+    d.chosen = pick;
+    if (k >= prefix_.size()) {
+      for (std::size_t j = 1; j < enabled.size(); ++j) {
+        if (enabled[j].tag.actor == enabled[0].tag.actor) {
+          d.alternatives.push_back(j);
+        }
+      }
+    }
+    decisions_.push_back(std::move(d));
+    return pick;
+  }
+
+  [[nodiscard]] const std::vector<Decision>& decisions() const {
+    return decisions_;
+  }
+
+ private:
+  std::vector<std::size_t> prefix_;
+  std::vector<Decision> decisions_;
+};
+
+struct ScenarioRun {
+  std::vector<Violation> violations;
+  std::vector<std::string> trace;
+};
+
+/// Calm timers: every periodic message is a potential choice point, so
+/// heartbeats and help retries run an order of magnitude slower than in
+/// the random harness — the branching stays focused on the protocol
+/// window under test instead of background gossip.
+SiteConfig explore_site_config(const ExploreOptions& options) {
+  SiteConfig cfg;
+  cfg.heartbeat_interval = 200'000'000;   // 200 ms
+  cfg.failure_timeout = kNanosPerSecond;  // no false suspicions mid-window
+  cfg.help_retry_interval = 100'000'000;  // 100 ms
+  cfg.checkpoints_enabled = options.scenario == "checkpoint";
+  cfg.checkpoint_interval = kNanosPerSecond / 2;
+  cfg.test_drop_departed_forwarding = options.seed_bug;
+  return cfg;
+}
+
+/// One scenario execution under a given decision prefix. Builds a fresh
+/// cluster from the seed, replays, checks invariants after every drain
+/// slice and once at quiescence.
+ScenarioRun run_one(const ExploreOptions& options, RecordingChooser& chooser) {
+  ScenarioRun out;
+
+  sim::SimCluster::Options copts;
+  copts.seed = options.seed;
+  sim::SimCluster cluster(copts);
+  const SiteConfig cfg = explore_site_config(options);
+  cluster.add_sites(std::max(options.sites, 2), 1.0, cfg);
+
+  std::vector<SiteRecord> records(cluster.size());
+  InvariantChecker checker;
+  // The sign-on scenario runs no program: termination is asserted
+  // pre-satisfied so the quiescence pass checks membership, not results.
+  const bool no_program = options.scenario == "sign-on";
+  ProgramId pid{};
+  bool terminated = no_program;
+  std::int64_t exit_code = 0;
+
+  auto fail = [&](const std::string& invariant, const std::string& detail) {
+    Violation v{invariant, detail, -1, cluster.now()};
+    out.trace.push_back(v.to_line());
+    out.violations.push_back(std::move(v));
+  };
+  auto check = [&](int index, bool quiesced) {
+    ChaosContext ctx{cluster, pid, records};
+    ctx.at_quiescence = quiesced;
+    ctx.terminated = terminated;
+    ctx.exit_code = exit_code;
+    for (Violation& v : checker.check(ctx, index)) {
+      out.trace.push_back(v.to_line());
+      out.violations.push_back(std::move(v));
+    }
+    terminated = ctx.terminated;
+    exit_code = ctx.exit_code;
+  };
+
+  if (!no_program) {
+    apps::ChaosWorkload workload = apps::make_chaos_workload(options.seed);
+    auto started = cluster.start_program(workload.spec, 0);
+    if (!started.is_ok()) {
+      fail("workload-starts", started.status().message());
+      return out;
+    }
+    pid = started.value();
+  }
+
+  sim::EventLoop& loop = cluster.loop();
+  if (options.scenario == "sign-on") {
+    // Settle the initial membership deterministically, then explore the
+    // delivery orders of the join handshake + membership gossip.
+    loop.run_for(kNanosPerSecond);
+    loop.set_chooser(&chooser, options.window);
+    Site& added = cluster.add_site(cfg, 0);
+    loop.set_chooser(nullptr, 0);
+    records.push_back(SiteRecord{});
+    if (!added.joined()) {
+      records.back().join_failed = true;
+      fail("sign-on-completes", "new site did not join within virtual 10s");
+    }
+  } else if (options.scenario == "sign-off") {
+    const std::size_t victim = cluster.size() - 1;
+    const std::string victim_addr =
+        cluster.site(victim).transport()->local_address();
+    // Warm up without the chooser so the workload spreads frames to the
+    // victim through starvation help.
+    loop.run_for(2 * kNanosPerSecond);
+    // Reactive race trigger: the first frame-carrying message headed for
+    // the victim (a help grant — bigger than a 123 B heartbeat, smaller
+    // than a 287 B membership gossip) schedules the graceful departure
+    // while that message is still in flight. The departure must be an
+    // *internal loop event* acting on the victim: run_for drains
+    // everything due before returning, so a top-level sign_off() call
+    // could never race a delivery. Tagged with the victim's slot, it is
+    // dependent with deliveries to the victim — exactly the adoption-
+    // chain race under test.
+    bool armed = false;
+    cluster.network().set_trace_hook(
+        [&](const std::string&, const std::string& to, std::size_t size,
+            bool delivered) {
+          if (armed || !delivered || to != victim_addr) return;
+          if (size < 150 || size >= 280) return;
+          armed = true;
+          loop.schedule_tagged(
+              1'000, sim::EventTag{sim::EventTag::Kind::kInternal,
+                                   static_cast<std::uint32_t>(victim)},
+              [&cluster, &records, victim] {
+                if (cluster.sign_off(victim).is_ok()) {
+                  records[victim].signed_off = true;
+                }
+              });
+        });
+    loop.set_chooser(&chooser, options.window);
+    // The grant cadence is one help retry (100 ms); a virtual second
+    // covers several cycles plus the departure and its forwarding tail.
+    loop.run_for(kNanosPerSecond);
+    loop.set_chooser(nullptr, 0);
+    cluster.network().set_trace_hook(nullptr);
+    if (!armed) {
+      fail("race-armed",
+           "no frame-carrying message to the departing site within a "
+           "virtual second; nothing to race");
+    }
+  } else {  // "checkpoint"
+    // Let the first epoch's offer/election round start, then reorder the
+    // offers, acks and commit messages of the next one.
+    loop.run_for(kNanosPerSecond);
+    loop.set_chooser(&chooser, options.window);
+    loop.run_for(3 * kNanosPerSecond / 2);
+    loop.set_chooser(nullptr, 0);
+  }
+
+  // Drain to termination (or a generous virtual deadline), checking the
+  // always-on invariants every half second like the random harness.
+  const Nanos deadline = cluster.now() + 30 * kNanosPerSecond;
+  while (cluster.now() < deadline && !terminated) {
+    loop.run_for(kNanosPerSecond / 2);
+    check(0, /*quiesced=*/false);
+    if (!out.violations.empty()) return out;
+  }
+
+  // Settle the failure detector, then the quiescence pass: membership
+  // convergence, directory owners, termination, program home.
+  loop.run_for(2 * kNanosPerSecond);
+  check(-1, /*quiesced=*/true);
+  return out;
+}
+
+}  // namespace
+
+Status ExploreOptions::validate() const {
+  if (sites < 2 || sites > 8) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "explore sites must be in [2, 8]");
+  }
+  if (scenario != "sign-on" && scenario != "sign-off" &&
+      scenario != "checkpoint") {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "unknown explore scenario '" + scenario + "'");
+  }
+  if (depth < 0) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "explore depth must be >= 0");
+  }
+  if (max_runs < 1) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "explore max-runs must be >= 1");
+  }
+  if (window <= 0) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "explore window must be > 0");
+  }
+  return Status::ok();
+}
+
+std::string ExploreResult::summary() const {
+  std::ostringstream os;
+  os << runs << " runs, " << choice_points << " choice points, ";
+  if (failed) {
+    os << "FAILED (stopped at first failing interleaving)";
+  } else if (exhausted) {
+    os << "space exhausted, all interleavings pass";
+  } else {
+    os << "run budget hit, all explored interleavings pass";
+  }
+  return os.str();
+}
+
+Result<ExploreResult> explore(const ExploreOptions& options) {
+  if (Status st = options.validate(); !st.is_ok()) return st;
+
+  ExploreResult result;
+  const auto depth = static_cast<std::size_t>(options.depth);
+
+  // DFS over decision prefixes. Each run replays its prefix and defaults
+  // to timestamp order afterwards; every choice point at or past the
+  // prefix (up to the depth bound) spawns one child per dependent
+  // alternative. Visiting each prefix exactly once enumerates the pruned
+  // interleaving tree without ever snapshotting simulator state.
+  std::vector<std::vector<std::size_t>> stack;
+  stack.emplace_back();
+  while (!stack.empty()) {
+    if (result.runs >= options.max_runs) return result;  // budget hit
+    const std::vector<std::size_t> prefix = std::move(stack.back());
+    stack.pop_back();
+
+    RecordingChooser chooser(prefix);
+    ScenarioRun run = run_one(options, chooser);
+    ++result.runs;
+    const auto& decisions = chooser.decisions();
+    result.choice_points += decisions.size();
+
+    if (!run.violations.empty()) {
+      result.failed = true;
+      result.failing_choices.clear();
+      for (const auto& d : decisions) {
+        result.failing_choices.push_back(d.chosen);
+      }
+      result.violations = std::move(run.violations);
+      result.failure_trace = std::move(run.trace);
+      return result;
+    }
+
+    for (std::size_t i = prefix.size();
+         i < decisions.size() && i < depth; ++i) {
+      for (std::size_t alt : decisions[i].alternatives) {
+        std::vector<std::size_t> child(prefix);
+        for (std::size_t j = prefix.size(); j < i; ++j) {
+          child.push_back(decisions[j].chosen);
+        }
+        child.push_back(alt);
+        stack.push_back(std::move(child));
+      }
+    }
+  }
+  result.exhausted = true;
+  return result;
+}
+
+}  // namespace sdvm::chaos

@@ -1,0 +1,82 @@
+// Bounded systematic exploration of protocol interleavings (sdvm-chaos
+// --explore). Where the random chaos harness samples one delivery order
+// per seed, exploration *enumerates* them: the event loop exposes every
+// network delivery that could plausibly run next (any delivery within a
+// virtual-latency window of the earliest pending event), and a recording
+// chooser replays a prefix of decisions before falling back to timestamp
+// order. A depth-first driver expands each choice point into the
+// alternatives that matter — DPOR-style, only events acting on the same
+// site as the default choice are dependent; different-site deliveries
+// commute and their swapped order is reached from a later co-enabled
+// state — so small sign-on / sign-off / checkpoint clusters can be
+// checked against the full InvariantChecker suite over every distinct
+// interleaving up to a depth bound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/invariants.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace sdvm::chaos {
+
+struct ExploreOptions {
+  /// Initial cluster size. Exploration is exponential in the number of
+  /// co-enabled deliveries, so this is capped at 8 (3-4 is the sweet
+  /// spot; the acceptance runs use 3).
+  int sites = 3;
+  /// Which protocol window to explore:
+  ///   "sign-on"    — a new site joins a settled cluster; membership must
+  ///                  converge in every delivery order.
+  ///   "sign-off"   — a site departs gracefully mid-workload; in-flight
+  ///                  frames racing the departure must survive the
+  ///                  adoption chain (the reverted-bug detector).
+  ///   "checkpoint" — a checkpoint offer/election round is reordered;
+  ///                  committed epochs must stay monotone and agreed.
+  std::string scenario = "sign-off";
+  /// Choice points past this index stop branching (they take the
+  /// timestamp-order default), bounding the tree.
+  int depth = 12;
+  /// Hard cap on scenario executions; the space is exhausted only if the
+  /// DFS drains before hitting it.
+  int max_runs = 20000;
+  /// Reorder window: deliveries within this many virtual nanos of the
+  /// earliest pending event are considered co-enabled. Should be at least
+  /// the fabric latency (100 us by default) to expose real races.
+  Nanos window = 200'000;
+  /// Workload / fabric seed (same meaning as a chaos-schedule seed).
+  std::uint64_t seed = 1;
+  /// Arms SiteConfig::test_drop_departed_forwarding on every site: a
+  /// signed-off site drops in-flight messages instead of forwarding them
+  /// to its successor. Re-introduces a real recovery bug; the sign-off
+  /// scenario must find the interleaving where it loses a frame.
+  bool seed_bug = false;
+
+  [[nodiscard]] Status validate() const;
+};
+
+struct ExploreResult {
+  int runs = 0;                     // scenario executions performed
+  std::uint64_t choice_points = 0;  // chooser decisions across all runs
+  bool exhausted = false;  // DFS drained the bounded space within max_runs
+  bool failed = false;     // some interleaving violated an invariant
+  /// Decision path of the failing run (index into each sorted enabled
+  /// set), enough to replay it by hand.
+  std::vector<std::size_t> failing_choices;
+  std::vector<std::string> failure_trace;  // rendered violations
+  std::vector<Violation> violations;
+
+  /// One-line summary for CLI output and test messages.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs the bounded DFS. Each run builds a fresh SimCluster from the same
+/// seed, replays the decision prefix, and lets every later choice default
+/// to timestamp order — stateless replay, so the tree is walked without
+/// snapshotting cluster state.
+[[nodiscard]] Result<ExploreResult> explore(const ExploreOptions& options);
+
+}  // namespace sdvm::chaos

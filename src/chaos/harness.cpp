@@ -14,7 +14,7 @@ namespace {
 /// Site config used for every chaos run: checkpointing on a sub-second
 /// cadence and an aggressive failure detector, so recovery machinery is
 /// exercised inside the schedule horizon.
-SiteConfig chaos_site_config(bool durable) {
+SiteConfig chaos_site_config(bool durable, int sites) {
   SiteConfig cfg;
   cfg.checkpoints_enabled = true;
   cfg.checkpoint_interval = kNanosPerSecond / 2;
@@ -23,6 +23,20 @@ SiteConfig chaos_site_config(bool durable) {
   // Durable sweeps replicate every committed epoch to all live sites, so
   // any survivor (or cold-restarted store) can re-home the program.
   if (durable) cfg.replication_factor = 0;
+  // Large memberships: the paper-profile full-mesh heartbeats and
+  // whole-list gossip are O(n²) per tick, and a 2 ms help retry against
+  // hundreds of idle peers is a message storm. Ring heartbeats, delta
+  // gossip and calmer timers keep the virtual event rate — and therefore
+  // wall-clock — bounded; the protocols under test are unchanged at
+  // paper scale.
+  if (sites > 64) {
+    cfg.heartbeat_fanout = 4;
+    cfg.gossip_delta = true;
+    cfg.heartbeat_interval = 200'000'000;   // 200 ms
+    cfg.failure_timeout = kNanosPerSecond;  // 5 missed rounds
+    cfg.help_retry_interval = 250'000'000;  // 250 ms
+    cfg.checkpoint_interval = 2 * kNanosPerSecond;
+  }
   return cfg;
 }
 
@@ -46,9 +60,36 @@ RunReport ChaosHarness::run(const ChaosSchedule& schedule) {
   // fault pattern even when the CLI passes one fixed disk-fault seed.
   opts.disk_faults.seed ^= schedule.seed * 0x9E3779B97F4A7C15ull;
   const net::LinkModel base_link = opts.link;
+  // Zoned runs spread the sites across `zones` racks under a shared core:
+  // rack r hosts sites/zones sites (the first sites%zones racks take one
+  // extra). Intra-rack pairs keep the base link; crossing the core pays
+  // the uplink twice, so inter-rack latency is ~4x intra-rack.
+  const int zones = std::min(schedule.zones, std::max(schedule.sites, 1));
+  if (zones > 1) {
+    net::LinkModel up = base_link;
+    up.latency *= 2;
+    std::vector<sim::ZoneSpec> specs =
+        sim::make_rack_topology(zones, 0, base_link, up);
+    for (int r = 0; r < zones; ++r) {
+      specs[static_cast<std::size_t>(r) + 1].sites =
+          schedule.sites / zones + (r < schedule.sites % zones ? 1 : 0);
+    }
+    opts.zones = std::move(specs);
+  }
   sim::SimCluster cluster(opts);
-  cluster.add_sites(std::max(schedule.sites, 1), 1.0,
-                    chaos_site_config(options_.durable_state));
+  const SiteConfig site_cfg =
+      chaos_site_config(options_.durable_state, schedule.sites);
+  if (zones > 1) {
+    Status built = cluster.add_topology_sites(site_cfg);
+    if (!built.is_ok()) {
+      report.violations.push_back(
+          Violation{"topology-valid", built.to_string(), -1, cluster.now()});
+      report.trace.push_back(report.violations.back().to_line());
+      return report;
+    }
+  } else {
+    cluster.add_sites(std::max(schedule.sites, 1), 1.0, site_cfg);
+  }
 
   std::vector<SiteRecord> records(cluster.size());
   InvariantChecker checker;
@@ -170,8 +211,7 @@ RunReport ChaosHarness::run(const ChaosSchedule& schedule) {
         }
         if (contact < 0) return skip("no live contact");
         trace("#" + std::to_string(index) + " apply " + ev.to_line());
-        Site& added =
-            cluster.add_site(chaos_site_config(options_.durable_state), contact);
+        Site& added = cluster.add_site(site_cfg, contact);
         records.push_back(SiteRecord{});
         if (!added.joined()) {
           records.back().join_failed = true;
@@ -215,6 +255,52 @@ RunReport ChaosHarness::run(const ChaosSchedule& schedule) {
         loss_active = false;
         return;
       }
+      case EventKind::kZoneOutage: {
+        if (zones <= 1) return skip("flat fabric");
+        if (partition_active) return skip("partition already active");
+        // Survivable-by-design guard (generator contract re-checked at
+        // apply time, so shrunk subsets and hand-edited artifacts stay
+        // inside the envelope): a cut that outlives failure_timeout/2
+        // lets ring neighbors across it declare each other dead, and
+        // death is terminal — the false verdicts spread after the heal
+        // and wedge the directory. Such an outage is skipped, which
+        // turns a heal-dropping shrink step into a no-op instead of a
+        // spurious split-brain "repro".
+        Nanos heal_at = -1;
+        for (std::size_t j = static_cast<std::size_t>(index) + 1;
+             j < schedule.events.size(); ++j) {
+          if (schedule.events[j].kind == EventKind::kHeal) {
+            heal_at = schedule.events[j].at;
+            break;
+          }
+        }
+        if (heal_at < 0 || heal_at - ev.at > site_cfg.failure_timeout / 2) {
+          return skip("unhealed cut would outlive the failure detector");
+        }
+        const int z = static_cast<int>(ev.target);
+        std::vector<std::string> in;
+        std::vector<std::string> rest;
+        bool holds_home = false;
+        for (std::size_t i = 0; i < records.size(); ++i) {
+          if (!live(i)) continue;
+          if (cluster.zone_of(i) == z) {
+            if (i == 0) holds_home = true;
+            in.push_back(address(i));
+          } else {
+            rest.push_back(address(i));
+          }
+        }
+        if (holds_home && !options_.allow_home_faults) {
+          return skip("home zone protected");
+        }
+        if (in.empty() || rest.empty()) {
+          return skip("outage leaves a side empty");
+        }
+        trace("#" + std::to_string(index) + " apply " + ev.to_line());
+        cluster.network().partition(in, rest);
+        partition_active = true;
+        return;
+      }
       case EventKind::kRestart: {
         std::size_t t = ev.target;
         if (t >= records.size() || !records[t].killed) {
@@ -237,7 +323,9 @@ RunReport ChaosHarness::run(const ChaosSchedule& schedule) {
   };
 
   trace("run seed=" + std::to_string(schedule.seed) + " sites=" +
-        std::to_string(schedule.sites) + " workload=" + workload.name);
+        std::to_string(schedule.sites) +
+        (zones > 1 ? " zones=" + std::to_string(zones) : "") +
+        " workload=" + workload.name);
 
   // What the submitting client has seen so far. Output streams to the
   // frontend as it is produced; a site killed *after* the last line landed

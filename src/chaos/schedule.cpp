@@ -20,6 +20,7 @@ const char* to_string(EventKind kind) {
     case EventKind::kLossBurst: return "loss-burst";
     case EventKind::kLossClear: return "loss-clear";
     case EventKind::kRestart:   return "restart";
+    case EventKind::kZoneOutage: return "zone-outage";
   }
   return "unknown";
 }
@@ -28,7 +29,7 @@ Result<EventKind> event_kind_from_string(const std::string& s) {
   for (auto kind : {EventKind::kKill, EventKind::kSignOff, EventKind::kAddSite,
                     EventKind::kPartition, EventKind::kHeal,
                     EventKind::kLossBurst, EventKind::kLossClear,
-                    EventKind::kRestart}) {
+                    EventKind::kRestart, EventKind::kZoneOutage}) {
     if (s == to_string(kind)) return kind;
   }
   return Status::error(ErrorCode::kInvalidArgument,
@@ -51,6 +52,9 @@ std::string ChaosEvent::to_line() const {
     case EventKind::kPartition:
       os << " split@" << target;
       break;
+    case EventKind::kZoneOutage:
+      os << " zone#" << target;
+      break;
     case EventKind::kLossBurst:
       os << " loss=" << loss;
       break;
@@ -67,6 +71,7 @@ ChaosSchedule generate_schedule(std::uint64_t seed,
   ChaosSchedule schedule;
   schedule.seed = seed;
   schedule.sites = std::max(options.sites, 2);
+  schedule.zones = std::max(options.zones, 0);
 
   // Mix the purpose into the stream so the same seed fed to the network
   // RNG does not correlate with event choices.
@@ -82,6 +87,8 @@ ChaosSchedule generate_schedule(std::uint64_t seed,
     return static_cast<int>(std::count(live.begin(), live.end(), true));
   };
   bool partitioned = false;
+  bool zone_cut = false;  // the active partition is a bounded zone outage
+  Nanos cut_at = 0;
   bool lossy = false;
 
   Nanos step = std::max<Nanos>(options.horizon / std::max(options.events, 1), 1);
@@ -90,6 +97,22 @@ ChaosSchedule generate_schedule(std::uint64_t seed,
     // Strictly increasing times with deterministic spread.
     at += step / 2 + static_cast<Nanos>(rng.below(
              static_cast<std::uint64_t>(step) + 1));
+
+    // A zone outage must heal before the failure detector fires (see
+    // GeneratorOptions::max_zone_cut). Force the heal at the deadline;
+    // every event since the cut is earlier than it, so times stay
+    // strictly increasing.
+    if (zone_cut && options.max_zone_cut > 0 &&
+        at >= cut_at + options.max_zone_cut) {
+      at = cut_at + options.max_zone_cut;
+      ChaosEvent heal;
+      heal.at = at;
+      heal.kind = EventKind::kHeal;
+      schedule.events.push_back(heal);
+      partitioned = false;
+      zone_cut = false;
+      continue;
+    }
 
     // Build the menu of currently legal event kinds.
     std::vector<EventKind> menu;
@@ -105,6 +128,9 @@ ChaosSchedule generate_schedule(std::uint64_t seed,
     menu.push_back(EventKind::kAddSite);
     if (options.allow_partitions && !partitioned && live_count() >= 2) {
       menu.push_back(EventKind::kPartition);
+    }
+    if (schedule.zones > 1 && !partitioned) {
+      menu.push_back(EventKind::kZoneOutage);
     }
     if (partitioned) menu.push_back(EventKind::kHeal);
     if (options.loss_max > 0 && !lossy) menu.push_back(EventKind::kLossBurst);
@@ -164,8 +190,20 @@ ChaosSchedule generate_schedule(std::uint64_t seed,
             1 + rng.below(static_cast<std::uint64_t>(live_count() - 1)));
         partitioned = true;
         break;
+      case EventKind::kZoneOutage:
+        // Never the home's rack (rack 0) unless home faults are allowed;
+        // the harness re-checks at apply time.
+        ev.target = static_cast<std::uint32_t>(
+            (options.allow_home_faults ? 0 : 1) +
+            rng.below(static_cast<std::uint64_t>(
+                schedule.zones - (options.allow_home_faults ? 0 : 1))));
+        partitioned = true;  // cleared by kHeal like a partition
+        zone_cut = true;
+        cut_at = at;
+        break;
       case EventKind::kHeal:
         partitioned = false;
+        zone_cut = false;
         break;
       case EventKind::kLossBurst:
         ev.loss = options.loss_max * (0.3 + 0.7 * rng.uniform());
@@ -188,6 +226,11 @@ ChaosSchedule generate_schedule(std::uint64_t seed,
   if (partitioned) {
     ChaosEvent heal;
     heal.at = at + 2 * step;
+    if (zone_cut && options.max_zone_cut > 0) {
+      // The forced-heal scan above guarantees at < cut_at + max_zone_cut,
+      // so the clamped time still comes after every emitted event.
+      heal.at = std::min(heal.at, cut_at + options.max_zone_cut);
+    }
     heal.kind = EventKind::kHeal;
     schedule.events.push_back(heal);
   }
@@ -204,7 +247,7 @@ std::string ChaosSchedule::to_json() const {
   // binary64 exactly, so parse(to_json()) == *this.
   os << std::setprecision(17);
   os << "{\n  \"seed\": " << seed << ",\n  \"sites\": " << sites
-     << ",\n  \"events\": [";
+     << ",\n  \"zones\": " << zones << ",\n  \"events\": [";
   for (std::size_t i = 0; i < events.size(); ++i) {
     const ChaosEvent& e = events[i];
     os << (i == 0 ? "\n" : ",\n") << "    {\"at\": " << e.at << ", \"kind\": \""
@@ -346,6 +389,10 @@ Result<ChaosSchedule> ChaosSchedule::from_json(const std::string& text) {
       auto v = r.number();
       if (!v.is_ok()) return v.status();
       schedule.sites = static_cast<int>(v.value());
+    } else if (key.value() == "zones") {
+      auto v = r.number();
+      if (!v.is_ok()) return v.status();
+      schedule.zones = static_cast<int>(v.value());
     } else if (key.value() == "events") {
       if (!r.consume('[')) return r.err_status("expected event array");
       if (!r.consume(']')) {

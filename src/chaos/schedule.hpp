@@ -30,6 +30,8 @@ enum class EventKind : std::uint8_t {
   kLossBurst,   // default-link drop probability becomes `loss`
   kLossClear,   // restore the lossless default link
   kRestart,     // cold-restart previously killed site `target`
+  kZoneOutage,  // cut rack `target` off from the rest (zoned runs only);
+                // cleared by kHeal like a partition
 };
 
 [[nodiscard]] const char* to_string(EventKind kind);
@@ -50,6 +52,10 @@ struct ChaosEvent {
 struct ChaosSchedule {
   std::uint64_t seed = 1;  // SimCluster/network seed + workload choice
   int sites = 4;           // initial cluster size
+  /// 0 = flat fabric (paper scale). > 0: the harness builds a rack
+  /// topology with this many racks, spreads `sites` across them, and the
+  /// generator may emit zone-wide outages.
+  int zones = 0;
   std::vector<ChaosEvent> events;  // sorted by `at`
 
   [[nodiscard]] std::string to_json() const;
@@ -63,6 +69,9 @@ struct ChaosSchedule {
 struct GeneratorOptions {
   int sites = 4;    // initial cluster size
   int events = 12;  // fault events to emit (heal/clear tails ride along)
+  /// Racks for a zoned run (copied into ChaosSchedule::zones). > 0 also
+  /// puts zone-wide outages on the menu.
+  int zones = 0;
   /// Window the events spread over; the workload is sized to outlast it.
   Nanos horizon = 4 * kNanosPerSecond;
   /// Max drop probability for loss bursts. The SDVM runtime assumes
@@ -85,6 +94,16 @@ struct GeneratorOptions {
   /// meaningful when the harness runs with durable state: a restarted
   /// site re-opens its state store and re-enters the recovery election.
   bool allow_restarts = false;
+  /// Upper bound on how long a zone outage stays open before the
+  /// generator forces the heal. Unlike kPartition (exploratory, allowed
+  /// to split-brain), zone outages are on the default zoned menu, so
+  /// their windows must close before the failure detector fires: a cut
+  /// outliving the failure timeout makes ring neighbors across the cut
+  /// declare each other dead, and death is terminal — the false verdicts
+  /// spread epidemically after the heal and wedge the directory. Must
+  /// stay at or below failure_timeout/2 for the profile the harness will
+  /// run (the harness skips outages whose heal arrives later than that).
+  Nanos max_zone_cut = 200'000'000;  // base profile: 400 ms timeout
 };
 
 /// Expands a seed into a concrete schedule. Pure function of its inputs.

@@ -82,6 +82,25 @@ struct SiteConfig {
   /// Help-request pacing: an idle site re-asks after this long without work.
   Nanos help_retry_interval = 2'000'000;  // 2 ms
 
+  /// Cluster-protocol scale knobs. 0 = paper behavior: every tick
+  /// heartbeats all live peers and failure-checks all of them (O(n) per
+  /// site per tick — fine at paper scale, quadratic traffic at 1000
+  /// sites). k > 0: heartbeat only the k ring successors by sorted live
+  /// id and failure-check only the k ring predecessors (the only sites
+  /// whose heartbeats we still receive).
+  int heartbeat_fanout = 0;
+
+  /// Gossip only entries changed since the last gossip round (epidemic
+  /// delta propagation; receivers re-dirty what they merge), with a full
+  /// anti-entropy list every 16th tick. Off = full list every tick.
+  bool gossip_delta = false;
+
+  /// TEST ONLY (exploration mutation check): a signed-off site drops
+  /// in-flight messages instead of forwarding state-carrying traffic to
+  /// its successor — reintroducing a recovery bug that loses relocated
+  /// frames when a delivery races the sign-off. Never set outside tests.
+  bool test_drop_departed_forwarding = false;
+
   /// Sim mode: virtual cost of one interpreted bytecode instruction at
   /// speed 1.0, and of compiling one source byte on the fly.
   Nanos sim_nanos_per_instr = 10;

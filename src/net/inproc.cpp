@@ -70,18 +70,37 @@ bool InProcNetwork::is_killed(const std::string& address) const {
 void InProcNetwork::partition(const std::vector<std::string>& a,
                               const std::vector<std::string>& b) {
   std::lock_guard lock(mu_);
-  for (const auto& x : a) {
-    for (const auto& y : b) {
-      partitioned_.emplace_back(x, y);
-      partitioned_.emplace_back(y, x);
+  PartitionCut cut;
+  cut.a.insert(a.begin(), a.end());
+  cut.b.insert(b.begin(), b.end());
+  partitioned_.push_back(std::move(cut));
+}
+
+bool InProcNetwork::is_partitioned_locked(const std::string& from,
+                                          const std::string& to) const {
+  for (const PartitionCut& cut : partitioned_) {
+    if ((cut.a.contains(from) && cut.b.contains(to)) ||
+        (cut.b.contains(from) && cut.a.contains(to))) {
+      return true;
     }
   }
+  return false;
 }
 
 void InProcNetwork::heal() {
   std::lock_guard lock(mu_);
   partitioned_.clear();
   killed_.clear();
+}
+
+void InProcNetwork::set_node_zone(const std::string& address, int zone) {
+  std::lock_guard lock(mu_);
+  node_zone_[address] = zone;
+}
+
+void InProcNetwork::set_zone_link(int from_zone, int to_zone, LinkModel model) {
+  std::lock_guard lock(mu_);
+  zone_links_[{from_zone, to_zone}] = model;
 }
 
 void InProcNetwork::set_delivery_scheduler(DeliveryScheduler scheduler) {
@@ -135,8 +154,7 @@ Status InProcNetwork::send_from(const std::string& from, const std::string& to,
       // failure detection is the cluster manager's job.
       return Status::ok();
     }
-    if (std::find(partitioned_.begin(), partitioned_.end(),
-                  std::pair{from, to}) != partitioned_.end()) {
+    if (is_partitioned_locked(from, to)) {
       st.dropped++;
       note(false);
       return Status::ok();
@@ -150,6 +168,15 @@ Status InProcNetwork::send_from(const std::string& from, const std::string& to,
     LinkModel model = default_link_;
     if (auto it = links_.find({from, to}); it != links_.end()) {
       model = it->second;
+    } else if (!zone_links_.empty()) {
+      auto zf = node_zone_.find(from);
+      auto zt = node_zone_.find(to);
+      if (zf != node_zone_.end() && zt != node_zone_.end()) {
+        if (auto zit = zone_links_.find({zf->second, zt->second});
+            zit != zone_links_.end()) {
+          model = zit->second;
+        }
+      }
     }
     if (model.cut) {
       st.dropped++;
@@ -189,7 +216,7 @@ Status InProcNetwork::send_from(const std::string& from, const std::string& to,
     // Sim mode: the event loop owns time.
     std::string target = to;
     auto payload = std::make_shared<std::vector<std::byte>>(std::move(bytes));
-    scheduler(delay, [this, target, payload] {
+    scheduler(delay, target, [this, target, payload] {
       deliver(target, std::move(*payload));
     });
     return Status::ok();

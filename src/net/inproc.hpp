@@ -63,9 +63,12 @@ class InProcEndpoint final : public Transport {
   Receiver receiver_;
 };
 
-/// Hook letting the simulator own delayed delivery: schedule(delay, fn)
-/// must run fn after `delay` of *virtual* time.
-using DeliveryScheduler = std::function<void(Nanos, std::function<void()>)>;
+/// Hook letting the simulator own delayed delivery: schedule(delay, to, fn)
+/// must run fn after `delay` of *virtual* time. `to` is the destination
+/// address, so the simulator can tag the delivery with the acted-on site
+/// (exploration mode reorders deliveries per-destination).
+using DeliveryScheduler =
+    std::function<void(Nanos, const std::string&, std::function<void()>)>;
 
 class InProcNetwork {
  public:
@@ -84,6 +87,14 @@ class InProcNetwork {
   void set_default_link(LinkModel model);
   void set_link(const std::string& from, const std::string& to,
                 LinkModel model);
+
+  /// Hierarchical zones (SimGrid-style): assign endpoints to zones and give
+  /// zone pairs a link model. Resolution order per send: explicit per-pair
+  /// link, then the (zone(from), zone(to)) model, then the default link.
+  /// Zone ids are small dense integers; a node with no zone uses the
+  /// default link unless a per-pair override exists.
+  void set_node_zone(const std::string& address, int zone);
+  void set_zone_link(int from_zone, int to_zone, LinkModel model);
 
   /// Kills an endpoint abruptly: all traffic to and from it vanishes.
   /// Models an uncontrolled site crash.
@@ -118,6 +129,8 @@ class InProcNetwork {
 
   Status send_from(const std::string& from, const std::string& to,
                    std::vector<std::byte> bytes);
+  [[nodiscard]] bool is_partitioned_locked(const std::string& from,
+                                           const std::string& to) const;
   void detach(const std::string& address);
   void deliver(const std::string& to, std::vector<std::byte> bytes);
   void timer_loop();
@@ -128,7 +141,15 @@ class InProcNetwork {
   std::map<std::pair<std::string, std::string>, LinkModel> links_;
   std::map<std::pair<std::string, std::string>, LinkStats> stats_;
   LinkModel default_link_;
-  std::vector<std::pair<std::string, std::string>> partitioned_;
+  std::unordered_map<std::string, int> node_zone_;
+  std::map<std::pair<int, int>, LinkModel> zone_links_;
+  /// Each partition() call cuts group A from group B; membership is a set
+  /// test so a 500×500 split costs O(1) per send, not a 250k-pair scan.
+  struct PartitionCut {
+    std::unordered_set<std::string> a;
+    std::unordered_set<std::string> b;
+  };
+  std::vector<PartitionCut> partitioned_;
   DeliveryScheduler scheduler_;
   TraceHook trace_;
   Xoshiro256 rng_;

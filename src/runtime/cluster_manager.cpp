@@ -70,6 +70,8 @@ void ClusterManager::bootstrap() {
   self.code_site = site_.config().code_distribution_site;
   self.version = 1;
   sites_[1] = std::move(self);
+  mark_dirty(1);
+  invalidate_alive();
 }
 
 void ClusterManager::join(const std::string& contact_address,
@@ -128,6 +130,8 @@ void ClusterManager::announce_sign_off(SiteId successor) {
   self.alive = false;
   self.successor = successor;
   self.version++;
+  mark_dirty(local_id_, kRespreadRounds);
+  alive_entry_died(local_id_);
 
   ByteWriter w;
   w.site(local_id_);
@@ -166,7 +170,40 @@ std::vector<SiteId> ClusterManager::known_sites(bool alive_only) const {
 }
 
 std::size_t ClusterManager::cluster_size() const {
-  return known_sites(/*alive_only=*/true).size();
+  refresh_alive_cache();
+  return alive_count_;
+}
+
+void ClusterManager::refresh_alive_cache() const {
+  if (!alive_dirty_) return;
+  alive_count_ = 0;
+  alive_peers_.clear();
+  for (const auto& [id, info] : sites_) {
+    if (!info.alive) continue;
+    ++alive_count_;
+    if (id != local_id_) alive_peers_.push_back(&info);
+  }
+  alive_dirty_ = false;
+}
+
+void ClusterManager::alive_entry_added(SiteId id) {
+  if (alive_dirty_) return;  // a lazy rebuild is already pending
+  ++alive_count_;
+  if (id == local_id_) return;
+  auto pos = std::lower_bound(
+      alive_peers_.begin(), alive_peers_.end(), id,
+      [](const SiteInfo* a, SiteId b) { return a->id < b; });
+  alive_peers_.insert(pos, &sites_.find(id)->second);
+}
+
+void ClusterManager::alive_entry_died(SiteId id) {
+  if (alive_dirty_) return;
+  --alive_count_;
+  if (id == local_id_) return;
+  auto pos = std::lower_bound(
+      alive_peers_.begin(), alive_peers_.end(), id,
+      [](const SiteInfo* a, SiteId b) { return a->id < b; });
+  if (pos != alive_peers_.end() && (*pos)->id == id) alive_peers_.erase(pos);
 }
 
 SiteId ClusterManager::resolve_successor(SiteId id) const {
@@ -186,18 +223,20 @@ std::optional<SiteId> ClusterManager::pick_help_target(
     const std::vector<SiteId>& exclude) {
   // "Choose a site which is probably not idle itself": prefer the highest
   // known queued work; fall back to round-robin over peers.
+  refresh_alive_cache();
   const SiteInfo* best = nullptr;
   std::vector<const SiteInfo*> candidates;
-  for (const auto& [id, info] : sites_) {
-    if (id == local_id_ || !info.alive) continue;
-    if (std::find(exclude.begin(), exclude.end(), id) != exclude.end()) {
+  candidates.reserve(alive_peers_.size());
+  for (const SiteInfo* info : alive_peers_) {
+    if (std::find(exclude.begin(), exclude.end(), info->id) !=
+        exclude.end()) {
       continue;
     }
-    candidates.push_back(&info);
-    if (info.load.queued_frames > 0 &&
+    candidates.push_back(info);
+    if (info->load.queued_frames > 0 &&
         (best == nullptr ||
-         info.load.queued_frames > best->load.queued_frames)) {
-      best = &info;
+         info->load.queued_frames > best->load.queued_frames)) {
+      best = info;
     }
   }
   if (best != nullptr) return best->id;
@@ -206,12 +245,9 @@ std::optional<SiteId> ClusterManager::pick_help_target(
 }
 
 std::optional<SiteId> ClusterManager::pick_any_other() {
-  std::optional<SiteId> lowest;
-  for (const auto& [id, info] : sites_) {
-    if (id == local_id_ || !info.alive) continue;
-    if (!lowest || id < *lowest) lowest = id;
-  }
-  return lowest;
+  refresh_alive_cache();
+  if (alive_peers_.empty()) return std::nullopt;
+  return alive_peers_.front()->id;  // map order: lowest live peer id
 }
 
 std::vector<SiteId> ClusterManager::code_distribution_sites() const {
@@ -227,6 +263,7 @@ void ClusterManager::refresh_local_info() {
   auto& self = sites_[local_id_];
   self.load = site_.site_manager().collect_load();
   self.version++;
+  mark_dirty(local_id_);
 }
 
 SiteInfo ClusterManager::local_info() const {
@@ -248,7 +285,16 @@ void ClusterManager::merge(const SiteInfo& info) {
     bool was_alive = it == sites_.end() ? true : it->second.alive;
     SiteId prior_successor =
         it == sites_.end() ? kInvalidSite : it->second.successor;
+    const bool existed = it != sites_.end();
     sites_[info.id] = info;
+    const bool transition = !existed || was_alive != info.alive ||
+                            prior_successor != info.successor;
+    mark_dirty(info.id, transition ? kRespreadRounds : 1);
+    if (!existed && info.alive) {
+      alive_entry_added(info.id);
+    } else if (existed && was_alive && !info.alive) {
+      alive_entry_died(info.id);
+    }
     if (!info.alive && info.successor == kInvalidSite &&
         prior_successor != kInvalidSite) {
       // Keep a known successor; a bare death verdict carries none.
@@ -270,6 +316,20 @@ std::vector<std::byte> ClusterManager::encode_cluster_list() const {
   ByteWriter w;
   w.u32(static_cast<std::uint32_t>(sites_.size()));
   for (const auto& [id, info] : sites_) info.serialize(w);
+  return w.take();
+}
+
+std::vector<std::byte> ClusterManager::encode_entries(
+    const std::set<SiteId>& ids) const {
+  ByteWriter w;
+  std::uint32_t n = 0;
+  for (SiteId id : ids) n += sites_.contains(id) ? 1 : 0;
+  w.u32(n);
+  for (SiteId id : ids) {
+    if (auto it = sites_.find(id); it != sites_.end()) {
+      it->second.serialize(w);
+    }
+  }
   return w.take();
 }
 
@@ -421,10 +481,31 @@ void ClusterManager::complete_sign_on(const SdMessage& request, SiteId new_id) {
   info.code_site = p.value().code_site;
   info.version = 1;
   sites_[new_id] = info;
+  mark_dirty(new_id, kRespreadRounds);
+  alive_entry_added(new_id);
 
   refresh_local_info();
   ++sites_admitted;
   send_sign_on_reply(info.address, new_id);
+  // Announce the admission to every live member right away. Round-robin
+  // gossip alone spreads a new entry too slowly for large rings: the new
+  // site's ring neighbors must learn to heartbeat it (and expect its
+  // heartbeats) within one failure timeout, or they would judge each
+  // other dead while the epidemic is still propagating.
+  std::set<SiteId> added{new_id};
+  auto entry = encode_entries(added);
+  std::vector<SdMessage> burst;
+  for (const auto& [sid, si] : sites_) {
+    if (!si.alive || sid == local_id_ || sid == new_id) continue;
+    SdMessage msg;
+    msg.dst = sid;
+    msg.src_mgr = msg.dst_mgr = ManagerId::kCluster;
+    msg.type = MsgType::kSiteGossip;
+    msg.payload = entry;
+    ++signon_messages;
+    burst.push_back(std::move(msg));
+  }
+  (void)site_.messages().send_burst(std::move(burst));
   SDVM_INFO(site_.tag()) << "admitted new site " << new_id << " ("
                          << info.platform << ", speed " << info.speed << ")";
 }
@@ -496,6 +577,8 @@ void ClusterManager::handle(const SdMessage& msg) {
       self.code_site = site_.config().code_distribution_site;
       self.version = 1;
       sites_[local_id_] = std::move(self);
+      mark_dirty(local_id_, kRespreadRounds);
+      invalidate_alive();
       if (join_done_) {
         auto cb = std::move(join_done_);
         join_done_ = nullptr;
@@ -526,9 +609,11 @@ void ClusterManager::handle(const SdMessage& msg) {
         ++sign_offs_received;
         auto it = sites_.find(departing);
         if (it != sites_.end()) {
+          if (it->second.alive) alive_entry_died(departing);
           it->second.alive = false;
           it->second.successor = successor;
           it->second.version++;
+          mark_dirty(departing, kRespreadRounds);
         }
       } catch (const DecodeError&) {
       }
@@ -576,6 +661,8 @@ void ClusterManager::mark_dead(SiteId id, bool gossip) {
   if (it == sites_.end() || !it->second.alive) return;
   it->second.alive = false;
   it->second.version++;
+  mark_dirty(id, kRespreadRounds);
+  alive_entry_died(id);
   ++deaths_detected;
   SDVM_WARN(site_.tag()) << "site " << id << " declared dead";
   site_.on_site_dead(id);
@@ -618,6 +705,7 @@ void ClusterManager::set_successor(SiteId dead, SiteId heir, bool gossip) {
   it->second.alive = false;
   it->second.successor = heir;
   it->second.version++;
+  mark_dirty(dead, kRespreadRounds);
   if (gossip) {
     ByteWriter w;
     w.site(dead);
@@ -639,15 +727,49 @@ void ClusterManager::set_successor(SiteId dead, SiteId heir, bool gossip) {
 void ClusterManager::on_tick() {
   if (local_id_ == kInvalidSite) return;
   Nanos now = site_.clock().now();
+  ++tick_count_;
   refresh_local_info();
 
-  // Heartbeats to every known live peer, as one burst so the transport can
-  // coalesce the fan-out per destination.
+  // The ring order below depends on `live` being sorted by id. The cached
+  // peer vector already is (map order); splicing our own id in costs one
+  // flat copy per tick instead of an O(n) map walk.
+  refresh_alive_cache();
+  std::vector<SiteId> live;
+  live.reserve(alive_peers_.size() + 1);
+  for (const SiteInfo* p : alive_peers_) live.push_back(p->id);
+  if (auto self = sites_.find(local_id_);
+      self != sites_.end() && self->second.alive) {
+    live.insert(std::lower_bound(live.begin(), live.end(), local_id_),
+                local_id_);
+  }
+  const int fanout = site_.config().heartbeat_fanout;
+  const bool ring =
+      fanout > 0 && live.size() > static_cast<std::size_t>(fanout) + 1;
+
+  // Heartbeat targets: the whole membership (paper behavior), or with a
+  // fanout the k ring successors by sorted live id — O(k) per tick, so a
+  // 1000-site cluster no longer pays a quadratic heartbeat storm.
+  std::vector<SiteId> targets;
+  std::vector<SiteId> monitored;  // who heartbeats *us* → who we may judge
+  if (!ring) {
+    for (SiteId sid : live) {
+      if (sid != local_id_) targets.push_back(sid);
+    }
+    monitored = targets;
+  } else {
+    const std::size_t n = live.size();
+    std::size_t pos = static_cast<std::size_t>(
+        std::lower_bound(live.begin(), live.end(), local_id_) - live.begin());
+    for (int i = 1; i <= fanout; ++i) {
+      targets.push_back(live[(pos + static_cast<std::size_t>(i)) % n]);
+      monitored.push_back(live[(pos + n - static_cast<std::size_t>(i)) % n]);
+    }
+  }
+
   ByteWriter w;
   sites_[local_id_].serialize(w);
   std::vector<SdMessage> beats;
-  for (SiteId sid : known_sites(/*alive_only=*/true)) {
-    if (sid == local_id_) continue;
+  for (SiteId sid : targets) {
     SdMessage msg;
     msg.dst = sid;
     msg.src_mgr = msg.dst_mgr = ManagerId::kCluster;
@@ -658,36 +780,66 @@ void ClusterManager::on_tick() {
   }
   (void)site_.messages().send_burst(std::move(beats));
 
-  // Failure detection: no traffic within the timeout → dead. A site we
-  // have never heard from is granted a full timeout from when we first
-  // learned of it (it may be slow to open a channel to us).
+  // Failure detection: no traffic within the timeout → dead. Only the
+  // peers that heartbeat *us* are judged — in ring mode everyone else's
+  // silence means nothing. The judging clock starts when a peer becomes
+  // monitored, not when we first learned of it: ring positions shift
+  // with every membership change, and a freshly adjacent predecessor is
+  // granted a full timeout to learn that we are now its successor.
+  {
+    std::map<SiteId, Nanos> since;
+    for (SiteId sid : monitored) {
+      auto it = monitored_since_.find(sid);
+      since[sid] = it != monitored_since_.end() ? it->second : now;
+    }
+    monitored_since_ = std::move(since);  // forget peers that rotated out
+  }
   Nanos timeout = site_.config().failure_timeout;
-  for (auto& [sid, info] : sites_) {
-    if (sid == local_id_ || !info.alive) continue;
-    Nanos base;
+  for (SiteId sid : monitored) {
+    auto info = sites_.find(sid);
+    if (info == sites_.end() || !info->second.alive) continue;
+    Nanos base = monitored_since_[sid];
     if (auto heard = last_heard_.find(sid); heard != last_heard_.end()) {
-      base = heard->second;
-    } else if (auto seen = first_seen_.find(sid); seen != first_seen_.end()) {
-      base = seen->second;
-    } else {
-      first_seen_[sid] = now;
-      continue;
+      base = std::max(base, heard->second);
     }
     if (now - base > timeout) {
       mark_dead(sid, /*gossip=*/true);
     }
   }
 
-  // Gossip the full list to one peer, round-robin.
-  auto peers = known_sites(/*alive_only=*/true);
+  // Gossip to one peer, round-robin: the full list, or in delta mode the
+  // entries still within their re-dissemination budget (receivers
+  // re-dirty membership transitions for kRespreadRounds, so those keep
+  // spreading epidemically) with a full anti-entropy list every 16th
+  // tick.
+  auto peers = std::move(live);
   std::erase(peers, local_id_);
   if (!peers.empty()) {
+    const bool delta = site_.config().gossip_delta && tick_count_ % 16 != 0;
     SdMessage msg;
-    msg.dst = peers[gossip_cursor_++ % peers.size()];
+    // Offset the round-robin phase by our id: every member advances its
+    // cursor once per tick, so without the offset all senders sweep the
+    // sorted peer list in lockstep and each tick concentrates the whole
+    // cluster's gossip on one or two sites — the rest hear nothing until
+    // the window reaches them, which at hundreds of members takes longer
+    // than a failure timeout (and starves re-convergence after a healed
+    // cut). The prime multiplier spreads adjacent ids across the list.
+    msg.dst = peers[(gossip_cursor_++ +
+                     static_cast<std::size_t>(local_id_) * 7919u) %
+                    peers.size()];
     msg.src_mgr = msg.dst_mgr = ManagerId::kCluster;
     msg.type = MsgType::kSiteGossip;
-    msg.payload = encode_cluster_list();
+    if (delta) {
+      std::set<SiteId> dirty_now;
+      for (const auto& [id, rounds] : dirty_) dirty_now.insert(id);
+      msg.payload = encode_entries(dirty_now);
+    } else {
+      msg.payload = encode_cluster_list();
+    }
     (void)site_.messages().send(std::move(msg));
+  }
+  for (auto it = dirty_.begin(); it != dirty_.end();) {
+    it = --it->second <= 0 ? dirty_.erase(it) : std::next(it);
   }
 }
 

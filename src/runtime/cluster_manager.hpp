@@ -8,6 +8,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -89,6 +90,10 @@ class ClusterManager {
   [[nodiscard]] std::vector<std::byte> encode_cluster_list() const;
   void absorb_cluster_list(ByteReader& r);
 
+  /// Same wire format, restricted to the given ids (delta gossip).
+  [[nodiscard]] std::vector<std::byte> encode_entries(
+      const std::set<SiteId>& ids) const;
+
   /// Registers this manager's instruments ("cluster." prefix).
   void register_metrics(metrics::MetricsRegistry& registry);
 
@@ -129,7 +134,44 @@ class ClusterManager {
   Nanos last_heartbeat_ = 0;
   std::size_t gossip_cursor_ = 0;
   std::map<SiteId, Nanos> last_heard_;
-  std::map<SiteId, Nanos> first_seen_;
+  /// When each currently monitored peer *became* monitored. Ring
+  /// positions shift as membership changes; a site that just became one
+  /// of our predecessors gets a fresh timeout window before we judge its
+  /// silence — it may only now be learning that we are its successor.
+  std::map<SiteId, Nanos> monitored_since_;
+
+  /// How many delta-gossip rounds a *membership transition* (new member,
+  /// death, successor change) keeps being re-advertised. One round is not
+  /// enough: the epidemic saturates within a tick or two and stops — a
+  /// rack cut off when a death was detected would afterwards only learn
+  /// of it through the rare full anti-entropy list. SWIM-style bounded
+  /// re-dissemination (~log₂ n rounds at the 1000-site ceiling) floods a
+  /// healed cut from every side within a second. Plain load/version
+  /// churn stays single-shot — each tick refreshes it anyway.
+  static constexpr int kRespreadRounds = 8;
+  /// Entries changed since the last delta-gossip round, with the number
+  /// of rounds they remain in the delta payload.
+  void mark_dirty(SiteId id, int rounds = 1) {
+    int& r = dirty_[id];
+    r = std::max(r, rounds);
+  }
+  std::map<SiteId, int> dirty_;
+  /// Liveness-cache maintenance. Version/load bumps (refresh_local_info
+  /// runs every tick) must NOT touch the cache; only membership changes
+  /// do, and those update it incrementally — a full rebuild per admission
+  /// made building a 1000-site cluster quadratic in map walks.
+  void invalidate_alive() { alive_dirty_ = true; }
+  void refresh_alive_cache() const;
+  void alive_entry_added(SiteId id);  // a new alive entry appeared
+  void alive_entry_died(SiteId id);   // an alive entry's bit flipped off
+  /// cluster_size() gates the per-pump starvation check and
+  /// pick_help_target runs per help request; at 1000 sites neither may
+  /// walk the membership map. alive_peers_ holds pointers into sites_
+  /// nodes (stable: entries are never erased — death is terminal).
+  mutable std::size_t alive_count_ = 0;
+  mutable std::vector<const SiteInfo*> alive_peers_;
+  mutable bool alive_dirty_ = true;
+  std::uint64_t tick_count_ = 0;
 };
 
 }  // namespace sdvm

@@ -126,6 +126,7 @@ Nanos Site::pump() {
       // In-flight state (results, frames, objects) addressed here races
       // the sign-off announcement; relay it to the successor instead of
       // stranding the frames we just relocated there.
+      if (config_.test_drop_departed_forwarding) continue;  // seeded bug
       message_mgr_->on_raw_departed(raw);
       continue;
     }

@@ -1,71 +1,130 @@
 // Discrete-event loop with a virtual clock. Single-threaded: every event
 // handler runs to completion before time advances to the next event. This
-// is what lets an 8-site "Pentium-IV cluster" run faithfully on any host.
+// is what lets a simulated cluster run faithfully on any host.
+//
+// The pending set is a calendar queue (R. Brown, CACM 1988; the same
+// structure SimGrid uses for its event core): O(1) amortized enqueue and
+// dequeue regardless of queue size, which is what keeps 1000-site
+// memberships — hundreds of thousands of concurrently armed heartbeat,
+// gossip and delivery events — simulating at tens of millions of events
+// per second. Ordering is strict (at, seq): two runs that schedule the
+// same events in the same order execute them identically, the property
+// every determinism/golden-trace test rests on.
+//
+// Exploration hook: events carry an EventTag (internal timer vs message
+// delivery, plus the acted-on site). When a chooser is installed, the
+// loop exposes the set of deliveries that could plausibly run next (any
+// delivery within `window` of the earliest pending event, modeling
+// variable network delay) and lets the chooser pick — the systematic
+// interleaving exploration of sdvm-chaos --explore is built on this.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <vector>
 
 #include "common/clock.hpp"
 #include "common/types.hpp"
 
 namespace sdvm::sim {
 
+/// Classification of a pending event, used only by exploration mode.
+struct EventTag {
+  enum class Kind : std::uint8_t {
+    kInternal = 0,  // site timer / pump: fires in timestamp order
+    kDelivery,      // network message delivery: reorderable within window
+  };
+  Kind kind = Kind::kInternal;
+  std::uint32_t actor = 0;  // site slot the event acts on (dest for deliveries)
+};
+
+/// Exploration hook: picks which of the currently enabled events runs
+/// next. `enabled` is sorted by (at, seq) and has at least two entries.
+class EventChooser {
+ public:
+  struct Choice {
+    Nanos at = 0;
+    std::uint64_t seq = 0;
+    EventTag tag;
+  };
+  virtual ~EventChooser() = default;
+  virtual std::size_t choose(const std::vector<Choice>& enabled) = 0;
+};
+
 class EventLoop {
  public:
+  EventLoop();
+
   void schedule(Nanos delay, std::function<void()> fn) {
-    events_.push(Event{clock_.now() + std::max<Nanos>(delay, 0), ++seq_,
-                       std::move(fn)});
+    schedule_tagged(delay, EventTag{}, std::move(fn));
   }
+  void schedule_tagged(Nanos delay, EventTag tag, std::function<void()> fn);
 
   /// Runs one event; returns false when the queue is empty.
-  bool step() {
-    if (events_.empty()) return false;
-    Event e = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
-    clock_.advance_to(e.at);
-    if (e.fn) e.fn();
-    return true;
-  }
+  bool step();
 
   /// Runs until `pred()` is true or virtual `deadline` passes (deadline <0
   /// = unbounded). Returns whether the predicate was met.
-  bool run_until(const std::function<bool()>& pred, Nanos deadline = -1) {
-    while (!pred()) {
-      if (events_.empty()) return false;
-      if (deadline >= 0 && events_.top().at > deadline) {
-        clock_.advance_to(deadline);
-        return false;
-      }
-      step();
-    }
-    return true;
-  }
+  bool run_until(const std::function<bool()>& pred, Nanos deadline = -1);
 
   /// Advances exactly `duration` of virtual time, draining due events.
-  void run_for(Nanos duration) {
-    Nanos deadline = clock_.now() + duration;
-    while (!events_.empty() && events_.top().at <= deadline) step();
-    clock_.advance_to(deadline);
-  }
+  void run_for(Nanos duration);
 
   [[nodiscard]] Nanos now() const { return clock_.now(); }
   [[nodiscard]] VirtualClock& clock() { return clock_; }
-  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+  [[nodiscard]] std::size_t pending() const { return size_; }
+  /// Events executed since construction (the simscale bench's numerator).
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  /// Installs (or clears, with nullptr) the exploration chooser. Deliveries
+  /// within `window` of the earliest pending event become a choice point
+  /// when more than one event is enabled. The chooser is only consulted on
+  /// genuine branches; pure timer steps run in timestamp order.
+  void set_chooser(EventChooser* chooser, Nanos window) {
+    chooser_ = chooser;
+    window_ = window;
+  }
 
  private:
   struct Event {
-    Nanos at;
-    std::uint64_t seq;
+    Nanos at = 0;
+    std::uint64_t seq = 0;
+    EventTag tag;
     std::function<void()> fn;
-    bool operator>(const Event& o) const {
-      return std::tie(at, seq) > std::tie(o.at, o.seq);
-    }
   };
+
+  /// Position of an event inside the bucket array.
+  struct Ref {
+    std::size_t bucket = 0;
+    std::size_t index = 0;
+  };
+
+  Ref find_min();
+  /// Earliest pending event's timestamp (queue must be non-empty).
+  Nanos peek_min_at();
+  Event pop_explored();
+  Event pop_at(Ref ref);
+  void insert(Event e);
+  void resize(std::size_t new_buckets);
+  [[nodiscard]] std::size_t bucket_of(Nanos at) const {
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(at) / width_) &
+           (buckets_.size() - 1);
+  }
+
   VirtualClock clock_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+
+  // Calendar queue: power-of-two bucket count, each bucket an unsorted
+  // vector scanned for the (at, seq) minimum when visited.
+  std::vector<std::vector<Event>> buckets_;
+  std::uint64_t width_;        // virtual-time width of one bucket
+  std::size_t size_ = 0;       // events pending across all buckets
+  std::size_t cursor_ = 0;     // bucket the year scan resumes from
+  Nanos cursor_top_ = 0;       // end of cursor_'s current-year window
+
+  EventChooser* chooser_ = nullptr;
+  Nanos window_ = 0;
 };
 
 }  // namespace sdvm::sim

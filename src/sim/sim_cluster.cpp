@@ -8,7 +8,8 @@ namespace sdvm::sim {
 /// become events; execution is serialized by Site::pump itself.
 class SimCluster::SimDriver final : public Driver {
  public:
-  SimDriver(EventLoop& loop) : loop_(loop) {}
+  SimDriver(EventLoop& loop, std::uint32_t actor)
+      : loop_(loop), actor_(actor) {}
 
   void bind(Site* site, bool* killed) {
     site_ = site;
@@ -34,15 +35,19 @@ class SimCluster::SimDriver final : public Driver {
       if (pump_pending_) return;
       pump_pending_ = true;
     }
-    loop_.schedule(delay, [this, timed = delay != 0] {
-      if (!timed) pump_pending_ = false;
-      if (site_ != nullptr && killed_ != nullptr && !*killed_) {
-        (void)site_->pump();
-      }
-    });
+    loop_.schedule_tagged(delay,
+                          EventTag{EventTag::Kind::kInternal, actor_},
+                          [this, timed = delay != 0] {
+                            if (!timed) pump_pending_ = false;
+                            if (site_ != nullptr && killed_ != nullptr &&
+                                !*killed_) {
+                              (void)site_->pump();
+                            }
+                          });
   }
 
   EventLoop& loop_;
+  std::uint32_t actor_;
   Site* site_ = nullptr;
   bool* killed_ = nullptr;
   bool pump_pending_ = false;
@@ -53,6 +58,9 @@ Status SimCluster::Options::validate() const {
     return Status::error(ErrorCode::kInvalidArgument,
                          "link loss must be in [0, 1), got " +
                              std::to_string(link.loss));
+  }
+  if (!zones.empty()) {
+    if (Status s = validate_zones(zones); !s.is_ok()) return s;
   }
   return Status::ok();
 }
@@ -69,10 +77,14 @@ SimCluster::SimCluster(Options options)
     }
   }
   network_.set_default_link(options_.link);
-  network_.set_delivery_scheduler(
-      [this](Nanos delay, std::function<void()> fn) {
-        loop_.schedule(delay, std::move(fn));
-      });
+  network_.set_delivery_scheduler([this](Nanos delay, const std::string& to,
+                                         std::function<void()> fn) {
+    EventTag tag{EventTag::Kind::kDelivery, 0};
+    if (auto it = slot_of_addr_.find(to); it != slot_of_addr_.end()) {
+      tag.actor = it->second;
+    }
+    loop_.schedule_tagged(delay, tag, std::move(fn));
+  });
 }
 
 SimCluster::~SimCluster() = default;
@@ -91,8 +103,9 @@ struct Forwarder final : net::Transport {
 };
 }  // namespace
 
-void SimCluster::wire_site(Entry* e) {
-  e->driver = std::make_unique<SimDriver>(loop_);
+void SimCluster::wire_site(Entry* e, std::size_t slot) {
+  e->driver =
+      std::make_unique<SimDriver>(loop_, static_cast<std::uint32_t>(slot));
   e->site = std::make_unique<Site>(e->config, loop_.clock(), *e->driver);
   e->driver->bind(e->site.get(), &e->killed);
   e->endpoint = network_.attach(
@@ -100,6 +113,12 @@ void SimCluster::wire_site(Entry* e) {
         site->on_network_data(std::move(bytes));
       });
   e->site->attach_transport(std::make_unique<Forwarder>(e->endpoint.get()));
+  slot_of_addr_[e->endpoint->local_address()] =
+      static_cast<std::uint32_t>(slot);
+  if (e->zone < 0) e->zone = pending_zone_;
+  if (e->zone >= 0) {
+    network_.set_node_zone(e->endpoint->local_address(), e->zone);
+  }
   if (e->store != nullptr) e->site->attach_state_store(e->store);
 }
 
@@ -120,7 +139,7 @@ Site& SimCluster::add_site(SiteConfig config, int contact_index) {
       e->store = std::move(mem);
     }
   }
-  wire_site(e);
+  wire_site(e, entries_.size());
 
   entries_.push_back(std::move(entry));
 
@@ -150,6 +169,57 @@ void SimCluster::add_sites(int n, double speed, const SiteConfig& base) {
     cfg.speed = speed;
     add_site(cfg);
   }
+}
+
+Status SimCluster::add_topology_sites(const SiteConfig& base) {
+  auto table = build_zone_table(options_.zones);
+  if (!table.is_ok()) return table.status();
+  const ZoneTable& zt = table.value();
+
+  const int n = static_cast<int>(zt.zones.size());
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      network_.set_zone_link(a, b, zt.link(a, b));
+    }
+  }
+  for (int z = 0; z < n; ++z) {
+    const ZoneTable::ZoneInfo& info = zt.zones[static_cast<std::size_t>(z)];
+    pending_zone_ = z;
+    for (int i = 0; i < info.sites; ++i) {
+      SiteConfig cfg = base;
+      cfg.name = info.name + "-site" + std::to_string(entries_.size() + 1);
+      cfg.speed = base.speed * info.speed;
+      add_site(cfg);
+    }
+  }
+  pending_zone_ = -1;
+  return Status::ok();
+}
+
+void SimCluster::enable_event_hash() {
+  network_.set_trace_hook([this](const std::string& from, const std::string& to,
+                                 std::size_t size, bool delivered) {
+    constexpr std::uint64_t kPrime = 1099511628211ULL;
+    auto mix = [&](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        event_hash_ ^= (v >> (i * 8)) & 0xFF;
+        event_hash_ *= kPrime;
+      }
+    };
+    auto mix_str = [&](const std::string& s) {
+      for (char c : s) {
+        event_hash_ ^= static_cast<std::uint8_t>(c);
+        event_hash_ *= kPrime;
+      }
+      event_hash_ ^= 0xFF;  // terminator: "ab","c" != "a","bc"
+      event_hash_ *= kPrime;
+    };
+    mix(static_cast<std::uint64_t>(loop_.now()));
+    mix_str(from);
+    mix_str(to);
+    mix(size);
+    mix(delivered ? 1 : 0);
+  });
 }
 
 void SimCluster::install_memory_oracle(Site& site) {
@@ -328,7 +398,7 @@ Site& SimCluster::restart(std::size_t index) {
                              std::move(e->site)});
 
   e->killed = false;
-  wire_site(e);
+  wire_site(e, static_cast<std::size_t>(index));
 
   // Join through any live member — like a real restarted daemon redialing
   // its peers. With nobody left, bootstrap a fresh cluster; recovery then

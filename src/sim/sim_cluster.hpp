@@ -10,10 +10,13 @@
 #include <string>
 #include <vector>
 
+#include <unordered_map>
+
 #include "api/cluster.hpp"
 #include "net/inproc.hpp"
 #include "runtime/site.hpp"
 #include "sim/event_loop.hpp"
+#include "sim/topology.hpp"
 
 namespace sdvm::sim {
 
@@ -22,6 +25,12 @@ class SimCluster final : public Cluster {
   struct Options {
     std::uint64_t seed = 1;
     net::LinkModel link;  // default latency/bandwidth between all sites
+
+    /// Hierarchical topology. When non-empty, add_topology_sites() places
+    /// one site per hosted slot, wires zone-pair link models into the
+    /// fabric, and applies each zone's speed factor; sites added outside
+    /// the topology (or with zones empty) use `link`.
+    std::vector<ZoneSpec> zones;
 
     /// Give every site a MemStateStore owned by the cluster, so committed
     /// checkpoint epochs survive kill()+restart() the way a --state-dir
@@ -38,7 +47,10 @@ class SimCluster final : public Cluster {
 
     /// Rejects models the fabric cannot run: loss is a drop *probability*
     /// and must lie in [0, 1) — a loss of exactly 1 would silence every
-    /// link and negative values are meaningless.
+    /// link and negative values are meaningless. With zones set, also
+    /// rejects malformed topologies (empty/duplicate names, unknown
+    /// parents, cyclic routes, non-positive speed factors, zero hosted
+    /// sites) via validate_zones().
     [[nodiscard]] Status validate() const;
   };
 
@@ -58,6 +70,23 @@ class SimCluster final : public Cluster {
 
   /// Convenience: n identical sites of the given speed.
   void add_sites(int n, double speed = 1.0, const SiteConfig& base = {});
+
+  /// Builds the fleet described by Options::zones: one site per hosted
+  /// slot, zone link models in the fabric, per-zone speed factors applied
+  /// on top of `base.speed`. Fails if the topology does not validate.
+  Status add_topology_sites(const SiteConfig& base = {});
+
+  /// Hosting-zone index of a slot (-1 when placed outside the topology).
+  [[nodiscard]] int zone_of(std::size_t index) const {
+    return entries_.at(index)->zone;
+  }
+
+  /// Starts folding every network send decision into a running FNV-1a
+  /// hash: (virtual time, from, to, size, delivered) per event. Two runs
+  /// with the same seed and schedule must agree byte-for-byte — the
+  /// golden-trace determinism tests compare exactly this value.
+  void enable_event_hash();
+  [[nodiscard]] std::uint64_t event_hash() const { return event_hash_; }
 
   [[nodiscard]] Site& site(std::size_t index) { return *entries_[index]->site; }
   [[nodiscard]] std::size_t size() const override { return entries_.size(); }
@@ -129,6 +158,11 @@ class SimCluster final : public Cluster {
   Options options_;
   EventLoop loop_;
   net::InProcNetwork network_;
+  /// Address -> slot index, so deliveries get tagged with the acted-on
+  /// site for exploration mode. Covers retired incarnations too.
+  std::unordered_map<std::string, std::uint32_t> slot_of_addr_;
+  int pending_zone_ = -1;  // zone applied to the next wire_site()
+  std::uint64_t event_hash_ = 1469598103934665603ULL;  // FNV-1a offset
 
   struct Entry {
     SiteConfig config;
@@ -136,13 +170,14 @@ class SimCluster final : public Cluster {
     std::unique_ptr<net::InProcEndpoint> endpoint;
     std::unique_ptr<Site> site;
     bool killed = false;
+    int zone = -1;  // hosting-zone index; survives restart()
     /// Owned here, not by the Site: survives restart().
     std::shared_ptr<StateStore> store;
     std::shared_ptr<FaultyStateStore> faulty;  // non-null when injecting
   };
   std::vector<std::unique_ptr<Entry>> entries_;
 
-  void wire_site(Entry* e);
+  void wire_site(Entry* e, std::size_t slot);
 
   /// Dead incarnations are kept, not destroyed: queued event-loop
   /// callbacks and network deliveries still hold raw pointers into them.

@@ -1,0 +1,68 @@
+// Hierarchical network topology for SimCluster, modeled on SimGrid's
+// zone routing: zones form a tree, each zone hosts sites and owns an
+// uplink to its parent. The model between two sites is resolved once per
+// zone pair — intra-zone traffic uses the zone's local link, inter-zone
+// traffic sums uplink latencies along both paths to the lowest common
+// ancestor and takes the bottleneck bandwidth — then cached in the
+// fabric's zone-pair matrix, so per-send cost is two hash lookups no
+// matter how deep the tree is.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/inproc.hpp"
+
+namespace sdvm::sim {
+
+/// One zone of the topology tree.
+struct ZoneSpec {
+  std::string name;
+  std::string parent;    // empty = root-level zone
+  int sites = 0;         // sites hosted directly in this zone
+  double speed = 1.0;    // speed factor applied to hosted sites
+  net::LinkModel local;  // link between two sites of this zone
+  net::LinkModel up;     // link from this zone to its parent
+};
+
+/// Rejects topologies the simulator cannot route: empty or duplicate zone
+/// names, unknown parents, cyclic parent chains, negative site counts, a
+/// topology hosting zero sites overall, non-positive or NaN speed
+/// factors, and loss probabilities outside [0, 1).
+[[nodiscard]] Status validate_zones(const std::vector<ZoneSpec>& zones);
+
+/// Flattened form: hosting zones in declaration order, with global site
+/// index ranges and the resolved zone-pair link matrix.
+struct ZoneTable {
+  struct ZoneInfo {
+    std::string name;
+    int first_site = 0;  // global index of the zone's first site
+    int sites = 0;
+    double speed = 1.0;
+  };
+  std::vector<ZoneInfo> zones;  // only zones with sites > 0
+  int total_sites = 0;
+  std::vector<net::LinkModel> matrix;  // zi * zones.size() + zj
+
+  [[nodiscard]] const net::LinkModel& link(int zi, int zj) const {
+    return matrix[static_cast<std::size_t>(zi) * zones.size() +
+                  static_cast<std::size_t>(zj)];
+  }
+  /// Hosting-zone index of a global site index.
+  [[nodiscard]] int zone_of_site(int site_index) const;
+};
+
+/// Validates and flattens. The matrix covers every hosting-zone pair.
+[[nodiscard]] Result<ZoneTable> build_zone_table(
+    const std::vector<ZoneSpec>& zones);
+
+/// Standard two-tier datacenter: `racks` racks of `sites_per_rack` sites
+/// under one core switch. `intra` is the in-rack link, `up` each rack's
+/// uplink (inter-rack traffic crosses two uplinks).
+[[nodiscard]] std::vector<ZoneSpec> make_rack_topology(int racks,
+                                                       int sites_per_rack,
+                                                       net::LinkModel intra,
+                                                       net::LinkModel up);
+
+}  // namespace sdvm::sim

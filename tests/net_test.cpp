@@ -140,9 +140,10 @@ TEST(InProcTest, SchedulerHookOwnsDelivery) {
   slow.latency = 1'000'000;
   net.set_default_link(slow);
   std::vector<std::pair<Nanos, std::function<void()>>> scheduled;
-  net.set_delivery_scheduler([&](Nanos delay, std::function<void()> fn) {
-    scheduled.emplace_back(delay, std::move(fn));
-  });
+  net.set_delivery_scheduler(
+      [&](Nanos delay, const std::string&, std::function<void()> fn) {
+        scheduled.emplace_back(delay, std::move(fn));
+      });
   std::atomic<int> got{0};
   auto a = net.attach([&](std::vector<std::byte>) { got++; });
   auto b = net.attach([](std::vector<std::byte>) {});
@@ -161,10 +162,11 @@ TEST(InProcTest, JitterVariesDelay) {
   model.jitter = 100'000;
   net.set_default_link(model);
   std::vector<Nanos> delays;
-  net.set_delivery_scheduler([&](Nanos delay, std::function<void()> fn) {
-    delays.push_back(delay);
-    fn();
-  });
+  net.set_delivery_scheduler(
+      [&](Nanos delay, const std::string&, std::function<void()> fn) {
+        delays.push_back(delay);
+        fn();
+      });
   auto a = net.attach([](std::vector<std::byte>) {});
   auto b = net.attach([](std::vector<std::byte>) {});
   for (int i = 0; i < 50; ++i) {
@@ -186,10 +188,11 @@ TEST(InProcTest, PerByteCostAddsToDelay) {
   model.per_byte = 10;
   net.set_default_link(model);
   std::vector<Nanos> delays;
-  net.set_delivery_scheduler([&](Nanos delay, std::function<void()> fn) {
-    delays.push_back(delay);
-    fn();
-  });
+  net.set_delivery_scheduler(
+      [&](Nanos delay, const std::string&, std::function<void()> fn) {
+        delays.push_back(delay);
+        fn();
+      });
   auto a = net.attach([](std::vector<std::byte>) {});
   auto b = net.attach([](std::vector<std::byte>) {});
   ASSERT_TRUE(b->send(a->local_address(), std::vector<std::byte>(100)).is_ok());

@@ -3,12 +3,18 @@
 //   sdvm-chaos --seed 1 --iterations 200          # seeded sweep
 //   sdvm-chaos --seed 7 --trace                   # one run, full trace
 //   sdvm-chaos --replay chaos-artifact.json       # re-run a shrunk artifact
+//   sdvm-chaos --sites 1000 --zones 16            # zoned scale run
+//   sdvm-chaos --explore --explore-scenario sign-off   # enumerate orders
 //
 // A sweep runs seeds S, S+1, ... each through a generated fault schedule
 // and the invariant suite. The first failing seed is shrunk with ddmin to
 // a minimal event list and written as a replayable JSON artifact; the
 // process exits non-zero. Every run is a pure function of its seed, so a
 // failing seed reported by CI reproduces locally with the same binary.
+//
+// --explore switches from random sampling to bounded systematic
+// exploration (chaos/explore.hpp): every distinct delivery interleaving
+// of a small sign-on / sign-off / checkpoint window, up to a depth bound.
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -16,6 +22,7 @@
 #include <sstream>
 #include <string>
 
+#include "chaos/explore.hpp"
 #include "chaos/harness.hpp"
 #include "chaos/schedule.hpp"
 #include "chaos/shrink.hpp"
@@ -35,6 +42,8 @@ struct CliOptions {
   double disk_fault_prob = 0.0;
   bool shrink = true;
   bool trace = false;
+  bool explore = false;
+  sdvm::chaos::ExploreOptions explorer;
 };
 
 int usage(const char* argv0) {
@@ -43,6 +52,9 @@ int usage(const char* argv0) {
       << "  --seed N              first seed of the sweep (default 1)\n"
       << "  --iterations N        seeds to run: N, starting at --seed\n"
       << "  --sites N             initial cluster size (default 4)\n"
+      << "  --zones N             spread the sites over N racks under a\n"
+      << "                        shared core (hierarchical latency) and\n"
+      << "                        put zone-wide outages on the fault menu\n"
       << "  --events N            fault events per schedule (default 12)\n"
       << "  --loss-max F          enable loss bursts up to drop prob F\n"
       << "                        (default 0: the runtime assumes reliable\n"
@@ -64,7 +76,20 @@ int usage(const char* argv0) {
       << "  --replay PATH         run a schedule/artifact JSON instead of\n"
       << "                        generating one\n"
       << "  --no-shrink           skip ddmin minimization on failure\n"
-      << "  --trace               print the virtual-time event trace\n";
+      << "  --trace               print the virtual-time event trace\n"
+      << "  --explore             systematic exploration instead of a\n"
+      << "                        random sweep: enumerate the delivery\n"
+      << "                        interleavings of one protocol window on\n"
+      << "                        a small cluster (--sites, default 3)\n"
+      << "  --explore-scenario S  sign-on | sign-off | checkpoint\n"
+      << "                        (default sign-off)\n"
+      << "  --explore-depth N     choice points that may branch "
+      << "(default 12)\n"
+      << "  --explore-runs N      hard cap on runs (default 20000)\n"
+      << "  --explore-window-us N co-enabled delivery window in virtual\n"
+      << "                        microseconds (default 200)\n"
+      << "  --explore-bug         arm the seeded departed-forwarding bug\n"
+      << "                        (the sign-off scenario must find it)\n";
   return 2;
 }
 
@@ -98,6 +123,8 @@ int main(int argc, char** argv) {
       cli.iterations = std::atoi(next());
     } else if (arg == "--sites") {
       cli.generator.sites = std::atoi(next());
+    } else if (arg == "--zones") {
+      cli.generator.zones = std::atoi(next());
     } else if (arg == "--events") {
       cli.generator.events = std::atoi(next());
     } else if (arg == "--loss-max") {
@@ -121,9 +148,52 @@ int main(int argc, char** argv) {
       cli.shrink = false;
     } else if (arg == "--trace") {
       cli.trace = true;
+    } else if (arg == "--explore") {
+      cli.explore = true;
+    } else if (arg == "--explore-scenario") {
+      cli.explorer.scenario = next();
+    } else if (arg == "--explore-depth") {
+      cli.explorer.depth = std::atoi(next());
+    } else if (arg == "--explore-runs") {
+      cli.explorer.max_runs = std::atoi(next());
+    } else if (arg == "--explore-window-us") {
+      cli.explorer.window = std::atoll(next()) * 1000;
+    } else if (arg == "--explore-bug") {
+      cli.explorer.seed_bug = true;
     } else {
       return usage(argv[0]);
     }
+  }
+
+  if (cli.explore) {
+    cli.explorer.seed = cli.seed;
+    if (cli.generator.sites != 4) cli.explorer.sites = cli.generator.sites;
+    auto explored = sdvm::chaos::explore(cli.explorer);
+    if (!explored.is_ok()) {
+      std::cerr << explored.status().message() << "\n";
+      return 2;
+    }
+    const sdvm::chaos::ExploreResult& r = explored.value();
+    std::cout << "explore scenario=" << cli.explorer.scenario << " sites="
+              << cli.explorer.sites << " depth=" << cli.explorer.depth
+              << " seed=" << cli.explorer.seed << ": " << r.summary() << "\n";
+    if (r.failed) {
+      std::cout << "failing choices:";
+      for (std::size_t c : r.failing_choices) std::cout << " " << c;
+      std::cout << "\n";
+      for (const std::string& line : r.failure_trace) {
+        std::cout << "  " << line << "\n";
+      }
+      return 1;
+    }
+    return 0;
+  }
+
+  // The scale profile (sites > 64) runs a 1 s failure timeout, so zone
+  // outages may stay open longer before the harness-side guard — half
+  // the timeout — would skip them. Mirrors chaos_site_config.
+  if (cli.generator.sites > 64) {
+    cli.generator.max_zone_cut = 500'000'000;
   }
 
   sdvm::chaos::HarnessOptions harness_options;
