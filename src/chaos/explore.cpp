@@ -73,9 +73,17 @@ SiteConfig explore_site_config(const ExploreOptions& options) {
   cfg.heartbeat_interval = 200'000'000;   // 200 ms
   cfg.failure_timeout = kNanosPerSecond;  // no false suspicions mid-window
   cfg.help_retry_interval = 100'000'000;  // 100 ms
-  cfg.checkpoints_enabled = options.scenario == "checkpoint";
+  // shard-handoff crashes a site mid-window, so its program state must be
+  // recoverable from committed checkpoint epochs.
+  cfg.checkpoints_enabled =
+      options.scenario == "checkpoint" || options.scenario == "shard-handoff";
   cfg.checkpoint_interval = kNanosPerSecond / 2;
-  cfg.test_drop_departed_forwarding = options.seed_bug;
+  // Seeded bugs are scenario-scoped: each flag re-introduces the specific
+  // defect its window is designed to surface.
+  cfg.test_drop_departed_forwarding =
+      options.seed_bug && options.scenario == "sign-off";
+  cfg.test_stale_lease_serve =
+      options.seed_bug && options.scenario == "shard-handoff";
   return cfg;
 }
 
@@ -184,6 +192,43 @@ ScenarioRun run_one(const ExploreOptions& options, RecordingChooser& chooser) {
            "no frame-carrying message to the departing site within a "
            "virtual second; nothing to race");
     }
+  } else if (options.scenario == "shard-handoff") {
+    // Let leases settle and the workload spread objects across sites,
+    // then open the window on a consistent-hashing remigration: a new
+    // site joins (rendezvous targets move, holders hand their shards
+    // over) while the lease-richest non-home site is killed mid-window —
+    // graceful handoff, deterministic takeover election and rebuild
+    // traffic all race the shard-routed object requests. add_site must
+    // be the top-level call here (it pumps the loop until the join
+    // completes), so the crash rides a tagged internal event instead.
+    loop.run_for(2 * kNanosPerSecond);
+    std::size_t victim = 0;
+    std::size_t victim_held = 0;
+    for (std::size_t i = 1; i < cluster.size(); ++i) {
+      const std::size_t held = cluster.site(i).memory().shards_held();
+      if (held > victim_held) {
+        victim = i;
+        victim_held = held;
+      }
+    }
+    if (victim != 0) {
+      loop.schedule_tagged(
+          options.window / 2,
+          sim::EventTag{sim::EventTag::Kind::kInternal,
+                        static_cast<std::uint32_t>(victim)},
+          [&cluster, &records, victim] {
+            cluster.kill(victim);
+            records[victim].killed = true;
+          });
+    }
+    loop.set_chooser(&chooser, options.window);
+    Site& added = cluster.add_site(cfg, 0);
+    loop.set_chooser(nullptr, 0);
+    records.push_back(SiteRecord{});
+    if (!added.joined()) {
+      records.back().join_failed = true;
+      fail("sign-on-completes", "new site did not join within virtual 10s");
+    }
   } else {  // "checkpoint"
     // Let the first epoch's offer/election round start, then reorder the
     // offers, acks and commit messages of the next one.
@@ -217,7 +262,7 @@ Status ExploreOptions::validate() const {
                          "explore sites must be in [2, 8]");
   }
   if (scenario != "sign-on" && scenario != "sign-off" &&
-      scenario != "checkpoint") {
+      scenario != "checkpoint" && scenario != "shard-handoff") {
     return Status::error(ErrorCode::kInvalidArgument,
                          "unknown explore scenario '" + scenario + "'");
   }

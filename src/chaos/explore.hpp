@@ -36,6 +36,12 @@ struct ExploreOptions {
   ///                  adoption chain (the reverted-bug detector).
   ///   "checkpoint" — a checkpoint offer/election round is reordered;
   ///                  committed epochs must stay monotone and agreed.
+  ///   "shard-handoff" — a join remigrates directory shards (graceful
+  ///                  lease handoffs) while the lease-richest non-home
+  ///                  site crashes mid-window; handoff, takeover election
+  ///                  and rebuild traffic race the routed requests, and
+  ///                  exactly one authoritative holder per shard must
+  ///                  survive every order.
   std::string scenario = "sign-off";
   /// Choice points past this index stop branching (they take the
   /// timestamp-order default), bounding the tree.
@@ -49,10 +55,13 @@ struct ExploreOptions {
   Nanos window = 200'000;
   /// Workload / fabric seed (same meaning as a chaos-schedule seed).
   std::uint64_t seed = 1;
-  /// Arms SiteConfig::test_drop_departed_forwarding on every site: a
-  /// signed-off site drops in-flight messages instead of forwarding them
-  /// to its successor. Re-introduces a real recovery bug; the sign-off
-  /// scenario must find the interleaving where it loses a frame.
+  /// Arms the scenario's seeded bug on every site. For "sign-off" that is
+  /// SiteConfig::test_drop_departed_forwarding (a signed-off site drops
+  /// in-flight messages instead of forwarding them — a real recovery bug;
+  /// exploration must find the interleaving where it loses a frame). For
+  /// "shard-handoff" it is SiteConfig::test_stale_lease_serve (a site
+  /// hands a shard off but keeps serving from its stale lease — split
+  /// authority the shard invariants must catch).
   bool seed_bug = false;
 
   [[nodiscard]] Status validate() const;

@@ -172,6 +172,30 @@ RunReport ChaosHarness::run(const ChaosSchedule& schedule) {
       case EventKind::kKill:
       case EventKind::kSignOff: {
         std::size_t t = ev.target;
+        if (options_.prefer_lease_holder_kills) {
+          // Aim the fault at shard authority: the live site holding the
+          // most directory-shard leases (home exempt unless allowed).
+          std::size_t best = t;
+          std::size_t best_held = 0;
+          for (std::size_t i = 0; i < records.size(); ++i) {
+            if (!live(i)) continue;
+            if (i == 0 && (ev.kind == EventKind::kSignOff ||
+                           !options_.allow_home_faults)) {
+              continue;
+            }
+            const std::size_t held = cluster.site(i).memory().shards_held();
+            if (held > best_held) {
+              best = i;
+              best_held = held;
+            }
+          }
+          if (best_held > 0 && best != t) {
+            trace("#" + std::to_string(index) + " retarget " + ev.to_line() +
+                  " -> slot " + std::to_string(best) + " (holds " +
+                  std::to_string(best_held) + " shard leases)");
+            t = best;
+          }
+        }
         if (t >= records.size() || !live(t)) return skip("target not live");
         if (live_count() <= 2) return skip("would leave <2 live sites");
         if (t == 0 && !options_.allow_home_faults) {

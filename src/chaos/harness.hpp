@@ -36,6 +36,13 @@ struct HarnessOptions {
   /// Disk-fault injection for the durable stores. The seed is mixed with
   /// the schedule seed so every run stays deterministic and replayable.
   FaultyStateStore::Options disk_faults;
+  /// Re-target every kill/sign-off at the live site holding the most
+  /// directory-shard leases at apply time (`sdvm-chaos
+  /// --kill-lease-holders`). Faults land on shard authority instead of
+  /// random bystanders, so every event exercises the handoff / takeover /
+  /// rebuild path. Deterministic: the holder census is a pure function of
+  /// the virtual-time state the schedule produced.
+  bool prefer_lease_holder_kills = false;
 };
 
 struct RunReport {

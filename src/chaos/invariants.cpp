@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "runtime/checkpoint_store.hpp"
+#include "runtime/shard_map.hpp"
 #include "runtime/site.hpp"
 
 namespace sdvm::chaos {
@@ -33,6 +34,7 @@ std::vector<Violation> InvariantChecker::check(ChaosContext& ctx,
     check_directory_owners(ctx, found);
     check_termination(ctx, found);
     check_program_home(ctx, found);
+    check_shard_leases(ctx, found);
   }
   for (Violation& v : found) {
     v.event_index = event_index;
@@ -101,20 +103,31 @@ void InvariantChecker::check_epochs(ChaosContext& ctx,
 void InvariantChecker::check_progress(ChaosContext& ctx,
                                       std::vector<Violation>& out) {
   std::uint64_t executed = 0;
+  std::uint64_t recoveries = 0;
   std::uint32_t queued = 0;
   for (std::size_t i = 0; i < ctx.cluster.size(); ++i) {
     if (!ctx.live(i)) continue;
     auto status = ctx.cluster.status(i);
     if (!status.is_ok()) continue;
     executed += status.value().load.executed_total;
+    recoveries += status.value().metrics.counter("crash.recoveries");
     queued += status.value().load.queued_frames;
   }
   Nanos now = ctx.cluster.now();
+  // `executed` sums only live sites: a kill or cold restart legitimately
+  // drops it below the stored baseline, and comparing future progress
+  // against the stale high-water mark would mask real execution — rebase.
+  // A recovery fan-out advancing is likewise the system working (frozen
+  // schedulers during back-to-back recovery rounds are not starvation);
+  // recoveries are death-triggered, so a wedged cluster cannot use them
+  // to dodge the check forever.
   if (!progress_initialized_ || executed > last_executed_total_ ||
+      executed < last_executed_total_ || recoveries != last_recoveries_ ||
       ctx.terminated || ctx.faults_active || queued == 0) {
     // Progress, or a state where stalling is legitimate: reset the clock.
     progress_initialized_ = true;
     last_executed_total_ = executed;
+    last_recoveries_ = recoveries;
     last_progress_at_ = now;
     return;
   }
@@ -308,6 +321,124 @@ void InvariantChecker::check_program_home(ChaosContext& ctx,
         "program not hosted by any live site despite " +
             std::to_string(live_replicas) + " persisted replica(s)",
         0, 0});
+  }
+}
+
+// Sharded-ownership invariants (three in one pass over the live sites):
+//   * shard-single-holder — at quiescence exactly zero or one live site
+//     answers authoritatively for each shard; two holders is the
+//     overlapping-epoch-authority split-brain the lease protocol exists
+//     to rule out.
+//   * shard-map-convergence — every live joined site's lease table names
+//     the same (holder, epoch) per shard, and that holder is live: the
+//     rendezvous remigration must have settled after churn.
+//   * shard-entry-authoritative — no orphans across handoff: a site only
+//     retains directory entries for shards it holds, and every physically
+//     resident object is registered in its shard holder's directory.
+void InvariantChecker::check_shard_leases(ChaosContext& ctx,
+                                          std::vector<Violation>& out) {
+  struct LiveSite {
+    std::size_t index;
+    Site* site;
+  };
+  std::vector<LiveSite> live;
+  std::vector<SiteId> live_ids;
+  for (std::size_t i = 0; i < ctx.cluster.size(); ++i) {
+    if (!ctx.live(i)) continue;
+    Site& site = ctx.cluster.site(i);
+    if (!site.joined()) continue;
+    live.push_back(LiveSite{i, &site});
+    live_ids.push_back(site.id());
+  }
+  if (live.empty()) return;
+  auto is_live_id = [&](SiteId id) {
+    return std::find(live_ids.begin(), live_ids.end(), id) != live_ids.end();
+  };
+
+  for (std::uint32_t s = 0; s < kNumShards; ++s) {
+    // Single authoritative holder.
+    std::vector<std::pair<SiteId, std::uint64_t>> claimants;
+    for (const LiveSite& ls : live) {
+      if (ls.site->memory().shard_authoritative(s)) {
+        claimants.emplace_back(ls.site->id(),
+                               ls.site->memory().shard_leases()[s].epoch);
+      }
+    }
+    if (claimants.size() > 1) {
+      std::string detail = "shard " + std::to_string(s) +
+                           " has multiple authoritative holders:";
+      for (const auto& [id, epoch] : claimants) {
+        detail += " site " + std::to_string(id) + " at epoch " +
+                  std::to_string(epoch) + ";";
+      }
+      out.push_back(Violation{"shard-single-holder", detail, 0, 0});
+    }
+
+    // Lease-view convergence across live sites.
+    ShardLease first = live.front().site->memory().shard_leases()[s];
+    for (std::size_t v = 1; v < live.size(); ++v) {
+      ShardLease l = live[v].site->memory().shard_leases()[s];
+      if (l.holder != first.holder || l.epoch != first.epoch) {
+        out.push_back(Violation{
+            "shard-map-convergence",
+            "shard " + std::to_string(s) + ": site " +
+                std::to_string(live.front().site->id()) + " sees holder " +
+                std::to_string(first.holder) + "@" +
+                std::to_string(first.epoch) + " but site " +
+                std::to_string(live[v].site->id()) + " sees holder " +
+                std::to_string(l.holder) + "@" + std::to_string(l.epoch),
+            0, 0});
+        break;  // one disagreement per shard is enough signal
+      }
+    }
+    if (first.holder != kInvalidSite && !is_live_id(first.holder)) {
+      out.push_back(Violation{
+          "shard-map-convergence",
+          "shard " + std::to_string(s) + " lease holder " +
+              std::to_string(first.holder) + " is not a live site",
+          0, 0});
+    }
+  }
+
+  // Entry/object placement.
+  for (const LiveSite& ls : live) {
+    AttractionMemory& mem = ls.site->memory();
+    for (const auto& [addr, owner] : mem.directory_snapshot()) {
+      std::uint32_t s = shard_of(addr);
+      if (mem.shard_leases()[s].holder != ls.site->id()) {
+        out.push_back(Violation{
+            "shard-entry-authoritative",
+            "site " + std::to_string(ls.site->id()) +
+                " retains directory entry " + std::to_string(addr.value) +
+                " of shard " + std::to_string(s) +
+                " it no longer holds (holder " +
+                std::to_string(mem.shard_leases()[s].holder) + ")",
+            0, 0});
+      }
+    }
+    for (GlobalAddress addr : mem.owned_addresses()) {
+      std::uint32_t s = shard_of(addr);
+      SiteId holder = mem.shard_leases()[s].holder;
+      const LiveSite* holder_site = nullptr;
+      for (const LiveSite& h : live) {
+        if (h.site->id() == holder) {
+          holder_site = &h;
+          break;
+        }
+      }
+      if (holder_site == nullptr) continue;  // convergence check reports it
+      SiteId registered =
+          holder_site->site->memory().directory_owner(addr);
+      if (registered == kInvalidSite) {
+        out.push_back(Violation{
+            "shard-entry-authoritative",
+            "object " + std::to_string(addr.value) + " resident on site " +
+                std::to_string(ls.site->id()) +
+                " is orphaned: shard " + std::to_string(s) + " holder " +
+                std::to_string(holder) + " has no directory entry for it",
+            0, 0});
+      }
+    }
   }
 }
 

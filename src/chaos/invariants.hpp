@@ -83,10 +83,12 @@ class InvariantChecker {
   void check_termination(ChaosContext& ctx, std::vector<Violation>& out);
   void check_durable_stores(ChaosContext& ctx, std::vector<Violation>& out);
   void check_program_home(ChaosContext& ctx, std::vector<Violation>& out);
+  void check_shard_leases(ChaosContext& ctx, std::vector<Violation>& out);
 
   std::map<std::size_t, std::uint64_t> last_epoch_;  // site index → epoch
   std::map<std::size_t, std::uint64_t> durable_best_;  // store slot → epoch
   std::uint64_t last_executed_total_ = 0;
+  std::uint64_t last_recoveries_ = 0;
   Nanos last_progress_at_ = 0;
   bool progress_initialized_ = false;
 };

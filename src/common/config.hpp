@@ -101,6 +101,13 @@ struct SiteConfig {
   /// frames when a delivery races the sign-off. Never set outside tests.
   bool test_drop_departed_forwarding = false;
 
+  /// TEST ONLY (exploration mutation check): on a graceful shard handoff
+  /// the departing holder keeps its lease claim and directory entries and
+  /// ignores superseding lease announcements — serving the shard from a
+  /// stale lease alongside the real holder. The sharded-ownership
+  /// invariants must detect the split authority. Never set outside tests.
+  bool test_stale_lease_serve = false;
+
   /// Sim mode: virtual cost of one interpreted bytecode instruction at
   /// speed 1.0, and of compiling one source byte on the fly.
   Nanos sim_nanos_per_instr = 10;

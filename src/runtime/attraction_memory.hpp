@@ -1,13 +1,27 @@
 // Attraction memory: the COMA-style global memory (paper §3.1, §4). Holds
 // the local part of the global memory, attracts requested objects to the
 // local site transparently, and stores microframes until they have
-// received all their parameters. The homesite directory ("see [5]")
-// tracks the current owner of every object created here; migration is
-// homesite-mediated (request → recall → grant), which serializes racing
-// requests at one place.
+// received all their parameters.
+//
+// The object directory is hash-sharded across the live membership
+// (shard_map.hpp): each of the kNumShards logical shards has exactly one
+// authoritative holder, guarded by an epoch-numbered ownership lease.
+// Migration stays mediated (request → recall → grant), but the mediator
+// for an object is its shard's lease holder, not the creating site — so
+// directory authority survives the death of any single site. Requests
+// carry the (shard, epoch) the sender believes; a non-authoritative
+// receiver rejects with kShardStale and the sender re-routes — stale
+// authority is never silently served. Shard handoff is a first-class
+// protocol: graceful departure and remigration transfer entries with a
+// bumped epoch (kShardHandoff); a crashed holder triggers deterministic
+// successor takeover plus a rebuild from live-site re-registration
+// (kShardRecover) and checkpoint restore. Microframes are not sharded:
+// they keep living at their creating site, reached through the existing
+// home-site + sign-off successor-chain routing.
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -21,6 +35,7 @@
 #include "runtime/frame.hpp"
 #include "runtime/message.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/shard_map.hpp"
 
 namespace sdvm {
 
@@ -56,7 +71,9 @@ struct MemObject {
 
 class AttractionMemory {
  public:
-  explicit AttractionMemory(Site& site) : site_(site) {}
+  explicit AttractionMemory(Site& site) : site_(site) {
+    targets_.fill(kInvalidSite);
+  }
 
   // --- microframes ---------------------------------------------------------
   /// Allocates a frame homed at the local site. If nparams == 0 the frame
@@ -141,6 +158,46 @@ class AttractionMemory {
   void handle(const SdMessage& msg);
   void drop_program(ProgramId pid);
 
+  // --- sharded directory ----------------------------------------------------
+  /// Periodic lease maintenance, driven from Site::bootstrap_tick at
+  /// heartbeat cadence: renews held leases, remigrates shards whose
+  /// rendezvous target moved, takes over shards whose holder died, times
+  /// out rebuilds, and purges parked requests past their TTL.
+  void shard_tick();
+
+  /// The live-membership view changed (join, death, sign-off). Marks the
+  /// cached rendezvous targets dirty and settles leases immediately so
+  /// authority gaps close without waiting for the next tick.
+  void on_membership_change();
+
+  /// Where requests for `addr` should be sent right now: the shard's lease
+  /// holder if it is believed alive, else the computed rendezvous target.
+  [[nodiscard]] SiteId shard_route(GlobalAddress addr);
+
+  /// True iff this site may answer authoritatively for the shard: it holds
+  /// the lease AND its maintenance tick is current (a site whose tick has
+  /// stalled past the lease TTL cannot have renewed and must stop
+  /// answering — the split-brain guard).
+  [[nodiscard]] bool shard_authoritative(std::uint32_t shard) const;
+
+  /// Snapshot of the local lease table (invariant checkers).
+  [[nodiscard]] std::array<ShardLease, kNumShards> shard_leases() const {
+    return leases_;
+  }
+  [[nodiscard]] std::size_t shards_held() const;
+
+  /// Highest lease epoch ever observed for the shard. Persisted with
+  /// durable checkpoints; seeded on recovery so post-restart epochs never
+  /// regress below what the failed cluster had reached.
+  [[nodiscard]] std::uint64_t max_shard_epoch(std::uint32_t shard) const {
+    return shard < kNumShards ? max_epoch_seen_[shard] : 0;
+  }
+  void seed_shard_epoch(std::uint32_t shard, std::uint64_t epoch) {
+    if (shard < kNumShards && epoch > max_epoch_seen_[shard]) {
+      max_epoch_seen_[shard] = epoch;
+    }
+  }
+
   // --- sign-off / checkpoint support ----------------------------------------
   /// Serializes everything (frames incl. state, objects, directory) for a
   /// program — used by checkpointing (all programs: pass kInvalid).
@@ -166,6 +223,16 @@ class AttractionMemory {
     return out;
   }
 
+  /// Addresses of objects physically resident on this site (chaos
+  /// invariant checkers: every owned object must be registered with a
+  /// live shard holder — the no-orphan check across handoffs).
+  [[nodiscard]] std::vector<GlobalAddress> owned_addresses() const {
+    std::vector<GlobalAddress> out;
+    out.reserve(objects_.size());
+    for (const auto& [addr, obj] : objects_) out.push_back(addr);
+    return out;
+  }
+
   /// Registers this manager's instruments ("mem." prefix).
   void register_metrics(metrics::MetricsRegistry& registry);
 
@@ -178,6 +245,11 @@ class AttractionMemory {
   metrics::Counter remote_fetches;      // fetches that left the site
   // mutable: counted inside const lookup paths (sim oracle resolution).
   mutable metrics::Counter directory_lookups;
+
+  // Sharded-directory instruments ("dir." prefix in the registry).
+  metrics::Counter shard_handoffs;       // shards this site transferred away
+  metrics::Counter lease_renewals;       // per-tick renewals of held leases
+  metrics::Counter stale_epoch_rejects;  // routed requests rejected as stale
 
  private:
   void frame_became_executable(Microframe frame);
@@ -226,6 +298,80 @@ class AttractionMemory {
 
   // Fetches this site is waiting on, keyed by object address.
   std::unordered_map<GlobalAddress, std::shared_ptr<FetchState>> fetching_;
+
+  // --- sharded-directory state ---------------------------------------------
+  // Routing/stale handling helpers (see attraction_memory.cpp).
+  [[nodiscard]] bool site_alive(SiteId id) const;
+  void reconcile_targets();
+  SiteId route_of(std::uint32_t shard);
+  bool merge_lease(std::uint32_t shard, SiteId holder, std::uint64_t epoch);
+  void settle_leases(bool announce_held = false);
+  void announce_leases(const std::vector<ShardLeaseAnnounce::Entry>& entries);
+  void graceful_handoff(std::uint32_t shard, SiteId target,
+                        std::vector<ShardLeaseAnnounce::Entry>* announce);
+  std::vector<ShardDirEntry> strip_shard(std::uint32_t shard,
+                                         SiteId new_holder,
+                                         std::uint64_t epoch);
+  void abdicate_to(std::uint32_t shard, SiteId winner, std::uint64_t epoch);
+  void take_over_shard(std::uint32_t shard, bool rebuild);
+  void begin_rebuild(std::uint32_t shard);
+  void complete_rebuild(std::uint32_t shard);
+  std::uint64_t next_epoch(std::uint32_t shard) const;
+  void send_register(GlobalAddress addr, ProgramId pid, SiteId owner,
+                     SiteId route, std::uint8_t hops);
+  void reject_stale(const SdMessage& msg, std::uint32_t shard);
+  void park_remote(const SdMessage& msg, std::uint32_t shard, Nanos parked_at);
+  void park_local_fetch(GlobalAddress addr);
+  void drain_parked(std::uint32_t shard);
+  void purge_parked();
+  void retry_fetch(GlobalAddress addr, const std::string& why);
+  void flush_pending_registers();
+  void process_object_request(const SdMessage& msg, Nanos parked_at);
+  void process_register(const SdMessage& msg, Nanos parked_at);
+
+  // Per-shard ownership leases as this site believes them, plus the highest
+  // epoch ever seen (monotonicity floor for takeovers and cold restarts).
+  std::array<ShardLease, kNumShards> leases_{};
+  std::array<std::uint64_t, kNumShards> max_epoch_seen_{};
+
+  // Cached rendezvous targets, recomputed lazily when membership changes
+  // (the dirty flag keeps a 1000-site cluster build from going O(n^3)).
+  std::array<SiteId, kNumShards> targets_{};
+  bool shard_view_dirty_ = true;
+  // False while our own entry is missing from the live view: a joiner's
+  // membership snapshot is still partial, so lease moves must wait.
+  bool shard_view_has_self_ = true;
+  // Lowest id in the live view; only it may bootstrap-elect fresh shards.
+  SiteId shard_view_lowest_ = kInvalidSite;
+  Nanos last_shard_tick_ = 0;
+
+  // Crash rebuild: after a takeover the new holder asks every live site to
+  // re-register its physical objects; completion when all replied/failed
+  // or the failure timeout fires.
+  struct ShardRebuild {
+    bool active = false;
+    Nanos started_at = 0;
+    std::uint64_t epoch = 0;
+    std::size_t awaiting = 0;
+  };
+  std::array<ShardRebuild, kNumShards> rebuilds_{};
+  Nanos last_rebuild_ns_ = 0;
+
+  // Requests that arrived for a shard whose authority is in flux (handoff
+  // or rebuild pending here): parked with their arrival time, reprocessed
+  // when authority lands, answered kObjectMiss after the TTL.
+  struct ParkedShardMsg {
+    SdMessage msg;
+    Nanos parked_at = 0;
+  };
+  std::array<std::deque<ParkedShardMsg>, kNumShards> parked_remote_;
+  // Our own fetches waiting for shard authority to settle.
+  std::unordered_map<GlobalAddress, Nanos> parked_local_;
+  // Bounded kShardStale re-route retries per in-flight fetch.
+  std::unordered_map<GlobalAddress, int> fetch_retries_;
+  // Directory entries restored from a checkpoint (or allocated) while the
+  // shard route was still unknown; flushed each tick.
+  std::vector<ShardDirEntry> pending_registers_;
 
   SimFetchHook sim_fetch_;
   Nanos sim_stall_ = 0;

@@ -202,6 +202,11 @@ void DurableEpoch::serialize(ByteWriter& w) const {
     w.u64(rec.seq);
     w.str(rec.text);
   }
+  w.u32(static_cast<std::uint32_t>(shard_epochs.size()));
+  for (const auto& [shard, epoch] : shard_epochs) {
+    w.u32(shard);
+    w.u64(epoch);
+  }
 }
 
 Result<DurableEpoch> DurableEpoch::deserialize(ByteReader& r) {
@@ -229,6 +234,14 @@ Result<DurableEpoch> DurableEpoch::deserialize(ByteReader& r) {
       rec.seq = r.u64();
       rec.text = r.str();
       d.io_log.push_back(std::move(rec));
+    }
+    // Trailing section, absent in pre-shard-lease checkpoint files.
+    if (r.remaining() > 0) {
+      std::uint32_t nse = r.count(/*min_bytes_each=*/12);
+      for (std::uint32_t i = 0; i < nse; ++i) {
+        std::uint32_t shard = r.u32();
+        d.shard_epochs[shard] = r.u64();
+      }
     }
     return d;
   } catch (const DecodeError& e) {

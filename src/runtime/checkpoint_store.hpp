@@ -138,6 +138,10 @@ struct DurableEpoch {
   std::vector<std::pair<MicrothreadId, std::string>> sources;
   // The frontend's tagged output log (duplicate suppression on replay).
   std::vector<IoRecord> io_log;
+  // Directory-shard lease epochs at commit time (shard id → epoch). Seeds
+  // the epoch floor on cold-restart recovery so post-restart leases never
+  // regress below what the failed cluster had reached.
+  std::map<std::uint32_t, std::uint64_t> shard_epochs;
 
   void serialize(ByteWriter& w) const;
   [[nodiscard]] static Result<DurableEpoch> deserialize(ByteReader& r);

@@ -187,23 +187,35 @@ void ClusterManager::refresh_alive_cache() const {
 }
 
 void ClusterManager::alive_entry_added(SiteId id) {
-  if (alive_dirty_) return;  // a lazy rebuild is already pending
-  ++alive_count_;
-  if (id == local_id_) return;
-  auto pos = std::lower_bound(
-      alive_peers_.begin(), alive_peers_.end(), id,
-      [](const SiteInfo* a, SiteId b) { return a->id < b; });
-  alive_peers_.insert(pos, &sites_.find(id)->second);
+  if (!alive_dirty_) {  // else a lazy rebuild is already pending
+    ++alive_count_;
+    if (id != local_id_) {
+      auto pos = std::lower_bound(
+          alive_peers_.begin(), alive_peers_.end(), id,
+          [](const SiteInfo* a, SiteId b) { return a->id < b; });
+      alive_peers_.insert(pos, &sites_.find(id)->second);
+    }
+  }
+  // The live set changed: shard rendezvous targets must be recomputed and
+  // leases settled (remigration to the joiner happens here).
+  site_.memory().on_membership_change();
 }
 
 void ClusterManager::alive_entry_died(SiteId id) {
-  if (alive_dirty_) return;
+  if (alive_dirty_) {
+    site_.memory().on_membership_change();
+    return;
+  }
   --alive_count_;
-  if (id == local_id_) return;
+  if (id == local_id_) {
+    site_.memory().on_membership_change();
+    return;
+  }
   auto pos = std::lower_bound(
       alive_peers_.begin(), alive_peers_.end(), id,
       [](const SiteInfo* a, SiteId b) { return a->id < b; });
   if (pos != alive_peers_.end() && (*pos)->id == id) alive_peers_.erase(pos);
+  site_.memory().on_membership_change();
 }
 
 SiteId ClusterManager::resolve_successor(SiteId id) const {
@@ -609,11 +621,17 @@ void ClusterManager::handle(const SdMessage& msg) {
         ++sign_offs_received;
         auto it = sites_.find(departing);
         if (it != sites_.end()) {
-          if (it->second.alive) alive_entry_died(departing);
+          const bool was_alive = it->second.alive;
+          // Flip the entry before notifying: alive_entry_died triggers
+          // shard-lease settlement, which must observe the departure (else
+          // the settle runs against the pre-death view and nothing ever
+          // re-fires — mark_dead and the failure detector both skip
+          // entries that are already !alive).
           it->second.alive = false;
           it->second.successor = successor;
           it->second.version++;
           mark_dirty(departing, kRespreadRounds);
+          if (was_alive) alive_entry_died(departing);
         }
       } catch (const DecodeError&) {
       }

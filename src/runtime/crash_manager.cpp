@@ -87,6 +87,13 @@ DurableEpoch CrashManager::build_durable(
   d.info.home_site = site_.id();
   d.sources = site_.code().export_sources(pid);
   d.io_log = site_.io().export_log(pid);
+  // Directory-shard lease epochs ride every durable epoch: recovery seeds
+  // them back so post-restart leases never regress below the failed
+  // cluster's epochs (a handed-off shard survives a cold restart).
+  for (std::uint32_t s = 0; s < kNumShards; ++s) {
+    std::uint64_t e = site_.memory().max_shard_epoch(s);
+    if (e > 0) d.shard_epochs[s] = e;
+  }
   return d;
 }
 
@@ -453,6 +460,9 @@ void CrashManager::handle_replica(const SdMessage& msg) {
         it != replicas_.end() && it->second.epoch > snap.epoch) {
       return;
     }
+    for (const auto& [shard, epoch] : snap.shard_epochs) {
+      site_.memory().seed_shard_epoch(shard, epoch);
+    }
     site_.code().import_sources(msg.program, snap.sources);
     persist_local(snap);
     std::uint64_t epoch = snap.epoch;
@@ -552,6 +562,9 @@ void CrashManager::on_site_dead(SiteId dead) {
 }
 
 void CrashManager::take_over(ProgramId pid, DurableEpoch snap) {
+  for (const auto& [shard, epoch] : snap.shard_epochs) {
+    site_.memory().seed_shard_epoch(shard, epoch);
+  }
   SiteId old_home = snap.info.home_site;
   ProgramInfo info = snap.info;
   if (!info.id.valid()) {
@@ -693,6 +706,33 @@ void CrashManager::handle_restore(const SdMessage& msg) {
     std::vector<std::vector<std::byte>> orphans;
     orphans.reserve(norphans);
     for (std::uint32_t i = 0; i < norphans; ++i) orphans.push_back(r.blob());
+
+    // Dueling recovery coordinators: a cold-restarted successor and a live
+    // replica holder can both elect themselves for the same program (their
+    // electorates are disjoint). Deterministic stand-down — the lower-id
+    // coordinator wins. While our own recovery is in flight a restore from
+    // a higher id is ignored (our restore reaches that coordinator before
+    // our completing ack does, per-peer FIFO, and stands it down); one
+    // from a lower id ends our attempt before it can wipe the winner's
+    // re-fired entry frame.
+    if (recovery_started_.count(msg.program) != 0) {
+      if (msg.src > site_.id()) return;
+      recovery_started_.erase(msg.program);
+      recovery_waiting_.erase(msg.program);
+    }
+    // The same duel, seen after the winner's recovery already completed (a
+    // slow loser's restore must not wipe the winner's re-fired frames):
+    // judge by current ownership. If the home we believe in — followed
+    // down the successor chain — is still alive, only it or a lower-id
+    // claimant may restore over it.
+    if (const ProgramInfo* cur = site_.programs().find(msg.program);
+        cur != nullptr && cur->home_site != msg.src) {
+      const SiteId h = site_.cluster().resolve_successor(cur->home_site);
+      if (h != msg.src && msg.src > h) {
+        const SiteInfo* hi = site_.cluster().find(h);
+        if (h == site_.id() || (hi != nullptr && hi->alive)) return;
+      }
+    }
 
     if (info.is_ok()) site_.programs().register_info(info.value());
     if (dead != kInvalidSite) {

@@ -32,6 +32,12 @@ const char* to_string(MsgType t) {
     case MsgType::kObjectReturn:       return "object-return";
     case MsgType::kObjectMiss:         return "object-miss";
     case MsgType::kDirectoryImport:    return "directory-import";
+    case MsgType::kShardLease:         return "shard-lease";
+    case MsgType::kShardHandoff:       return "shard-handoff";
+    case MsgType::kShardRecover:       return "shard-recover";
+    case MsgType::kShardRecoverReply:  return "shard-recover-reply";
+    case MsgType::kShardRegister:      return "shard-register";
+    case MsgType::kShardStale:         return "shard-stale";
     case MsgType::kIoOutput:           return "io-output";
     case MsgType::kFileRead:           return "file-read";
     case MsgType::kFileReadReply:      return "file-read-reply";

@@ -58,6 +58,13 @@ enum class MsgType : std::uint16_t {
   kObjectReturn,         // owner → homesite
   kObjectMiss,           // no such object
   kDirectoryImport,      // sign-off: successor absorbs directory + objects
+  // --- attraction memory: sharded directory (value block after crash) ---
+  kShardLease = 110,     // lease announcements: (shard, holder, epoch) batch
+  kShardHandoff,         // graceful shard transfer: entries + new epoch
+  kShardRecover,         // crash successor asks sites to re-register a shard
+  kShardRecoverReply,    // per-site contribution to a shard rebuild
+  kShardRegister,        // allocator → shard holder: new directory entry
+  kShardStale,           // routed request hit a non-authoritative site
 
   // --- io manager ---
   kIoOutput = 70,        // routed to the program's frontend site

@@ -180,6 +180,11 @@ bool forwardable_after_sign_off(MsgType t) {
     case MsgType::kObjectReturn:
     case MsgType::kObjectMiss:
     case MsgType::kDirectoryImport:
+    // Shard state in flight to a departed site must reach its successor;
+    // lease/stale/recover control traffic is view-bound and dies here.
+    case MsgType::kShardHandoff:
+    case MsgType::kShardRegister:
+    case MsgType::kShardRecoverReply:
     case MsgType::kIoOutput:
     case MsgType::kFileRead:
     case MsgType::kFileReadReply:

@@ -49,6 +49,7 @@ void Site::bootstrap() {
   std::lock_guard lock(mu_);
   cluster_mgr_->bootstrap();
   security_mgr_->set_local_site(cluster_mgr_->local_id());
+  attraction_memory_->on_membership_change();
   if (!driver_.simulated()) {
     processing_mgr_->start_workers(config_.executor_slots);
   }
@@ -71,6 +72,7 @@ void Site::join(const std::string& contact_address) {
     security_mgr_->set_local_site(cluster_mgr_->local_id());
     SDVM_INFO(tag()) << "joined cluster as site "
                      << cluster_mgr_->local_id();
+    attraction_memory_->on_membership_change();
     bootstrap_tick();
     crash_mgr_->on_cluster_entered();
     // "The first action of the new site will be to request ... work."
@@ -236,6 +238,8 @@ void Site::drop_program_everywhere(ProgramId pid) {
 void Site::on_site_dead(SiteId dead) {
   message_mgr_->fail_pending_to(dead);
   crash_mgr_->on_site_dead(dead);
+  // Shard leases held by the dead site need a successor election.
+  attraction_memory_->on_membership_change();
 }
 
 void Site::check_starvation() {
@@ -259,6 +263,7 @@ void Site::bootstrap_tick() {
     tick_scheduled_ = false;
     cluster_mgr_->on_tick();
     crash_mgr_->on_tick();
+    attraction_memory_->shard_tick();
     check_starvation();
     bootstrap_tick();
   });

@@ -227,35 +227,42 @@ void SimCluster::install_memory_oracle(Site& site) {
   site.memory().set_sim_fetch_hook(
       [this, requester](GlobalAddress addr,
                         MemObject* out) -> Result<Nanos> {
-        SiteId home_id =
-            requester->cluster().resolve_successor(addr.home_site());
-        Site* home = site_by_id(home_id);
-        if (home == nullptr) {
-          return Status::error(ErrorCode::kUnavailable,
-                               "homesite unreachable");
-        }
-        SiteId owner_id = home->memory().directory_owner(addr);
-        if (owner_id == kInvalidSite) {
-          return Status::error(ErrorCode::kNotFound, "no such object");
-        }
-        Site* owner = site_by_id(owner_id);
-        if (owner == nullptr) {
-          return Status::error(ErrorCode::kUnavailable, "owner unreachable");
+        // Route via the requester's shard view: the lease holder mediates.
+        SiteId holder_id = requester->memory().shard_route(addr);
+        Site* holder = site_by_id(holder_id);
+        SiteId owner_id = holder != nullptr
+                              ? holder->memory().directory_owner(addr)
+                              : kInvalidSite;
+        Site* owner =
+            owner_id != kInvalidSite ? site_by_id(owner_id) : nullptr;
+        if (owner == nullptr || owner->memory().local_object(addr) == nullptr) {
+          // The holder's entry is missing or stale (mid-handoff, mid-
+          // rebuild, or the owner moved): fall back to physical ground
+          // truth, as the message protocol's re-registration would.
+          owner = nullptr;
+          for (auto& e : entries_) {
+            if (e->site->memory().owns(addr)) {
+              owner = e->site.get();
+              break;
+            }
+          }
+          if (owner == nullptr) {
+            return Status::error(ErrorCode::kNotFound, "no such object");
+          }
         }
         MemObject* obj = owner->memory().local_object(addr);
-        if (obj == nullptr) {
-          return Status::error(ErrorCode::kNotFound, "object in transit");
-        }
         *out = *obj;
-        owner->memory().evict_object(addr);
-        owner->memory().migrations_out++;
-        home->memory().set_directory_owner(addr, requester->id());
-
-        // Stall model: request to homesite, forward to owner, object back —
-        // three one-way hops plus serialization of the object itself.
-        Nanos hop = options_.link.latency;
         Nanos bytes = static_cast<Nanos>(obj->words.size() * 8 + 64) *
                       options_.link.per_byte;
+        owner->memory().evict_object(addr);
+        owner->memory().migrations_out++;
+        if (holder != nullptr) {
+          holder->memory().set_directory_owner(addr, requester->id());
+        }
+
+        // Stall model: request to the shard holder, forward to the owner,
+        // object back — three one-way hops plus serialization.
+        Nanos hop = options_.link.latency;
         return 3 * hop + bytes;
       });
 }

@@ -12,7 +12,10 @@
 #include "runtime/message.hpp"
 #include "runtime/program.hpp"
 #include "runtime/security_manager.hpp"
+#include "runtime/shard_map.hpp"
 #include "runtime/site_status.hpp"
+
+#include <limits>
 
 namespace sdvm {
 namespace {
@@ -281,6 +284,139 @@ TEST_P(FuzzDecodeTest, CheckpointManifestCorruptionFallsBackToScan) {
   ASSERT_TRUE(loaded.is_ok());
   EXPECT_EQ(loaded.value().epoch, snap.epoch);
   EXPECT_EQ(loaded.value().shards.size(), snap.shards.size());
+}
+
+// --- sharded-directory wire formats ---------------------------------------
+
+TEST_P(FuzzDecodeTest, ShardPayloadGarbage) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 1500);
+  for (int i = 0; i < 500; ++i) {
+    auto bytes = random_bytes(rng, 256);
+    {
+      ByteReader r(bytes);
+      (void)ShardLeaseAnnounce::deserialize(r);
+    }
+    {
+      ByteReader r(bytes);
+      (void)ShardHandoff::deserialize(r);
+    }
+    {
+      ByteReader r(bytes);
+      (void)ShardRecover::deserialize(r);
+    }
+    {
+      ByteReader r(bytes);
+      (void)ShardRecoverReply::deserialize(r);
+    }
+    {
+      ByteReader r(bytes);
+      (void)ShardRegister::deserialize(r);
+    }
+    {
+      ByteReader r(bytes);
+      (void)ShardStale::deserialize(r);
+    }
+    {
+      ByteReader r(bytes);
+      (void)ShardRoutedRequest::deserialize(r);
+    }
+  }
+}
+
+TEST_P(FuzzDecodeTest, ShardPayloadTruncation) {
+  // Every strict prefix of a valid payload must decode to an error — the
+  // entry-count guards must never read past the buffer or allocate from a
+  // length the bytes cannot back.
+  ShardHandoff h;
+  h.shard = 5;
+  h.epoch = 12;
+  for (std::uint64_t v = 1; v <= 8; ++v) {
+    h.entries.push_back(
+        ShardDirEntry{GlobalAddress{v << 20}, static_cast<SiteId>(v),
+                      ProgramId(v)});
+  }
+  ByteWriter w;
+  h.serialize(w);
+  auto full = w.take();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    std::vector<std::byte> cut(full.begin(),
+                               full.begin() + static_cast<long>(len));
+    ByteReader r(cut);
+    auto d = ShardHandoff::deserialize(r);
+    EXPECT_FALSE(d.is_ok()) << "truncation at " << len << " decoded";
+  }
+  ByteReader r(full);
+  auto d = ShardHandoff::deserialize(r);
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d.value().entries.size(), h.entries.size());
+}
+
+TEST_P(FuzzDecodeTest, ShardPayloadRejectsBadShardIds) {
+  // Structurally valid payloads naming a shard >= kNumShards must be
+  // rejected at decode time: a bad index would otherwise reach the
+  // fixed-size per-shard tables.
+  for (std::uint32_t bad :
+       {kNumShards, kNumShards + 1, 0xFFFFu, 0xFFFFFFFFu}) {
+    {
+      ByteWriter w;
+      ShardRecover rec;
+      rec.shard = bad;
+      rec.epoch = 1;
+      rec.serialize(w);
+      auto bytes = w.take();
+      ByteReader r(bytes);
+      EXPECT_FALSE(ShardRecover::deserialize(r).is_ok()) << bad;
+    }
+    {
+      ByteWriter w;
+      ShardStale st;
+      st.shard = bad;
+      st.holder = 3;
+      st.epoch = 9;
+      st.serialize(w);
+      auto bytes = w.take();
+      ByteReader r(bytes);
+      EXPECT_FALSE(ShardStale::deserialize(r).is_ok()) << bad;
+    }
+    {
+      ByteWriter w;
+      ShardLeaseAnnounce ann;
+      ann.entries.push_back({bad, 2, 7});
+      ann.serialize(w);
+      auto bytes = w.take();
+      ByteReader r(bytes);
+      EXPECT_FALSE(ShardLeaseAnnounce::deserialize(r).is_ok()) << bad;
+    }
+    {
+      ByteWriter w;
+      ShardRoutedRequest req;
+      req.addr = GlobalAddress{1};
+      req.shard = bad;
+      req.epoch = 2;
+      req.serialize(w);
+      auto bytes = w.take();
+      ByteReader r(bytes);
+      EXPECT_FALSE(ShardRoutedRequest::deserialize(r).is_ok()) << bad;
+    }
+  }
+}
+
+TEST_P(FuzzDecodeTest, ShardEpochOverflowRoundTrips) {
+  // Lease epochs near the top of the u64 range must survive the wire
+  // unmangled — overflow handling is the merge rule's job, never the
+  // codec's.
+  const std::uint64_t top = std::numeric_limits<std::uint64_t>::max();
+  ShardLeaseAnnounce ann;
+  ann.entries.push_back({3, 11, top});
+  ann.entries.push_back({4, 12, top - 1});
+  ByteWriter w;
+  ann.serialize(w);
+  auto bytes = w.take();
+  ByteReader r(bytes);
+  auto d = ShardLeaseAnnounce::deserialize(r);
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d.value().entries[0].epoch, top);
+  EXPECT_EQ(d.value().entries[1].epoch, top - 1);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDecodeTest, ::testing::Range(1, 7));

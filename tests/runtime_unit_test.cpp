@@ -8,6 +8,7 @@
 #include "runtime/message.hpp"
 #include "runtime/program.hpp"
 #include "runtime/security_manager.hpp"
+#include "runtime/shard_map.hpp"
 
 namespace sdvm {
 namespace {
@@ -243,6 +244,123 @@ TEST(SiteInfoTest, SerializationRoundTrip) {
   EXPECT_EQ(back.value().version, 42u);
   EXPECT_FALSE(back.value().alive);
   EXPECT_EQ(back.value().successor, 3u);
+}
+
+TEST(ShardMapTest, ShardOfIsStableAndInRange) {
+  // shard_of must be a pure function of the address — every site computes
+  // the same shard with no coordination — and always land in range.
+  for (std::uint64_t v : {1ull, 2ull, 0x1234'5678ull, (1ull << 40) + 17,
+                          ~0ull}) {
+    GlobalAddress a{v};
+    std::uint32_t s = shard_of(a);
+    EXPECT_LT(s, kNumShards);
+    EXPECT_EQ(s, shard_of(a));
+  }
+}
+
+TEST(ShardMapTest, RendezvousTargetDeterministicAcrossViewOrder) {
+  // Two sites with the same membership view must agree on every shard's
+  // target regardless of the order their view happens to enumerate in.
+  std::vector<SiteId> view = {5, 2, 9, 14, 7};
+  std::vector<SiteId> shuffled = {14, 7, 2, 5, 9};
+  for (std::uint32_t s = 0; s < kNumShards; ++s) {
+    EXPECT_EQ(shard_target(s, view), shard_target(s, shuffled)) << s;
+  }
+}
+
+TEST(ShardMapTest, RendezvousRemovalOnlyMovesVictimsShards) {
+  // Consistent hashing's defining property: removing one site only moves
+  // the shards whose argmax it was; everything else keeps its target.
+  std::vector<SiteId> before = {1, 2, 3, 4, 5, 6};
+  for (SiteId removed : before) {
+    std::vector<SiteId> after;
+    for (SiteId id : before) {
+      if (id != removed) after.push_back(id);
+    }
+    for (std::uint32_t s = 0; s < kNumShards; ++s) {
+      SiteId t0 = shard_target(s, before);
+      SiteId t1 = shard_target(s, after);
+      if (t0 != removed) {
+        EXPECT_EQ(t1, t0) << "shard " << s << " moved although its target "
+                          << t0 << " survived removal of " << removed;
+      } else {
+        EXPECT_NE(t1, removed);
+      }
+    }
+  }
+}
+
+TEST(ShardMapTest, ShardHandoffRoundTrip) {
+  ShardHandoff h;
+  h.shard = 9;
+  h.epoch = 77;
+  h.entries.push_back(ShardDirEntry{GlobalAddress{0xABCD}, 3, ProgramId(2)});
+  h.entries.push_back(
+      ShardDirEntry{GlobalAddress{0x1234'5678}, 11, ProgramId(5)});
+  ByteWriter w;
+  h.serialize(w);
+  ByteReader r(w.bytes());
+  auto back = ShardHandoff::deserialize(r);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().shard, 9u);
+  EXPECT_EQ(back.value().epoch, 77u);
+  ASSERT_EQ(back.value().entries.size(), 2u);
+  EXPECT_EQ(back.value().entries[1].addr, GlobalAddress{0x1234'5678});
+  EXPECT_EQ(back.value().entries[1].owner, 11u);
+  EXPECT_EQ(back.value().entries[1].program, ProgramId(5));
+}
+
+TEST(ShardMapTest, ShardRegisterAndStaleRoundTrip) {
+  ShardRegister reg{GlobalAddress{42}, ProgramId(3), 8};
+  ByteWriter w1;
+  reg.serialize(w1);
+  ByteReader r1(w1.bytes());
+  auto reg2 = ShardRegister::deserialize(r1);
+  ASSERT_TRUE(reg2.is_ok());
+  EXPECT_EQ(reg2.value().addr, GlobalAddress{42});
+  EXPECT_EQ(reg2.value().program, ProgramId(3));
+  EXPECT_EQ(reg2.value().owner, 8u);
+
+  ShardStale st{12, 4, 19};
+  ByteWriter w2;
+  st.serialize(w2);
+  ByteReader r2(w2.bytes());
+  auto st2 = ShardStale::deserialize(r2);
+  ASSERT_TRUE(st2.is_ok());
+  EXPECT_EQ(st2.value().shard, 12u);
+  EXPECT_EQ(st2.value().holder, 4u);
+  EXPECT_EQ(st2.value().epoch, 19u);
+}
+
+TEST(ShardMapTest, ShardRecoverReplyRoundTrip) {
+  ShardRecoverReply rep;
+  rep.shard = 1;
+  rep.epoch = 5;
+  rep.entries.push_back(ShardDirEntry{GlobalAddress{7}, 2, ProgramId(1)});
+  ByteWriter w;
+  rep.serialize(w);
+  ByteReader r(w.bytes());
+  auto back = ShardRecoverReply::deserialize(r);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().shard, 1u);
+  EXPECT_EQ(back.value().epoch, 5u);
+  ASSERT_EQ(back.value().entries.size(), 1u);
+  EXPECT_EQ(back.value().entries[0].owner, 2u);
+}
+
+TEST(ShardMapTest, ShardRoutedRequestRoundTrip) {
+  ShardRoutedRequest req;
+  req.addr = GlobalAddress{0xDEAD'BEEF};
+  req.shard = shard_of(req.addr);
+  req.epoch = 123;
+  ByteWriter w;
+  req.serialize(w);
+  ByteReader r(w.bytes());
+  auto back = ShardRoutedRequest::deserialize(r);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().addr, GlobalAddress{0xDEAD'BEEF});
+  EXPECT_EQ(back.value().shard, req.shard);
+  EXPECT_EQ(back.value().epoch, 123u);
 }
 
 }  // namespace

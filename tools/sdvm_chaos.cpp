@@ -14,7 +14,8 @@
 //
 // --explore switches from random sampling to bounded systematic
 // exploration (chaos/explore.hpp): every distinct delivery interleaving
-// of a small sign-on / sign-off / checkpoint window, up to a depth bound.
+// of a small sign-on / sign-off / checkpoint / shard-handoff window, up
+// to a depth bound.
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -39,6 +40,7 @@ struct CliOptions {
   std::string state_dump;                             // postmortem output
   sdvm::chaos::GeneratorOptions generator;
   bool durable = false;
+  bool kill_lease_holders = false;
   double disk_fault_prob = 0.0;
   bool shrink = true;
   bool trace = false;
@@ -68,6 +70,10 @@ int usage(const char* argv0) {
       << "  --disk-faults F       with --durable: inject torn writes, bit\n"
       << "                        flips and dropped writes, each with\n"
       << "                        probability F per checkpoint put\n"
+      << "  --kill-lease-holders  re-target every kill/sign-off at the\n"
+      << "                        live site holding the most directory-\n"
+      << "                        shard leases (exercises shard handoff,\n"
+      << "                        takeover election and rebuild)\n"
       << "  --state-dump PATH     on failure, write the durable-store\n"
       << "                        postmortem (artifact names, sizes, CRC\n"
       << "                        validity per slot) to PATH\n"
@@ -81,15 +87,17 @@ int usage(const char* argv0) {
       << "                        random sweep: enumerate the delivery\n"
       << "                        interleavings of one protocol window on\n"
       << "                        a small cluster (--sites, default 3)\n"
-      << "  --explore-scenario S  sign-on | sign-off | checkpoint\n"
-      << "                        (default sign-off)\n"
+      << "  --explore-scenario S  sign-on | sign-off | checkpoint |\n"
+      << "                        shard-handoff (default sign-off)\n"
       << "  --explore-depth N     choice points that may branch "
       << "(default 12)\n"
       << "  --explore-runs N      hard cap on runs (default 20000)\n"
       << "  --explore-window-us N co-enabled delivery window in virtual\n"
       << "                        microseconds (default 200)\n"
-      << "  --explore-bug         arm the seeded departed-forwarding bug\n"
-      << "                        (the sign-off scenario must find it)\n";
+      << "  --explore-bug         arm the scenario's seeded bug: departed\n"
+      << "                        forwarding (sign-off) or stale-lease\n"
+      << "                        serving (shard-handoff); exploration\n"
+      << "                        must find the violating interleaving\n";
   return 2;
 }
 
@@ -133,6 +141,8 @@ int main(int argc, char** argv) {
       cli.generator.allow_partitions = true;
     } else if (arg == "--allow-home-faults") {
       cli.generator.allow_home_faults = true;
+    } else if (arg == "--kill-lease-holders") {
+      cli.kill_lease_holders = true;
     } else if (arg == "--durable") {
       cli.durable = true;
       cli.generator.allow_restarts = true;
@@ -199,6 +209,7 @@ int main(int argc, char** argv) {
   sdvm::chaos::HarnessOptions harness_options;
   harness_options.allow_home_faults = cli.generator.allow_home_faults;
   harness_options.durable_state = cli.durable;
+  harness_options.prefer_lease_holder_kills = cli.kill_lease_holders;
   if (cli.disk_fault_prob > 0.0) {
     harness_options.disk_faults.torn_write = cli.disk_fault_prob;
     harness_options.disk_faults.bit_flip = cli.disk_fault_prob;

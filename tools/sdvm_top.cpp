@@ -30,16 +30,21 @@ void print_table(const ClusterStatus& cs, const std::string& join_addr,
     std::printf(" (%zu unreachable)", cs.unreachable.size());
   }
   std::printf(" ===\n");
-  std::printf("%6s %-12s %-14s %6s | %7s %7s %9s %9s | %6s %8s %7s\n",
+  std::printf("%6s %-12s %-14s %6s | %7s %7s %9s %9s | %6s %8s %7s | "
+              "%6s %7s %5s\n",
               "site", "name", "platform", "speed", "queued", "running",
-              "executed", "programs", "epoch", "replicas", "badckpt");
+              "executed", "programs", "epoch", "replicas", "badckpt",
+              "shards", "handoff", "stale");
   for (const SiteStatus& s : cs.sites) {
     // Durability health: last committed epoch, replica shards persisted
     // here, and checkpoint artifacts rejected by the CRC framing. A rising
     // badckpt on one site means its disk (or fault injector) is eating
-    // epochs while the replicas keep recovery possible.
+    // epochs while the replicas keep recovery possible. The shard block is
+    // directory authority: leases held now, lifetime handoffs away, and
+    // stale-epoch rejects (a persistent riser means some peer keeps
+    // routing on an outdated shard map).
     std::printf("%6u %-12s %-14s %6.1f | %7u %7u %9llu %9u | %6lld %8llu "
-                "%7lld%s\n",
+                "%7lld | %6lld %7llu %5llu%s\n",
                 s.id, s.name.c_str(), s.platform.c_str(), s.speed,
                 s.load.queued_frames, s.load.running,
                 static_cast<unsigned long long>(s.load.executed_total),
@@ -50,12 +55,24 @@ void print_table(const ClusterStatus& cs, const std::string& join_addr,
                     s.metrics.counter("crash.replicas_persisted")),
                 static_cast<long long>(
                     s.metrics.gauge_value("crash.disk_corrupt_skipped")),
+                static_cast<long long>(
+                    s.metrics.gauge_value("dir.shards_held")),
+                static_cast<unsigned long long>(
+                    s.metrics.counter("dir.shard_handoffs")),
+                static_cast<unsigned long long>(
+                    s.metrics.counter("dir.stale_epoch_rejects")),
                 s.id == self          ? "  (this monitor)"
                 : s.code_site         ? "  [code site]"
                                       : "");
     if (std::int64_t ms = s.metrics.gauge_value("crash.recovery_ms");
         ms > 0) {
       std::printf("%6s last recovery fan-out on this site took %lld ms\n",
+                  "", static_cast<long long>(ms));
+    }
+    if (std::int64_t ms = s.metrics.gauge_value("dir.shard_rebuild_ms");
+        ms > 0) {
+      std::printf("%6s last shard-directory rebuild on this site took "
+                  "%lld ms\n",
                   "", static_cast<long long>(ms));
     }
   }
