@@ -1,10 +1,20 @@
 // sdvm-mcc: the MicroC compiler as a standalone tool. Compiles a
-// microthread source file (or a built-in sample) to bytecode, prints the
-// disassembly, and optionally runs it with stub intrinsics — handy when
-// developing SDVM applications.
+// microthread source file (or a built-in sample) to bytecode and
+// optionally runs it with stub intrinsics — handy when developing SDVM
+// applications.
 //
-//   $ ./mcc [file.mc]
+//   $ ./mcc [flags] [file.mc]
+//
+//   --dump-ast       print the typed AST (post-typecheck)
+//   --dump-ir        print the optimizer's IR listing and pass statistics
+//   --dump-bytecode  print the bytecode disassembly
+//   --no-opt         disable the IR optimizer (ablation / debugging)
+//   --no-run         compile only, skip the stub-intrinsic execution
+//
+// Compile errors are reported as `file:line:col: message` followed by the
+// offending source line and a caret marking the column.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -74,40 +84,103 @@ class StubHandler : public microc::IntrinsicHandler {
   std::vector<std::vector<std::int64_t>> heap_;
 };
 
+/// `file:line:col: message` plus the offending line with a caret.
+void print_diagnostic(const std::string& file, const std::string& source,
+                      const microc::CompileError& err) {
+  std::fprintf(stderr, "%s:%d:%d: error: %s\n", file.c_str(), err.line,
+               err.column, err.message.c_str());
+  std::istringstream ss(source);
+  std::string line;
+  for (int i = 0; i < err.line && std::getline(ss, line); ++i) {
+  }
+  if (err.line > 0 && !line.empty()) {
+    std::fprintf(stderr, "  %s\n", line.c_str());
+    std::string pad;
+    for (int i = 1; i < err.column && i <= static_cast<int>(line.size());
+         ++i) {
+      pad += line[static_cast<std::size_t>(i) - 1] == '\t' ? '\t' : ' ';
+    }
+    std::fprintf(stderr, "  %s^\n", pad.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool dump_ast = false, dump_ir = false, dump_bytecode = false;
+  bool run = true;
+  microc::CompileOptions options;
+  std::string file;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dump-ast") == 0) {
+      dump_ast = true;
+    } else if (std::strcmp(argv[i], "--dump-ir") == 0) {
+      dump_ir = true;
+    } else if (std::strcmp(argv[i], "--dump-bytecode") == 0) {
+      dump_bytecode = true;
+    } else if (std::strcmp(argv[i], "--no-opt") == 0) {
+      options.optimize = false;
+    } else if (std::strcmp(argv[i], "--no-run") == 0) {
+      run = false;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: mcc [--dump-ast] [--dump-ir] [--dump-bytecode] "
+                  "[--no-opt] [--no-run] [file.mc]\n");
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
+      return 2;
+    } else {
+      file = argv[i];
+    }
+  }
+
   std::string source;
   std::string name = "sample";
-  if (argc > 1) {
-    std::ifstream in(argv[1]);
+  if (!file.empty()) {
+    std::ifstream in(file);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
       return 1;
     }
     std::ostringstream ss;
     ss << in.rdbuf();
     source = ss.str();
-    name = argv[1];
+    name = file;
   } else {
     source = kSample;
     std::printf("(no input file; compiling the built-in sample)\n");
   }
 
-  auto prog = microc::compile(source, name);
+  microc::CompileError error;
+  microc::CompileArtifacts artifacts;
+  auto prog = microc::compile(source, name, options, &error, &artifacts);
   if (!prog.is_ok()) {
-    std::fprintf(stderr, "compile error: %s\n",
-                 prog.status().to_string().c_str());
+    print_diagnostic(file.empty() ? "<sample>" : file, source, error);
     return 1;
   }
 
-  auto artifact = prog.value().serialize();
-  std::printf("\ncompiled '%s': %zu bytes of bytecode, %u locals, "
-              "%zu-byte artifact\n\n", name.c_str(), prog.value().code.size(),
-              prog.value().local_count, artifact.size());
-  std::printf("%s\n", microc::disassemble(prog.value()).c_str());
+  if (dump_ast) {
+    std::printf("--- typed AST ---\n%s\n", artifacts.ast.c_str());
+  }
+  if (dump_ir) {
+    if (!artifacts.opt_stats.empty()) {
+      std::printf("--- optimizer: %s ---\n", artifacts.opt_stats.c_str());
+    }
+    std::printf("--- IR ---\n%s\n", artifacts.ir.c_str());
+  }
 
-  std::printf("running with stub intrinsics:\n");
+  auto artifact = prog.value().serialize();
+  std::printf("compiled '%s'%s: %zu bytes of bytecode, %u locals, "
+              "%zu-byte artifact\n", name.c_str(),
+              options.optimize ? "" : " (unoptimized)",
+              prog.value().code.size(), prog.value().local_count,
+              artifact.size());
+  if (dump_bytecode) {
+    std::printf("\n%s\n", microc::disassemble(prog.value()).c_str());
+  }
+
+  if (!run) return 0;
+  std::printf("\nrunning with stub intrinsics:\n");
   StubHandler handler;
   auto result = microc::Vm::run(prog.value(), handler);
   if (!result.status.is_ok()) {

@@ -1,0 +1,107 @@
+#include "microc/ast.hpp"
+
+#include <sstream>
+
+#include "microc/bytecode.hpp"
+
+namespace sdvm::microc {
+
+const char* to_string(Type t) {
+  switch (t) {
+    case Type::kInt: return "int";
+    case Type::kStr: return "string";
+    case Type::kVoid: return "void";
+  }
+  return "?";
+}
+
+namespace {
+
+void dump_expr(std::ostringstream& os, const Expr& e, int depth) {
+  os << std::string(static_cast<std::size_t>(depth) * 2, ' ');
+  switch (e.kind) {
+    case ExprKind::kIntLiteral:
+      os << "int " << e.int_value << "\n";
+      return;
+    case ExprKind::kStringLiteral:
+      os << "string \"" << e.name << "\"\n";
+      return;
+    case ExprKind::kVariable:
+      os << "var " << e.name;
+      if (e.slot >= 0) os << " [slot " << e.slot << "]";
+      os << "\n";
+      return;
+    case ExprKind::kUnary:
+      os << "unary " << to_string(e.op) << "\n";
+      break;
+    case ExprKind::kBinary:
+      os << "binary " << to_string(e.op) << "\n";
+      break;
+    case ExprKind::kCall:
+      os << "call " << e.name;
+      if (e.intrinsic != nullptr) {
+        os << " -> " << to_string(e.type);
+      }
+      os << "\n";
+      break;
+  }
+  for (const auto& c : e.children) dump_expr(os, *c, depth + 1);
+}
+
+void dump_stmt(std::ostringstream& os, const Stmt& s, int depth) {
+  std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  os << pad;
+  switch (s.kind) {
+    case StmtKind::kVarDecl:
+      os << "decl " << s.name;
+      if (s.slot >= 0) os << " [slot " << s.slot << "]";
+      os << " (line " << s.line << ")\n";
+      dump_expr(os, *s.expr, depth + 1);
+      return;
+    case StmtKind::kAssign:
+      os << "assign " << s.name;
+      if (s.slot >= 0) os << " [slot " << s.slot << "]";
+      os << " (line " << s.line << ")\n";
+      dump_expr(os, *s.expr, depth + 1);
+      return;
+    case StmtKind::kIf:
+      os << "if (line " << s.line << ")\n";
+      dump_expr(os, *s.expr, depth + 1);
+      os << pad << "then:\n";
+      for (const auto& b : s.body) dump_stmt(os, *b, depth + 1);
+      if (!s.else_body.empty()) {
+        os << pad << "else:\n";
+        for (const auto& b : s.else_body) dump_stmt(os, *b, depth + 1);
+      }
+      return;
+    case StmtKind::kWhile:
+      os << "while (line " << s.line << ")\n";
+      dump_expr(os, *s.expr, depth + 1);
+      for (const auto& b : s.body) dump_stmt(os, *b, depth + 1);
+      return;
+    case StmtKind::kFor:
+      os << "for (line " << s.line << ")\n";
+      if (s.init) dump_stmt(os, *s.init, depth + 1);
+      if (s.expr) dump_expr(os, *s.expr, depth + 1);
+      if (s.step) dump_stmt(os, *s.step, depth + 1);
+      for (const auto& b : s.body) dump_stmt(os, *b, depth + 1);
+      return;
+    case StmtKind::kBreak: os << "break\n"; return;
+    case StmtKind::kContinue: os << "continue\n"; return;
+    case StmtKind::kReturn: os << "return\n"; return;
+    case StmtKind::kExpr:
+      os << "expr (line " << s.line << ")\n";
+      dump_expr(os, *s.expr, depth + 1);
+      return;
+  }
+}
+
+}  // namespace
+
+std::string dump_ast(const Unit& unit) {
+  std::ostringstream os;
+  for (const auto& s : unit.statements) dump_stmt(os, *s, 0);
+  return os.str();
+}
+
+}  // namespace sdvm::microc

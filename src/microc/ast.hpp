@@ -1,5 +1,10 @@
 // MicroC abstract syntax tree. One source unit is the body of one
 // microthread: a statement list over int64 locals plus SDVM intrinsics.
+//
+// The parser produces a plain syntactic tree; the typechecker pass
+// (typecheck.hpp) annotates it in place — every expression gets a Type,
+// every variable reference a resolved local slot, every call a resolved
+// intrinsic — so the lowering stage never does name lookups.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +15,14 @@
 #include "microc/token.hpp"
 
 namespace sdvm::microc {
+
+struct IntrinsicInfo;
+
+/// MicroC's whole type system: int64 values, string literals (only legal
+/// as intrinsic arguments), and void (intrinsics without a result).
+enum class Type : std::uint8_t { kInt, kStr, kVoid };
+
+[[nodiscard]] const char* to_string(Type t);
 
 struct Expr;
 using ExprPtr = std::unique_ptr<Expr>;
@@ -26,6 +39,7 @@ enum class ExprKind : std::uint8_t {
 struct Expr {
   ExprKind kind;
   int line = 0;
+  int column = 0;
 
   // kIntLiteral
   std::int64_t int_value = 0;
@@ -35,6 +49,11 @@ struct Expr {
   Tok op = Tok::kEof;
   // operands / call arguments
   std::vector<ExprPtr> children;
+
+  // --- typechecker annotations -----------------------------------------
+  Type type = Type::kInt;               // result type of this expression
+  std::int32_t slot = -1;               // kVariable: resolved local slot
+  const IntrinsicInfo* intrinsic = nullptr;  // kCall: resolved intrinsic
 };
 
 struct Stmt;
@@ -55,6 +74,7 @@ enum class StmtKind : std::uint8_t {
 struct Stmt {
   StmtKind kind;
   int line = 0;
+  int column = 0;
 
   std::string name;               // kVarDecl / kAssign target
   ExprPtr expr;                   // initializer / rhs / condition / call
@@ -62,10 +82,17 @@ struct Stmt {
   std::vector<StmtPtr> else_body; // kIf only
   StmtPtr init;                   // kFor only
   StmtPtr step;                   // kFor only
+
+  // --- typechecker annotations -----------------------------------------
+  std::int32_t slot = -1;         // kVarDecl / kAssign: resolved local slot
 };
 
 struct Unit {
   std::vector<StmtPtr> statements;
 };
+
+/// Human-readable tree listing for `sdvm-mcc --dump-ast`. Shows resolved
+/// slots and types when the unit has been typechecked.
+[[nodiscard]] std::string dump_ast(const Unit& unit);
 
 }  // namespace sdvm::microc

@@ -7,21 +7,21 @@ namespace sdvm::microc {
 
 namespace {
 constexpr std::array<IntrinsicInfo, 15> kIntrinsics = {{
-    {Intrinsic::kParam, "param", 1, true},
-    {Intrinsic::kNumParams, "nparams", 0, true},
-    {Intrinsic::kSpawn, "spawn", 2, true},
-    {Intrinsic::kSend, "send", 3, false},
-    {Intrinsic::kAlloc, "alloc", 1, true},
-    {Intrinsic::kLoad, "load", 2, true},
-    {Intrinsic::kStore, "store", 3, false},
-    {Intrinsic::kOut, "out", 1, false},
-    {Intrinsic::kOutStr, "outs", 1, false},
-    {Intrinsic::kCharge, "charge", 1, false},
-    {Intrinsic::kSelfSite, "selfsite", 0, true},
-    {Intrinsic::kArg, "arg", 1, true},
-    {Intrinsic::kNumArgs, "nargs", 0, true},
-    {Intrinsic::kExit, "exit", 1, false},
-    {Intrinsic::kSpawnP, "spawnp", 3, true},
+    {Intrinsic::kParam, "param", 1, true, "i"},
+    {Intrinsic::kNumParams, "nparams", 0, true, ""},
+    {Intrinsic::kSpawn, "spawn", 2, true, "si"},
+    {Intrinsic::kSend, "send", 3, false, "iii"},
+    {Intrinsic::kAlloc, "alloc", 1, true, "i"},
+    {Intrinsic::kLoad, "load", 2, true, "ii"},
+    {Intrinsic::kStore, "store", 3, false, "iii"},
+    {Intrinsic::kOut, "out", 1, false, "i"},
+    {Intrinsic::kOutStr, "outs", 1, false, "s"},
+    {Intrinsic::kCharge, "charge", 1, false, "i"},
+    {Intrinsic::kSelfSite, "selfsite", 0, true, ""},
+    {Intrinsic::kArg, "arg", 1, true, "i"},
+    {Intrinsic::kNumArgs, "nargs", 0, true, ""},
+    {Intrinsic::kExit, "exit", 1, false, "i"},
+    {Intrinsic::kSpawnP, "spawnp", 3, true, "sii"},
 }};
 }  // namespace
 

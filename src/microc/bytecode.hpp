@@ -58,6 +58,9 @@ struct IntrinsicInfo {
   const char* name;
   int arity;
   bool returns_value;
+  /// Per-argument types for the typechecker: 'i' = int, 's' = string
+  /// literal. Exactly `arity` characters.
+  const char* arg_types;
 };
 
 /// Table of all intrinsics; nullptr-name terminated lookup by name.

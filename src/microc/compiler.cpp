@@ -1,330 +1,40 @@
 #include "microc/compiler.hpp"
 
-#include <unordered_map>
-
+#include "microc/ir.hpp"
 #include "microc/parser.hpp"
+#include "microc/typecheck.hpp"
 
 namespace sdvm::microc {
 
-namespace {
-
-class SemanticError : public std::exception {
- public:
-  explicit SemanticError(CompileError e) : error(std::move(e)) {}
-  const char* what() const noexcept override { return error.message.c_str(); }
-  CompileError error;
-};
-
-class CodeGen {
- public:
-  Program generate(const Unit& unit, std::string name) {
-    prog_.name = std::move(name);
-    for (const auto& s : unit.statements) gen_stmt(*s);
-    emit(Op::kReturn);  // implicit return at end of body
-    prog_.local_count = static_cast<std::uint16_t>(locals_.size());
-    return std::move(prog_);
-  }
-
- private:
-  [[noreturn]] void fail(int line, std::string msg) {
-    throw SemanticError(CompileError{std::move(msg), line, 0});
-  }
-
-  void emit(Op op) { prog_.code.push_back(std::byte{static_cast<std::uint8_t>(op)}); }
-  void emit_u8(std::uint8_t v) { prog_.code.push_back(std::byte{v}); }
-  void emit_u16(std::uint16_t v) {
-    emit_u8(static_cast<std::uint8_t>(v));
-    emit_u8(static_cast<std::uint8_t>(v >> 8));
-  }
-  void emit_u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) emit_u8(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void emit_i64(std::int64_t v) {
-    auto u = static_cast<std::uint64_t>(v);
-    for (int i = 0; i < 8; ++i) emit_u8(static_cast<std::uint8_t>(u >> (8 * i)));
-  }
-
-  std::size_t here() const { return prog_.code.size(); }
-
-  /// Emits a jump with a placeholder offset; returns patch position.
-  std::size_t emit_jump(Op op) {
-    emit(op);
-    std::size_t pos = here();
-    emit_u32(0);
-    return pos;
-  }
-
-  /// Patches the i32 at `pos` to jump to the current position (relative to
-  /// the instruction end, i.e. pos + 4).
-  void patch_jump(std::size_t pos) {
-    auto rel = static_cast<std::int32_t>(here() - (pos + 4));
-    auto u = static_cast<std::uint32_t>(rel);
-    for (int i = 0; i < 4; ++i) {
-      prog_.code[pos + static_cast<std::size_t>(i)] =
-          std::byte{static_cast<std::uint8_t>(u >> (8 * i))};
-    }
-  }
-
-  void emit_jump_back(Op op, std::size_t target) {
-    emit(op);
-    auto rel = static_cast<std::int32_t>(target - (here() + 4));
-    emit_u32(static_cast<std::uint32_t>(rel));
-  }
-
-  /// Patches the i32 at `pos` to jump to `target` (any direction).
-  void patch_jump_to(std::size_t pos, std::size_t target) {
-    auto rel = static_cast<std::int32_t>(static_cast<std::int64_t>(target) -
-                                         static_cast<std::int64_t>(pos + 4));
-    auto u = static_cast<std::uint32_t>(rel);
-    for (int i = 0; i < 4; ++i) {
-      prog_.code[pos + static_cast<std::size_t>(i)] =
-          std::byte{static_cast<std::uint8_t>(u >> (8 * i))};
-    }
-  }
-
-  std::uint16_t local_slot(const std::string& name, int line,
-                           bool must_exist) {
-    auto it = locals_.find(name);
-    if (it != locals_.end()) return it->second;
-    if (must_exist) fail(line, "use of undeclared variable '" + name + "'");
-    auto slot = static_cast<std::uint16_t>(locals_.size());
-    if (locals_.size() >= 0xFFFF) fail(line, "too many locals");
-    locals_.emplace(name, slot);
-    return slot;
-  }
-
-  std::uint32_t intern_string(const std::string& s) {
-    for (std::size_t i = 0; i < prog_.string_pool.size(); ++i) {
-      if (prog_.string_pool[i] == s) return static_cast<std::uint32_t>(i);
-    }
-    prog_.string_pool.push_back(s);
-    return static_cast<std::uint32_t>(prog_.string_pool.size() - 1);
-  }
-
-  void gen_stmt(const Stmt& s) {
-    switch (s.kind) {
-      case StmtKind::kVarDecl: {
-        if (locals_.contains(s.name)) {
-          fail(s.line, "redeclaration of '" + s.name + "'");
-        }
-        gen_expr(*s.expr, /*want_value=*/true);
-        emit(Op::kStoreLocal);
-        emit_u16(local_slot(s.name, s.line, /*must_exist=*/false));
-        break;
-      }
-      case StmtKind::kAssign: {
-        gen_expr(*s.expr, true);
-        emit(Op::kStoreLocal);
-        emit_u16(local_slot(s.name, s.line, /*must_exist=*/true));
-        break;
-      }
-      case StmtKind::kIf: {
-        gen_expr(*s.expr, true);
-        std::size_t to_else = emit_jump(Op::kJz);
-        for (const auto& b : s.body) gen_stmt(*b);
-        if (s.else_body.empty()) {
-          patch_jump(to_else);
-        } else {
-          std::size_t to_end = emit_jump(Op::kJmp);
-          patch_jump(to_else);
-          for (const auto& b : s.else_body) gen_stmt(*b);
-          patch_jump(to_end);
-        }
-        break;
-      }
-      case StmtKind::kWhile: {
-        std::size_t top = here();
-        gen_expr(*s.expr, true);
-        std::size_t to_exit = emit_jump(Op::kJz);
-        loops_.push_back(LoopCtx{top, {}});
-        for (const auto& b : s.body) gen_stmt(*b);
-        emit_jump_back(Op::kJmp, top);
-        patch_jump(to_exit);
-        for (std::size_t pos : loops_.back().break_patches) patch_jump(pos);
-        loops_.pop_back();
-        break;
-      }
-      case StmtKind::kFor: {
-        if (s.init) gen_stmt(*s.init);
-        std::size_t top = here();
-        std::size_t to_exit = 0;
-        bool has_cond = s.expr != nullptr;
-        if (has_cond) {
-          gen_expr(*s.expr, true);
-          to_exit = emit_jump(Op::kJz);
-        }
-        // `continue` must run the step, so the loop context records a
-        // pending target that is patched once the step's position is known.
-        loops_.push_back(LoopCtx{kPendingTarget, {}});
-        for (const auto& b : s.body) gen_stmt(*b);
-        std::size_t step_at = here();
-        if (s.step) gen_stmt(*s.step);
-        emit_jump_back(Op::kJmp, top);
-        if (has_cond) patch_jump(to_exit);
-        for (std::size_t pos : loops_.back().break_patches) patch_jump(pos);
-        for (std::size_t pos : loops_.back().continue_patches) {
-          patch_jump_to(pos, step_at);
-        }
-        loops_.pop_back();
-        break;
-      }
-      case StmtKind::kBreak: {
-        if (loops_.empty()) fail(s.line, "'break' outside a loop");
-        loops_.back().break_patches.push_back(emit_jump(Op::kJmp));
-        break;
-      }
-      case StmtKind::kContinue: {
-        if (loops_.empty()) fail(s.line, "'continue' outside a loop");
-        LoopCtx& loop = loops_.back();
-        if (loop.continue_target == kPendingTarget) {
-          loop.continue_patches.push_back(emit_jump(Op::kJmp));
-        } else {
-          emit_jump_back(Op::kJmp, loop.continue_target);
-        }
-        break;
-      }
-      case StmtKind::kReturn:
-        emit(Op::kReturn);
-        break;
-      case StmtKind::kExpr: {
-        bool pushed = gen_expr(*s.expr, /*want_value=*/false);
-        if (pushed) emit(Op::kPop);
-        break;
-      }
-    }
-  }
-
-  /// Generates code for an expression. Returns whether a value is left on
-  /// the stack (intrinsics without results leave none).
-  bool gen_expr(const Expr& e, bool want_value) {
-    switch (e.kind) {
-      case ExprKind::kIntLiteral:
-        emit(Op::kPushInt);
-        emit_i64(e.int_value);
-        return true;
-      case ExprKind::kStringLiteral:
-        fail(e.line, "string literal only allowed as intrinsic argument");
-      case ExprKind::kVariable: {
-        emit(Op::kLoadLocal);
-        emit_u16(local_slot(e.name, e.line, /*must_exist=*/true));
-        return true;
-      }
-      case ExprKind::kUnary: {
-        gen_expr(*e.children[0], true);
-        switch (e.op) {
-          case Tok::kMinus: emit(Op::kNeg); break;
-          case Tok::kBang: emit(Op::kLogicalNot); break;
-          case Tok::kTilde: emit(Op::kBitNot); break;
-          default: fail(e.line, "bad unary operator");
-        }
-        return true;
-      }
-      case ExprKind::kBinary:
-        return gen_binary(e);
-      case ExprKind::kCall:
-        return gen_call(e, want_value);
-    }
-    fail(e.line, "unreachable expression kind");
-  }
-
-  bool gen_binary(const Expr& e) {
-    // Short-circuit logical operators.
-    if (e.op == Tok::kAmpAmp || e.op == Tok::kPipePipe) {
-      gen_expr(*e.children[0], true);
-      // Normalize to 0/1 so the result is boolean regardless of branch.
-      emit(Op::kLogicalNot);
-      emit(Op::kLogicalNot);
-      emit(Op::kDup);
-      std::size_t skip =
-          emit_jump(e.op == Tok::kAmpAmp ? Op::kJz : Op::kJnz);
-      emit(Op::kPop);
-      gen_expr(*e.children[1], true);
-      emit(Op::kLogicalNot);
-      emit(Op::kLogicalNot);
-      patch_jump(skip);
-      return true;
-    }
-
-    gen_expr(*e.children[0], true);
-    gen_expr(*e.children[1], true);
-    switch (e.op) {
-      case Tok::kPlus: emit(Op::kAdd); break;
-      case Tok::kMinus: emit(Op::kSub); break;
-      case Tok::kStar: emit(Op::kMul); break;
-      case Tok::kSlash: emit(Op::kDiv); break;
-      case Tok::kPercent: emit(Op::kMod); break;
-      case Tok::kEq: emit(Op::kEq); break;
-      case Tok::kNe: emit(Op::kNe); break;
-      case Tok::kLt: emit(Op::kLt); break;
-      case Tok::kLe: emit(Op::kLe); break;
-      case Tok::kGt: emit(Op::kGt); break;
-      case Tok::kGe: emit(Op::kGe); break;
-      case Tok::kAmp: emit(Op::kBitAnd); break;
-      case Tok::kPipe: emit(Op::kBitOr); break;
-      case Tok::kCaret: emit(Op::kBitXor); break;
-      case Tok::kShl: emit(Op::kShl); break;
-      case Tok::kShr: emit(Op::kShr); break;
-      default: fail(e.line, "bad binary operator");
-    }
-    return true;
-  }
-
-  bool gen_call(const Expr& e, bool want_value) {
-    const IntrinsicInfo* info = find_intrinsic(e.name);
-    if (info == nullptr) {
-      fail(e.line, "unknown function '" + e.name +
-                       "' (MicroC has intrinsics only)");
-    }
-    if (static_cast<int>(e.children.size()) != info->arity) {
-      fail(e.line, "'" + e.name + "' expects " +
-                       std::to_string(info->arity) + " argument(s), got " +
-                       std::to_string(e.children.size()));
-    }
-    for (const auto& arg : e.children) {
-      if (arg->kind == ExprKind::kStringLiteral) {
-        emit(Op::kPushStr);
-        emit_u32(intern_string(arg->name));
-      } else {
-        gen_expr(*arg, true);
-      }
-    }
-    emit(Op::kIntrinsic);
-    emit_u8(static_cast<std::uint8_t>(info->id));
-    emit_u8(static_cast<std::uint8_t>(info->arity));
-    if (!info->returns_value && want_value) {
-      fail(e.line, "'" + e.name + "' returns no value");
-    }
-    return info->returns_value;
-  }
-
-  /// Enclosing-loop bookkeeping for break/continue. `continue_target` is
-  /// the loop top for while-loops; for-loops resolve it late (the step
-  /// block's position), marked by kPendingTarget.
-  static constexpr std::size_t kPendingTarget = static_cast<std::size_t>(-1);
-  struct LoopCtx {
-    std::size_t continue_target;
-    std::vector<std::size_t> break_patches;
-    std::vector<std::size_t> continue_patches;
-  };
-
-  Program prog_;
-  std::unordered_map<std::string, std::uint16_t> locals_;
-  std::vector<LoopCtx> loops_;
-};
-
-}  // namespace
-
-Result<Program> compile(std::string_view source, std::string name) {
+Result<Program> compile(std::string_view source, std::string name,
+                        const CompileOptions& options,
+                        CompileError* error_out,
+                        CompileArtifacts* artifacts) {
   try {
     Unit unit = parse(source);
-    return CodeGen{}.generate(unit, std::move(name));
+    TypeckResult types = typecheck(unit);
+    if (artifacts != nullptr) artifacts->ast = dump_ast(unit);
+    IrFunction f = lower(unit, types);
+    if (options.optimize) {
+      OptStats stats = optimize(f);
+      if (artifacts != nullptr) artifacts->opt_stats = stats.to_string();
+    }
+    if (artifacts != nullptr) artifacts->ir = to_string(f);
+    return emit(f, std::move(name));
   } catch (const LexError& e) {
+    if (error_out != nullptr) *error_out = e.error;
     return Status::error(ErrorCode::kInvalidArgument, e.error.to_string());
   } catch (const ParseError& e) {
+    if (error_out != nullptr) *error_out = e.error;
     return Status::error(ErrorCode::kInvalidArgument, e.error.to_string());
-  } catch (const SemanticError& e) {
+  } catch (const TypeError& e) {
+    if (error_out != nullptr) *error_out = e.error;
     return Status::error(ErrorCode::kInvalidArgument, e.error.to_string());
   }
+}
+
+Result<Program> compile(std::string_view source, std::string name) {
+  return compile(source, std::move(name), CompileOptions{});
 }
 
 }  // namespace sdvm::microc

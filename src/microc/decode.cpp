@@ -1,0 +1,330 @@
+#include "microc/decode.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace sdvm::microc {
+
+namespace {
+
+class BadBytecode : public std::exception {
+ public:
+  explicit BadBytecode(std::string msg) : msg_(std::move(msg)) {}
+  const char* what() const noexcept override { return msg_.c_str(); }
+
+ private:
+  std::string msg_;
+};
+
+[[noreturn]] void bad(std::string msg) { throw BadBytecode(std::move(msg)); }
+
+bool is_cmp(DOp op) {
+  return op == DOp::kEq || op == DOp::kNe || op == DOp::kLt ||
+         op == DOp::kLe || op == DOp::kGt || op == DOp::kGe;
+}
+
+bool is_jump(DOp op) {
+  return op == DOp::kJmp || op == DOp::kJz || op == DOp::kJnz ||
+         (op >= DOp::kEqJz && op <= DOp::kGeJz);
+}
+
+/// Stack effect of a (pre-fusion) decoded op: operands required and net
+/// depth change.
+struct Effect {
+  int need;
+  int delta;
+};
+
+Effect effect_of(const DInst& inst) {
+  switch (inst.op) {
+    case DOp::kConst:
+    case DOp::kConstStr:
+    case DOp::kLoad:
+      return {0, 1};
+    case DOp::kDup:
+      return {1, 1};
+    case DOp::kStore:
+    case DOp::kPop:
+    case DOp::kJz:
+    case DOp::kJnz:
+      return {1, -1};
+    case DOp::kNeg:
+    case DOp::kBitNot:
+    case DOp::kLogicalNot:
+      return {1, 0};
+    case DOp::kJmp:
+    case DOp::kRet:
+      return {0, 0};
+    case DOp::kAdd: case DOp::kSub: case DOp::kMul: case DOp::kDiv:
+    case DOp::kMod:
+    case DOp::kEq: case DOp::kNe: case DOp::kLt: case DOp::kLe:
+    case DOp::kGt: case DOp::kGe:
+    case DOp::kBitAnd: case DOp::kBitOr: case DOp::kBitXor:
+    case DOp::kShl: case DOp::kShr:
+      return {2, -1};
+    default: {
+      // Per-intrinsic ops (fusion runs after verification).
+      auto id = static_cast<Intrinsic>(static_cast<int>(inst.op) -
+                                       static_cast<int>(DOp::kParam));
+      const IntrinsicInfo& info = intrinsic_info(id);
+      return {info.arity, (info.returns_value ? 1 : 0) - info.arity};
+    }
+  }
+}
+
+class Decoder {
+ public:
+  explicit Decoder(const Program& p) : p_(p) {}
+
+  DecodedProgram run(bool fuse) {
+    scan();
+    resolve_jumps();
+    DecodedProgram out;
+    out.max_stack = verify_stack();
+    out.insts = fuse ? fused() : std::move(raw_);
+    return out;
+  }
+
+ private:
+  std::uint8_t u8() {
+    if (pc_ >= p_.code.size()) bad("truncated instruction");
+    return static_cast<std::uint8_t>(p_.code[pc_++]);
+  }
+  std::uint16_t u16() {
+    std::uint16_t lo = u8();
+    return static_cast<std::uint16_t>(lo | (std::uint16_t{u8()} << 8));
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{u8()} << (8 * i);
+    return v;
+  }
+  std::int64_t i64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{u8()} << (8 * i);
+    return static_cast<std::int64_t>(v);
+  }
+
+  std::uint16_t slot() {
+    std::uint16_t s = u16();
+    if (s >= p_.local_count) bad("local slot out of range");
+    return s;
+  }
+
+  /// Pass 1: linear scan. Validates opcodes and operands, records the
+  /// byte offset of every instruction.
+  void scan() {
+    while (pc_ < p_.code.size()) {
+      std::size_t at = pc_;
+      index_at_[at] = static_cast<std::uint32_t>(raw_.size());
+      Op op = static_cast<Op>(u8());
+      DInst inst{DOp::kRet, 1, 0, 0, 0};
+      switch (op) {
+        case Op::kPushInt:
+          inst.op = DOp::kConst;
+          inst.imm = i64();
+          break;
+        case Op::kPushStr:
+          inst.op = DOp::kConstStr;
+          inst.b = u32();
+          if (inst.b >= p_.string_pool.size()) {
+            bad("string pool index out of range");
+          }
+          break;
+        case Op::kLoadLocal:
+          inst.op = DOp::kLoad;
+          inst.a = slot();
+          break;
+        case Op::kStoreLocal:
+          inst.op = DOp::kStore;
+          inst.a = slot();
+          break;
+        case Op::kJmp:
+        case Op::kJz:
+        case Op::kJnz: {
+          inst.op = op == Op::kJmp   ? DOp::kJmp
+                    : op == Op::kJz ? DOp::kJz
+                                    : DOp::kJnz;
+          auto rel = static_cast<std::int32_t>(u32());
+          auto target = static_cast<std::int64_t>(pc_) + rel;
+          if (target < 0 ||
+              target > static_cast<std::int64_t>(p_.code.size())) {
+            bad("jump out of range");
+          }
+          pending_.push_back(
+              {static_cast<std::uint32_t>(raw_.size()),
+               static_cast<std::size_t>(target)});
+          break;
+        }
+        case Op::kIntrinsic: {
+          std::uint8_t id = u8();
+          std::uint8_t argc = u8();
+          if (id > static_cast<std::uint8_t>(Intrinsic::kSpawnP)) {
+            bad("unknown intrinsic id");
+          }
+          const IntrinsicInfo& info =
+              intrinsic_info(static_cast<Intrinsic>(id));
+          if (argc != info.arity) bad("intrinsic arity mismatch");
+          inst.op = static_cast<DOp>(static_cast<int>(DOp::kParam) + id);
+          break;
+        }
+        default: {
+          auto raw_op = static_cast<std::uint8_t>(op);
+          if (raw_op > static_cast<std::uint8_t>(Op::kReturn)) {
+            bad("illegal opcode");
+          }
+          // Op and DOp share the same numeric layout up through kPop.
+          static_assert(static_cast<int>(Op::kAdd) ==
+                        static_cast<int>(DOp::kAdd));
+          static_assert(static_cast<int>(Op::kLogicalNot) ==
+                        static_cast<int>(DOp::kLogicalNot));
+          static_assert(static_cast<int>(Op::kPop) ==
+                        static_cast<int>(DOp::kPop));
+          inst.op = op == Op::kReturn ? DOp::kRet : static_cast<DOp>(raw_op);
+          break;
+        }
+      }
+      raw_.push_back(inst);
+    }
+    // Sentinel: falling off the end is a clean return (cost 0 — the wire
+    // program has no instruction there).
+    index_at_[p_.code.size()] = static_cast<std::uint32_t>(raw_.size());
+    raw_.push_back(DInst{DOp::kRet, 0, 0, 0, 0});
+  }
+
+  void resolve_jumps() {
+    is_target_.assign(raw_.size(), false);
+    for (const auto& [inst, target_off] : pending_) {
+      auto it = index_at_.find(target_off);
+      if (it == index_at_.end()) bad("jump into middle of instruction");
+      raw_[inst].b = it->second;
+      is_target_[it->second] = true;
+    }
+  }
+
+  /// Pass 2: abstract interpretation of stack depth over the CFG. Proves
+  /// no underflow and that depth is consistent at joins; returns the
+  /// maximum depth, which bounds the preallocated operand stack.
+  std::uint32_t verify_stack() {
+    std::vector<int> depth(raw_.size(), -1);
+    std::vector<std::uint32_t> work;
+    depth[0] = 0;
+    work.push_back(0);
+    int max_depth = 0;
+    auto flow = [&](std::uint32_t to, int d) {
+      if (depth[to] == -1) {
+        depth[to] = d;
+        work.push_back(to);
+      } else if (depth[to] != d) {
+        bad("inconsistent stack depth at join");
+      }
+    };
+    while (!work.empty()) {
+      std::uint32_t i = work.back();
+      work.pop_back();
+      const DInst& inst = raw_[i];
+      Effect e = effect_of(inst);
+      if (depth[i] < e.need) bad("stack underflow");
+      // Every op pops before it pushes, so the intra-op peak is just
+      // max(depth-in, depth-out).
+      int out = depth[i] + e.delta;
+      max_depth = std::max(max_depth, std::max(depth[i], out));
+      if (inst.op == DOp::kRet) continue;
+      if (inst.op == DOp::kJmp) {
+        flow(inst.b, out);
+        continue;
+      }
+      flow(i + 1, out);
+      if (inst.op == DOp::kJz || inst.op == DOp::kJnz) flow(inst.b, out);
+    }
+    return static_cast<std::uint32_t>(max_depth);
+  }
+
+  /// Pass 3: superinstruction fusion. A run may be fused only if no jump
+  /// lands on its interior instructions; targets are then remapped from
+  /// raw indices to fused indices.
+  std::vector<DInst> fused() {
+    std::vector<DInst> out;
+    out.reserve(raw_.size());
+    std::vector<std::uint32_t> old2new(raw_.size(), UINT32_MAX);
+    auto clear_interior = [&](std::size_t i, std::size_t len) {
+      for (std::size_t k = 1; k < len; ++k) {
+        if (is_target_[i + k]) return false;
+      }
+      return true;
+    };
+    std::size_t i = 0;
+    while (i < raw_.size()) {
+      old2new[i] = static_cast<std::uint32_t>(out.size());
+      const DInst& cur = raw_[i];
+      std::size_t left = raw_.size() - i;
+      // cmp; Jz  ->  fused compare-and-branch.
+      if (is_cmp(cur.op) && left >= 2 && raw_[i + 1].op == DOp::kJz &&
+          clear_interior(i, 2)) {
+        DInst f{static_cast<DOp>(static_cast<int>(DOp::kEqJz) +
+                                 (static_cast<int>(cur.op) -
+                                  static_cast<int>(DOp::kEq))),
+                2, 0, raw_[i + 1].b, 0};
+        out.push_back(f);
+        i += 2;
+        continue;
+      }
+      if (cur.op == DOp::kLoad && left >= 4 && clear_interior(i, 4) &&
+          raw_[i + 2].op == DOp::kAdd && raw_[i + 3].op == DOp::kStore &&
+          raw_[i + 3].a == cur.a) {
+        // Load a; Const c; Add; Store a  ->  locals[a] += c.
+        if (raw_[i + 1].op == DOp::kConst) {
+          out.push_back(DInst{DOp::kIncLocal, 4, cur.a, 0, raw_[i + 1].imm});
+          i += 4;
+          continue;
+        }
+        // Load a; Load b; Add; Store a  ->  locals[a] += locals[b].
+        if (raw_[i + 1].op == DOp::kLoad) {
+          out.push_back(DInst{DOp::kAddLocals, 4, cur.a, raw_[i + 1].a, 0});
+          i += 4;
+          continue;
+        }
+      }
+      if (cur.op == DOp::kLoad && left >= 2 && raw_[i + 1].op == DOp::kLoad &&
+          clear_interior(i, 2)) {
+        out.push_back(DInst{DOp::kLoadLoad, 2, cur.a, raw_[i + 1].a, 0});
+        i += 2;
+        continue;
+      }
+      // PushStr s; PushInt n; spawn  ->  constant spawn.
+      if (cur.op == DOp::kConstStr && left >= 3 &&
+          raw_[i + 1].op == DOp::kConst && raw_[i + 2].op == DOp::kSpawn &&
+          clear_interior(i, 3)) {
+        out.push_back(DInst{DOp::kSpawnConst, 3, 0, cur.b, raw_[i + 1].imm});
+        i += 3;
+        continue;
+      }
+      out.push_back(cur);
+      ++i;
+    }
+    for (DInst& inst : out) {
+      if (is_jump(inst.op)) inst.b = old2new[inst.b];
+    }
+    return out;
+  }
+
+  const Program& p_;
+  std::size_t pc_ = 0;
+  std::vector<DInst> raw_;
+  std::unordered_map<std::size_t, std::uint32_t> index_at_;
+  std::vector<std::pair<std::uint32_t, std::size_t>> pending_;
+  std::vector<bool> is_target_;
+};
+
+}  // namespace
+
+Result<DecodedProgram> decode(const Program& p, bool fuse) {
+  try {
+    return Decoder(p).run(fuse);
+  } catch (const BadBytecode& e) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         std::string("invalid bytecode: ") + e.what());
+  }
+}
+
+}  // namespace sdvm::microc

@@ -1,0 +1,77 @@
+// Verifying pre-decoder: turns wire bytecode into an array of fixed-width
+// decoded instructions the VM can execute with no per-step safety checks.
+//
+// The wire format (bytecode.hpp) is unchanged — it is what travels between
+// sites. Decoding happens once per artifact on the receiving site and:
+//
+//   * validates every opcode, operand width, local slot, string-pool index
+//     and intrinsic id/arity;
+//   * resolves relative byte jumps to decoded-instruction indices, checking
+//     that every target lands on an instruction boundary;
+//   * runs a stack-depth dataflow over the control-flow graph, proving the
+//     operand stack never underflows and computing its maximum depth, so
+//     the interpreter can use a preallocated unchecked stack;
+//   * splits Op::kIntrinsic into one decoded opcode per intrinsic (each
+//     gets its own dispatch target) and fuses hot multi-instruction
+//     patterns into superinstructions (compare+branch, local increment,
+//     paired loads, constant spawn).
+//
+// Each decoded instruction carries `cost` = the number of wire instructions
+// it represents, so VM cycle accounting (the sim-mode cost model) is
+// invariant under fusion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "microc/bytecode.hpp"
+
+namespace sdvm::microc {
+
+enum class DOp : std::uint8_t {
+  kConst = 0,  // imm
+  kConstStr,   // b: string-pool index (validated)
+  kLoad,       // a: slot (validated)
+  kStore,      // a: slot
+  kAdd, kSub, kMul, kDiv, kMod, kNeg,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kBitAnd, kBitOr, kBitXor, kShl, kShr, kBitNot,
+  kLogicalNot,
+  kJmp,        // b: decoded-instruction index
+  kJz, kJnz,   // b: decoded-instruction index
+  kDup, kPop,
+  kRet,
+  // Op::kIntrinsic split per intrinsic — one dispatch target each.
+  kParam, kNumParams, kSpawn, kSend, kAlloc, kGlobalLoad, kGlobalStore,
+  kOut, kOutStr, kCharge, kSelfSite, kArg, kNumArgs, kExit, kSpawnP,
+  // Superinstructions (decode-time fusion; never on the wire).
+  kEqJz, kNeJz, kLtJz, kLeJz, kGtJz, kGeJz,  // cmp; Jz  (b: target)
+  kIncLocal,   // locals[a] += imm            (Load a; Const; Add; Store a)
+  kAddLocals,  // locals[a] += locals[b]      (Load a; Load b; Add; Store a)
+  kLoadLoad,   // push locals[a]; push locals[b]
+  kSpawnConst, // spawn(pool[b], imm)         (PushStr; PushInt; spawn)
+};
+
+inline constexpr int kNumDOps = static_cast<int>(DOp::kSpawnConst) + 1;
+
+struct DInst {
+  DOp op;
+  std::uint8_t cost;   // wire instructions represented (cycle accounting)
+  std::uint16_t a;     // local slot
+  std::uint32_t b;     // jump target index / string index / second slot
+  std::int64_t imm;    // constant
+};
+
+struct DecodedProgram {
+  std::vector<DInst> insts;    // always ends with kRet
+  std::uint32_t max_stack = 0; // verified operand-stack bound
+};
+
+/// Decodes, verifies and fuses `p.code`. kInvalidArgument with a reason on
+/// any malformed bytecode; afterwards execution cannot underflow, index out
+/// of range, or leave the instruction array.
+[[nodiscard]] Result<DecodedProgram> decode(const Program& p,
+                                            bool fuse = true);
+
+}  // namespace sdvm::microc

@@ -1,0 +1,809 @@
+#include "microc/ir.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace sdvm::microc {
+
+namespace {
+
+// Wrapping two's-complement arithmetic: the folder must compute exactly
+// the value the VM's (explicitly wrapping) runtime ops would produce.
+std::int64_t wrap_add(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+std::int64_t wrap_sub(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                   static_cast<std::uint64_t>(b));
+}
+std::int64_t wrap_mul(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                   static_cast<std::uint64_t>(b));
+}
+std::int64_t wrap_neg(std::int64_t a) {
+  return static_cast<std::int64_t>(-static_cast<std::uint64_t>(a));
+}
+
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+class Lowerer {
+ public:
+  IrFunction lower(const Unit& unit, const TypeckResult& types) {
+    f_.local_count = types.local_count;
+    for (const auto& s : unit.statements) gen_stmt(*s);
+    add(IrOp::kRet, 0);
+    return std::move(f_);
+  }
+
+ private:
+  IrInst& add(IrOp op, int line) {
+    f_.insts.push_back(IrInst{op, 0, 0, 0, line});
+    return f_.insts.back();
+  }
+
+  std::uint32_t new_label() { return f_.next_label++; }
+
+  void place(std::uint32_t label, int line) {
+    add(IrOp::kLabel, line).aux = label;
+  }
+
+  void jump(IrOp op, std::uint32_t label, int line) {
+    add(op, line).aux = label;
+  }
+
+  std::uint32_t intern_string(const std::string& s) {
+    for (std::size_t i = 0; i < f_.strings.size(); ++i) {
+      if (f_.strings[i] == s) return static_cast<std::uint32_t>(i);
+    }
+    f_.strings.push_back(s);
+    return static_cast<std::uint32_t>(f_.strings.size() - 1);
+  }
+
+  void gen_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kVarDecl:
+      case StmtKind::kAssign: {
+        gen_expr(*s.expr);
+        add(IrOp::kStore, s.line).aux = static_cast<std::uint32_t>(s.slot);
+        break;
+      }
+      case StmtKind::kIf: {
+        gen_expr(*s.expr);
+        std::uint32_t to_else = new_label();
+        jump(IrOp::kJz, to_else, s.line);
+        for (const auto& b : s.body) gen_stmt(*b);
+        if (s.else_body.empty()) {
+          place(to_else, s.line);
+        } else {
+          std::uint32_t to_end = new_label();
+          jump(IrOp::kJmp, to_end, s.line);
+          place(to_else, s.line);
+          for (const auto& b : s.else_body) gen_stmt(*b);
+          place(to_end, s.line);
+        }
+        break;
+      }
+      case StmtKind::kWhile: {
+        std::uint32_t top = new_label();
+        std::uint32_t end = new_label();
+        place(top, s.line);
+        gen_expr(*s.expr);
+        jump(IrOp::kJz, end, s.line);
+        loops_.push_back({top, end});
+        for (const auto& b : s.body) gen_stmt(*b);
+        loops_.pop_back();
+        jump(IrOp::kJmp, top, s.line);
+        place(end, s.line);
+        break;
+      }
+      case StmtKind::kFor: {
+        if (s.init) gen_stmt(*s.init);
+        std::uint32_t top = new_label();
+        std::uint32_t step = new_label();
+        std::uint32_t end = new_label();
+        place(top, s.line);
+        if (s.expr) {
+          gen_expr(*s.expr);
+          jump(IrOp::kJz, end, s.line);
+        }
+        loops_.push_back({step, end});  // `continue` must run the step
+        for (const auto& b : s.body) gen_stmt(*b);
+        loops_.pop_back();
+        place(step, s.line);
+        if (s.step) gen_stmt(*s.step);
+        jump(IrOp::kJmp, top, s.line);
+        place(end, s.line);
+        break;
+      }
+      case StmtKind::kBreak:
+        jump(IrOp::kJmp, loops_.back().break_label, s.line);
+        break;
+      case StmtKind::kContinue:
+        jump(IrOp::kJmp, loops_.back().continue_label, s.line);
+        break;
+      case StmtKind::kReturn:
+        add(IrOp::kRet, s.line);
+        break;
+      case StmtKind::kExpr: {
+        bool pushed = gen_expr(*s.expr);
+        if (pushed) add(IrOp::kPop, s.line);
+        break;
+      }
+    }
+  }
+
+  /// Generates code for an expression; returns whether a value was pushed
+  /// (void intrinsics push nothing).
+  bool gen_expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLiteral:
+        add(IrOp::kConst, e.line).imm = e.int_value;
+        return true;
+      case ExprKind::kStringLiteral:
+        add(IrOp::kConstStr, e.line).aux = intern_string(e.name);
+        return true;
+      case ExprKind::kVariable:
+        add(IrOp::kLoad, e.line).aux = static_cast<std::uint32_t>(e.slot);
+        return true;
+      case ExprKind::kUnary: {
+        gen_expr(*e.children[0]);
+        switch (e.op) {
+          case Tok::kMinus: add(IrOp::kNeg, e.line); break;
+          case Tok::kBang: add(IrOp::kLogicalNot, e.line); break;
+          default: add(IrOp::kBitNot, e.line); break;
+        }
+        return true;
+      }
+      case ExprKind::kBinary:
+        return gen_binary(e);
+      case ExprKind::kCall: {
+        for (const auto& arg : e.children) gen_expr(*arg);
+        IrInst& inst = add(IrOp::kIntrinsic, e.line);
+        inst.aux = static_cast<std::uint32_t>(e.intrinsic->id);
+        inst.aux2 = static_cast<std::uint32_t>(e.intrinsic->arity);
+        return e.intrinsic->returns_value;
+      }
+    }
+    return false;
+  }
+
+  bool gen_binary(const Expr& e) {
+    // Short-circuit logical operators: normalize each side to 0/1 so the
+    // result is boolean regardless of which branch produced it.
+    if (e.op == Tok::kAmpAmp || e.op == Tok::kPipePipe) {
+      std::uint32_t skip = new_label();
+      gen_expr(*e.children[0]);
+      add(IrOp::kLogicalNot, e.line);
+      add(IrOp::kLogicalNot, e.line);
+      add(IrOp::kDup, e.line);
+      jump(e.op == Tok::kAmpAmp ? IrOp::kJz : IrOp::kJnz, skip, e.line);
+      add(IrOp::kPop, e.line);
+      gen_expr(*e.children[1]);
+      add(IrOp::kLogicalNot, e.line);
+      add(IrOp::kLogicalNot, e.line);
+      place(skip, e.line);
+      return true;
+    }
+
+    gen_expr(*e.children[0]);
+    gen_expr(*e.children[1]);
+    IrOp op;
+    switch (e.op) {
+      case Tok::kPlus: op = IrOp::kAdd; break;
+      case Tok::kMinus: op = IrOp::kSub; break;
+      case Tok::kStar: op = IrOp::kMul; break;
+      case Tok::kSlash: op = IrOp::kDiv; break;
+      case Tok::kPercent: op = IrOp::kMod; break;
+      case Tok::kEq: op = IrOp::kEq; break;
+      case Tok::kNe: op = IrOp::kNe; break;
+      case Tok::kLt: op = IrOp::kLt; break;
+      case Tok::kLe: op = IrOp::kLe; break;
+      case Tok::kGt: op = IrOp::kGt; break;
+      case Tok::kGe: op = IrOp::kGe; break;
+      case Tok::kAmp: op = IrOp::kBitAnd; break;
+      case Tok::kPipe: op = IrOp::kBitOr; break;
+      case Tok::kCaret: op = IrOp::kBitXor; break;
+      case Tok::kShl: op = IrOp::kShl; break;
+      default: op = IrOp::kShr; break;
+    }
+    add(op, e.line);
+    return true;
+  }
+
+  struct LoopCtx {
+    std::uint32_t continue_label;
+    std::uint32_t break_label;
+  };
+
+  IrFunction f_;
+  std::vector<LoopCtx> loops_;
+};
+
+// ---------------------------------------------------------------------------
+// Optimizer
+// ---------------------------------------------------------------------------
+
+bool is_cmp(IrOp op) {
+  return op == IrOp::kEq || op == IrOp::kNe || op == IrOp::kLt ||
+         op == IrOp::kLe || op == IrOp::kGt || op == IrOp::kGe;
+}
+
+IrOp invert_cmp(IrOp op) {
+  switch (op) {
+    case IrOp::kEq: return IrOp::kNe;
+    case IrOp::kNe: return IrOp::kEq;
+    case IrOp::kLt: return IrOp::kGe;
+    case IrOp::kLe: return IrOp::kGt;
+    case IrOp::kGt: return IrOp::kLe;
+    default: return IrOp::kLt;  // kGe
+  }
+}
+
+/// Folds [Const a][Const b][binop] when the operation cannot trap.
+/// Returns false for value-dependent traps (div/mod by zero, overflow
+/// division, out-of-range shifts): those must stay runtime behavior.
+bool fold_binop(IrOp op, std::int64_t a, std::int64_t b, std::int64_t* out) {
+  switch (op) {
+    case IrOp::kAdd: *out = wrap_add(a, b); return true;
+    case IrOp::kSub: *out = wrap_sub(a, b); return true;
+    case IrOp::kMul: *out = wrap_mul(a, b); return true;
+    case IrOp::kDiv:
+      if (b == 0 || (a == INT64_MIN && b == -1)) return false;
+      *out = a / b;
+      return true;
+    case IrOp::kMod:
+      if (b == 0 || (a == INT64_MIN && b == -1)) return false;
+      *out = a % b;
+      return true;
+    case IrOp::kEq: *out = a == b; return true;
+    case IrOp::kNe: *out = a != b; return true;
+    case IrOp::kLt: *out = a < b; return true;
+    case IrOp::kLe: *out = a <= b; return true;
+    case IrOp::kGt: *out = a > b; return true;
+    case IrOp::kGe: *out = a >= b; return true;
+    case IrOp::kBitAnd: *out = a & b; return true;
+    case IrOp::kBitOr: *out = a | b; return true;
+    case IrOp::kBitXor: *out = a ^ b; return true;
+    case IrOp::kShl:
+      if (b < 0 || b > 63) return false;
+      *out = static_cast<std::int64_t>(static_cast<std::uint64_t>(a) << b);
+      return true;
+    case IrOp::kShr:
+      if (b < 0 || b > 63) return false;
+      *out = static_cast<std::int64_t>(static_cast<std::uint64_t>(a) >> b);
+      return true;
+    default: return false;
+  }
+}
+
+bool is_binop(IrOp op) {
+  return op == IrOp::kAdd || op == IrOp::kSub || op == IrOp::kMul ||
+         op == IrOp::kDiv || op == IrOp::kMod || is_cmp(op) ||
+         op == IrOp::kBitAnd || op == IrOp::kBitOr || op == IrOp::kBitXor ||
+         op == IrOp::kShl || op == IrOp::kShr;
+}
+
+/// Is dropping this instruction side-effect free (pushes one value, no
+/// state change)? Used when an annihilating operand (x*0) discards it.
+bool pure_producer(IrOp op) {
+  return op == IrOp::kConst || op == IrOp::kLoad || op == IrOp::kConstStr;
+}
+
+/// Peephole pass: constant folding, algebraic identities, branch folding,
+/// push/pop cancellation. Works by pushing each instruction onto an output
+/// vector and reducing its tail to a fixed point, so cascading folds
+/// ((1+2)+3) complete in one pass.
+bool fold_pass(IrFunction& f, OptStats& stats) {
+  std::vector<IrInst> out;
+  out.reserve(f.insts.size());
+  bool changed = false;
+
+  auto tail = [&](std::size_t k) -> IrInst& { return out[out.size() - k]; };
+
+  for (const IrInst& inst : f.insts) {
+    out.push_back(inst);
+    for (;;) {
+      std::size_t n = out.size();
+      IrInst& top = out.back();
+
+      // [Const a][Const b][binop] -> [Const r]
+      if (n >= 3 && is_binop(top.op) && tail(2).op == IrOp::kConst &&
+          tail(3).op == IrOp::kConst) {
+        std::int64_t r;
+        if (fold_binop(top.op, tail(3).imm, tail(2).imm, &r)) {
+          int line = tail(3).line;
+          out.pop_back();
+          out.pop_back();
+          out.back() = IrInst{IrOp::kConst, r, 0, 0, line};
+          ++stats.constants_folded;
+          changed = true;
+          continue;
+        }
+      }
+      // [Const a][unop] -> [Const r]
+      if (n >= 2 && tail(2).op == IrOp::kConst) {
+        bool folded = true;
+        std::int64_t a = tail(2).imm, r = 0;
+        switch (top.op) {
+          case IrOp::kNeg: r = wrap_neg(a); break;
+          case IrOp::kBitNot: r = ~a; break;
+          case IrOp::kLogicalNot: r = a == 0 ? 1 : 0; break;
+          default: folded = false; break;
+        }
+        if (folded) {
+          out.pop_back();
+          out.back().imm = r;
+          ++stats.constants_folded;
+          changed = true;
+          continue;
+        }
+      }
+      // Algebraic identities: [Const id][op] is a no-op.
+      if (n >= 2 && tail(2).op == IrOp::kConst) {
+        std::int64_t c = tail(2).imm;
+        bool identity =
+            (c == 0 && (top.op == IrOp::kAdd || top.op == IrOp::kSub ||
+                        top.op == IrOp::kBitOr || top.op == IrOp::kBitXor ||
+                        top.op == IrOp::kShl || top.op == IrOp::kShr)) ||
+            (c == 1 && (top.op == IrOp::kMul || top.op == IrOp::kDiv)) ||
+            (c == -1 && top.op == IrOp::kBitAnd);
+        if (identity) {
+          out.pop_back();
+          out.pop_back();
+          ++stats.constants_folded;
+          changed = true;
+          continue;
+        }
+        // Annihilators: [pure][Const 0][Mul / BitAnd] -> [Const 0].
+        bool annihilate = c == 0 && (top.op == IrOp::kMul ||
+                                     top.op == IrOp::kBitAnd);
+        if (annihilate && n >= 3 && pure_producer(tail(3).op)) {
+          int line = tail(3).line;
+          out.pop_back();
+          out.pop_back();
+          out.back() = IrInst{IrOp::kConst, 0, 0, 0, line};
+          ++stats.constants_folded;
+          changed = true;
+          continue;
+        }
+      }
+      // Branch folding: [Const c][Jz/Jnz L].
+      if (n >= 2 && tail(2).op == IrOp::kConst &&
+          (top.op == IrOp::kJz || top.op == IrOp::kJnz)) {
+        bool taken = top.op == IrOp::kJz ? tail(2).imm == 0
+                                         : tail(2).imm != 0;
+        IrInst jmp = top;
+        out.pop_back();
+        out.pop_back();
+        if (taken) {
+          jmp.op = IrOp::kJmp;
+          out.push_back(jmp);
+        }
+        ++stats.branches_folded;
+        changed = true;
+        continue;
+      }
+      // [pure][Pop] and [Dup][Pop] cancel.
+      if (n >= 2 && top.op == IrOp::kPop &&
+          (pure_producer(tail(2).op) || tail(2).op == IrOp::kDup)) {
+        out.pop_back();
+        out.pop_back();
+        ++stats.dead_removed;
+        changed = true;
+        continue;
+      }
+      // [cmp][LogicalNot] -> inverted cmp (comparisons produce 0/1).
+      if (n >= 2 && top.op == IrOp::kLogicalNot && is_cmp(tail(2).op)) {
+        out.pop_back();
+        out.back().op = invert_cmp(out.back().op);
+        ++stats.constants_folded;
+        changed = true;
+        continue;
+      }
+      // [cmp][LNot][LNot] pairs were handled above; also compress
+      // [LNot][LNot][LNot] -> [LNot] (!!!x == !x).
+      if (n >= 3 && top.op == IrOp::kLogicalNot &&
+          tail(2).op == IrOp::kLogicalNot &&
+          tail(3).op == IrOp::kLogicalNot) {
+        out.pop_back();
+        out.pop_back();
+        ++stats.constants_folded;
+        changed = true;
+        continue;
+      }
+      break;
+    }
+  }
+  f.insts = std::move(out);
+  return changed;
+}
+
+/// Block-local constant and copy propagation. Locals are microframe-
+/// private, so intrinsic calls cannot alias them; the only invalidation
+/// points are stores and block boundaries (labels / branches).
+bool propagate_pass(IrFunction& f, OptStats& stats) {
+  bool changed = false;
+  std::unordered_map<std::uint32_t, std::int64_t> known;
+  std::unordered_map<std::uint32_t, std::uint32_t> copies;
+
+  auto clear_all = [&] {
+    known.clear();
+    copies.clear();
+  };
+
+  for (std::size_t i = 0; i < f.insts.size(); ++i) {
+    IrInst& inst = f.insts[i];
+    switch (inst.op) {
+      case IrOp::kLabel:
+      case IrOp::kJmp:
+      case IrOp::kJz:
+      case IrOp::kJnz:
+      case IrOp::kRet:
+        clear_all();
+        break;
+      case IrOp::kLoad: {
+        if (auto it = known.find(inst.aux); it != known.end()) {
+          inst = IrInst{IrOp::kConst, it->second, 0, 0, inst.line};
+          ++stats.propagated_loads;
+          changed = true;
+        } else if (auto jt = copies.find(inst.aux); jt != copies.end()) {
+          inst.aux = jt->second;
+          ++stats.propagated_loads;
+          changed = true;
+        }
+        break;
+      }
+      case IrOp::kStore: {
+        std::uint32_t s = inst.aux;
+        known.erase(s);
+        copies.erase(s);
+        for (auto it = copies.begin(); it != copies.end();) {
+          it = it->second == s ? copies.erase(it) : std::next(it);
+        }
+        if (i > 0) {
+          const IrInst& prev = f.insts[i - 1];
+          if (prev.op == IrOp::kConst) {
+            known[s] = prev.imm;
+          } else if (prev.op == IrOp::kLoad && prev.aux != s) {
+            copies[s] = prev.aux;
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return changed;
+}
+
+/// Dead-code elimination: unreachable instructions, unreferenced labels,
+/// stores to never-loaded slots, jumps to the next instruction, and jump
+/// threading through trampoline labels.
+bool dce_pass(IrFunction& f, OptStats& stats) {
+  bool changed = false;
+
+  // Label reference counts and positions.
+  std::unordered_map<std::uint32_t, int> refs;
+  for (const IrInst& inst : f.insts) {
+    if (inst.op == IrOp::kJmp || inst.op == IrOp::kJz ||
+        inst.op == IrOp::kJnz) {
+      ++refs[inst.aux];
+    }
+  }
+
+  // Jump threading: a jump to a label whose next real instruction is an
+  // unconditional jump retargets to the final destination.
+  std::unordered_map<std::uint32_t, std::size_t> label_pos;
+  for (std::size_t i = 0; i < f.insts.size(); ++i) {
+    if (f.insts[i].op == IrOp::kLabel) label_pos[f.insts[i].aux] = i;
+  }
+  auto thread_target = [&](std::uint32_t label) -> std::uint32_t {
+    for (int hops = 0; hops < 8; ++hops) {
+      auto it = label_pos.find(label);
+      if (it == label_pos.end()) return label;
+      std::size_t j = it->second + 1;
+      while (j < f.insts.size() && f.insts[j].op == IrOp::kLabel) ++j;
+      if (j >= f.insts.size() || f.insts[j].op != IrOp::kJmp) return label;
+      if (f.insts[j].aux == label) return label;  // self-loop
+      label = f.insts[j].aux;
+    }
+    return label;
+  };
+  for (IrInst& inst : f.insts) {
+    if (inst.op != IrOp::kJmp && inst.op != IrOp::kJz &&
+        inst.op != IrOp::kJnz) {
+      continue;
+    }
+    std::uint32_t target = thread_target(inst.aux);
+    if (target != inst.aux) {
+      --refs[inst.aux];
+      ++refs[target];
+      inst.aux = target;
+      changed = true;
+    }
+  }
+
+  // Slots that are ever loaded.
+  std::unordered_map<std::uint32_t, bool> loaded;
+  for (const IrInst& inst : f.insts) {
+    if (inst.op == IrOp::kLoad) loaded[inst.aux] = true;
+  }
+
+  std::vector<IrInst> out;
+  out.reserve(f.insts.size());
+  bool dead = false;
+  for (std::size_t i = 0; i < f.insts.size(); ++i) {
+    const IrInst& inst = f.insts[i];
+    if (inst.op == IrOp::kLabel) {
+      dead = false;  // labels are the only join points
+      if (refs[inst.aux] <= 0) {
+        ++stats.dead_removed;
+        changed = true;
+        continue;
+      }
+      out.push_back(inst);
+      continue;
+    }
+    if (dead) {
+      ++stats.dead_removed;
+      changed = true;
+      continue;
+    }
+    if (inst.op == IrOp::kJmp || inst.op == IrOp::kRet) {
+      // Jump straight to the next label: fall through instead.
+      if (inst.op == IrOp::kJmp) {
+        std::size_t j = i + 1;
+        bool to_next = false;
+        while (j < f.insts.size() && f.insts[j].op == IrOp::kLabel) {
+          if (f.insts[j].aux == inst.aux) { to_next = true; break; }
+          ++j;
+        }
+        if (to_next) {
+          ++stats.dead_removed;
+          changed = true;
+          continue;
+        }
+      }
+      out.push_back(inst);
+      dead = true;
+      continue;
+    }
+    if (inst.op == IrOp::kStore && !loaded[inst.aux]) {
+      out.push_back(IrInst{IrOp::kPop, 0, 0, 0, inst.line});
+      ++stats.dead_removed;
+      changed = true;
+      continue;
+    }
+    out.push_back(inst);
+  }
+  f.insts = std::move(out);
+  return changed;
+}
+
+/// Renumbers surviving slots densely, shrinking the microframe's locals
+/// array after dead-store elimination freed variables entirely.
+void compact_slots(IrFunction& f, OptStats& stats) {
+  std::unordered_map<std::uint32_t, std::uint32_t> remap;
+  for (IrInst& inst : f.insts) {
+    if (inst.op != IrOp::kLoad && inst.op != IrOp::kStore) continue;
+    auto [it, fresh] =
+        remap.try_emplace(inst.aux, static_cast<std::uint32_t>(remap.size()));
+    (void)fresh;
+    inst.aux = it->second;
+  }
+  auto new_count = static_cast<std::uint16_t>(remap.size());
+  if (new_count < f.local_count) {
+    stats.slots_compacted += f.local_count - new_count;
+    f.local_count = new_count;
+  }
+}
+
+}  // namespace
+
+IrFunction lower(const Unit& unit, const TypeckResult& types) {
+  return Lowerer{}.lower(unit, types);
+}
+
+OptStats optimize(IrFunction& f) {
+  OptStats stats;
+  for (int round = 0; round < 10; ++round) {
+    bool changed = false;
+    changed |= fold_pass(f, stats);
+    changed |= propagate_pass(f, stats);
+    changed |= fold_pass(f, stats);
+    changed |= dce_pass(f, stats);
+    if (!changed) break;
+  }
+  compact_slots(f, stats);
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Emission
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Op to_bytecode_op(IrOp op) {
+  switch (op) {
+    case IrOp::kConst: return Op::kPushInt;
+    case IrOp::kConstStr: return Op::kPushStr;
+    case IrOp::kLoad: return Op::kLoadLocal;
+    case IrOp::kStore: return Op::kStoreLocal;
+    case IrOp::kAdd: return Op::kAdd;
+    case IrOp::kSub: return Op::kSub;
+    case IrOp::kMul: return Op::kMul;
+    case IrOp::kDiv: return Op::kDiv;
+    case IrOp::kMod: return Op::kMod;
+    case IrOp::kNeg: return Op::kNeg;
+    case IrOp::kEq: return Op::kEq;
+    case IrOp::kNe: return Op::kNe;
+    case IrOp::kLt: return Op::kLt;
+    case IrOp::kLe: return Op::kLe;
+    case IrOp::kGt: return Op::kGt;
+    case IrOp::kGe: return Op::kGe;
+    case IrOp::kBitAnd: return Op::kBitAnd;
+    case IrOp::kBitOr: return Op::kBitOr;
+    case IrOp::kBitXor: return Op::kBitXor;
+    case IrOp::kShl: return Op::kShl;
+    case IrOp::kShr: return Op::kShr;
+    case IrOp::kBitNot: return Op::kBitNot;
+    case IrOp::kLogicalNot: return Op::kLogicalNot;
+    case IrOp::kJmp: return Op::kJmp;
+    case IrOp::kJz: return Op::kJz;
+    case IrOp::kJnz: return Op::kJnz;
+    case IrOp::kDup: return Op::kDup;
+    case IrOp::kPop: return Op::kPop;
+    case IrOp::kIntrinsic: return Op::kIntrinsic;
+    default: return Op::kReturn;
+  }
+}
+
+std::size_t encoded_size(const IrInst& inst) {
+  switch (inst.op) {
+    case IrOp::kLabel: return 0;
+    case IrOp::kConst: return 9;
+    case IrOp::kConstStr: return 5;
+    case IrOp::kLoad:
+    case IrOp::kStore: return 3;
+    case IrOp::kJmp:
+    case IrOp::kJz:
+    case IrOp::kJnz: return 5;
+    case IrOp::kIntrinsic: return 3;
+    default: return 1;
+  }
+}
+
+}  // namespace
+
+Program emit(const IrFunction& f, std::string name) {
+  // Pass 1: byte offset of every instruction and label.
+  std::unordered_map<std::uint32_t, std::size_t> label_offset;
+  std::size_t offset = 0;
+  for (const IrInst& inst : f.insts) {
+    if (inst.op == IrOp::kLabel) {
+      label_offset[inst.aux] = offset;
+    } else {
+      offset += encoded_size(inst);
+    }
+  }
+
+  Program prog;
+  prog.name = std::move(name);
+  prog.string_pool = f.strings;
+  prog.local_count = f.local_count;
+  prog.code.reserve(offset);
+
+  auto emit_u8 = [&](std::uint8_t v) {
+    prog.code.push_back(std::byte{v});
+  };
+  auto emit_u16 = [&](std::uint16_t v) {
+    emit_u8(static_cast<std::uint8_t>(v));
+    emit_u8(static_cast<std::uint8_t>(v >> 8));
+  };
+  auto emit_u32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) emit_u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  auto emit_i64 = [&](std::int64_t v) {
+    auto u = static_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i) emit_u8(static_cast<std::uint8_t>(u >> (8 * i)));
+  };
+
+  for (const IrInst& inst : f.insts) {
+    if (inst.op == IrOp::kLabel) continue;
+    emit_u8(static_cast<std::uint8_t>(to_bytecode_op(inst.op)));
+    switch (inst.op) {
+      case IrOp::kConst: emit_i64(inst.imm); break;
+      case IrOp::kConstStr: emit_u32(inst.aux); break;
+      case IrOp::kLoad:
+      case IrOp::kStore:
+        emit_u16(static_cast<std::uint16_t>(inst.aux));
+        break;
+      case IrOp::kJmp:
+      case IrOp::kJz:
+      case IrOp::kJnz: {
+        std::size_t after = prog.code.size() + 4;
+        auto rel = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(label_offset.at(inst.aux)) -
+            static_cast<std::int64_t>(after));
+        emit_u32(static_cast<std::uint32_t>(rel));
+        break;
+      }
+      case IrOp::kIntrinsic:
+        emit_u8(static_cast<std::uint8_t>(inst.aux));
+        emit_u8(static_cast<std::uint8_t>(inst.aux2));
+        break;
+      default:
+        break;
+    }
+  }
+  return prog;
+}
+
+std::string OptStats::to_string() const {
+  std::ostringstream os;
+  os << constants_folded << " folded, " << branches_folded
+     << " branches folded, " << propagated_loads << " loads propagated, "
+     << dead_removed << " dead insts removed, " << slots_compacted
+     << " slots compacted";
+  return os.str();
+}
+
+std::string to_string(const IrFunction& f) {
+  std::ostringstream os;
+  os << "; " << f.local_count << " locals, " << f.strings.size()
+     << " strings\n";
+  for (const IrInst& inst : f.insts) {
+    switch (inst.op) {
+      case IrOp::kLabel: os << "L" << inst.aux << ":"; break;
+      case IrOp::kConst: os << "  const " << inst.imm; break;
+      case IrOp::kConstStr:
+        os << "  const_str #" << inst.aux;
+        if (inst.aux < f.strings.size()) {
+          os << " \"" << f.strings[inst.aux] << '"';
+        }
+        break;
+      case IrOp::kLoad: os << "  load $" << inst.aux; break;
+      case IrOp::kStore: os << "  store $" << inst.aux; break;
+      case IrOp::kAdd: os << "  add"; break;
+      case IrOp::kSub: os << "  sub"; break;
+      case IrOp::kMul: os << "  mul"; break;
+      case IrOp::kDiv: os << "  div"; break;
+      case IrOp::kMod: os << "  mod"; break;
+      case IrOp::kNeg: os << "  neg"; break;
+      case IrOp::kEq: os << "  eq"; break;
+      case IrOp::kNe: os << "  ne"; break;
+      case IrOp::kLt: os << "  lt"; break;
+      case IrOp::kLe: os << "  le"; break;
+      case IrOp::kGt: os << "  gt"; break;
+      case IrOp::kGe: os << "  ge"; break;
+      case IrOp::kBitAnd: os << "  and"; break;
+      case IrOp::kBitOr: os << "  or"; break;
+      case IrOp::kBitXor: os << "  xor"; break;
+      case IrOp::kShl: os << "  shl"; break;
+      case IrOp::kShr: os << "  shr"; break;
+      case IrOp::kBitNot: os << "  not"; break;
+      case IrOp::kLogicalNot: os << "  lnot"; break;
+      case IrOp::kJmp: os << "  jmp L" << inst.aux; break;
+      case IrOp::kJz: os << "  jz L" << inst.aux; break;
+      case IrOp::kJnz: os << "  jnz L" << inst.aux; break;
+      case IrOp::kDup: os << "  dup"; break;
+      case IrOp::kPop: os << "  pop"; break;
+      case IrOp::kIntrinsic:
+        os << "  intrinsic "
+           << intrinsic_info(static_cast<Intrinsic>(inst.aux)).name << "/"
+           << inst.aux2;
+        break;
+      case IrOp::kRet: os << "  ret"; break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sdvm::microc

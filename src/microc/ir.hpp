@@ -1,0 +1,87 @@
+// Linear stack IR between the typed AST and bytecode emission.
+//
+// The IR mirrors the bytecode's stack discipline but uses symbolic labels
+// instead of byte offsets, which is what makes rewriting safe: optimizer
+// passes insert and delete instructions freely and only the final emission
+// step resolves labels to relative jumps. Passes:
+//
+//   lower()     typed AST -> IR (no name lookups; slots were resolved by
+//               the typechecker)
+//   optimize()  constant folding, block-local constant/copy propagation,
+//               algebraic simplification, branch folding, jump threading,
+//               dead-code + dead-store elimination, slot compaction
+//   emit()      IR -> Program bytecode
+//
+// Trapping operations (division by zero, INT64_MIN/-1, out-of-range
+// shifts) are never folded: the trap is observable behavior and must
+// happen at runtime exactly as in unoptimized code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "microc/ast.hpp"
+#include "microc/bytecode.hpp"
+#include "microc/typecheck.hpp"
+
+namespace sdvm::microc {
+
+enum class IrOp : std::uint8_t {
+  kConst,       // imm: push constant
+  kConstStr,    // aux: push string-pool index
+  kLoad,        // aux: push local slot
+  kStore,       // aux: pop into local slot
+  kAdd, kSub, kMul, kDiv, kMod, kNeg,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kBitAnd, kBitOr, kBitXor, kShl, kShr, kBitNot,
+  kLogicalNot,
+  kLabel,       // aux: label id (no code emitted)
+  kJmp, kJz, kJnz,  // aux: label id
+  kDup, kPop,
+  kIntrinsic,   // aux: intrinsic id, aux2: argc
+  kRet,
+};
+
+struct IrInst {
+  IrOp op;
+  std::int64_t imm = 0;
+  std::uint32_t aux = 0;
+  std::uint32_t aux2 = 0;
+  int line = 0;
+};
+
+struct IrFunction {
+  std::vector<IrInst> insts;
+  std::vector<std::string> strings;
+  std::uint16_t local_count = 0;
+  std::uint32_t next_label = 0;
+};
+
+/// What the optimizer did — surfaced by `sdvm-mcc --dump-ir` and the
+/// compile-ablation bench so optimizer wins are attributable.
+struct OptStats {
+  int constants_folded = 0;
+  int branches_folded = 0;
+  int propagated_loads = 0;
+  int dead_removed = 0;
+  int slots_compacted = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Lowers a typechecked unit. The unit MUST have been annotated by
+/// typecheck() (resolved slots and intrinsics); lowering performs no name
+/// resolution of its own.
+[[nodiscard]] IrFunction lower(const Unit& unit, const TypeckResult& types);
+
+/// Runs the optimization pipeline in place.
+OptStats optimize(IrFunction& f);
+
+/// Emits bytecode, resolving labels to relative jumps.
+[[nodiscard]] Program emit(const IrFunction& f, std::string name);
+
+/// Human-readable listing for `sdvm-mcc --dump-ir`.
+[[nodiscard]] std::string to_string(const IrFunction& f);
+
+}  // namespace sdvm::microc

@@ -129,6 +129,10 @@ std::vector<Token> lex(std::string_view src) {
         if (!overflow) v = v * 10 + digit;
       }
       if (overflow) fail("integer literal overflows int64");
+      if (std::isalpha(static_cast<unsigned char>(peek())) || peek() == '_') {
+        fail("integer literal followed by identifier character '" +
+             std::string(1, peek()) + "'");
+      }
       Token t;
       t.kind = Tok::kInt;
       t.int_value = v;
@@ -161,6 +165,7 @@ std::vector<Token> lex(std::string_view src) {
         if (i >= src.size()) fail("unterminated string literal");
         char ch = advance();
         if (ch == '\\') {
+          if (i >= src.size()) fail("unterminated string literal");
           char esc = advance();
           switch (esc) {
             case 'n': s.push_back('\n'); break;
@@ -225,7 +230,9 @@ std::vector<Token> lex(std::string_view src) {
         else push(Tok::kPipe, tl, tc);
         break;
       default:
-        fail(std::string("unexpected character '") + c + "'");
+        // Report at the character itself, not the post-advance position.
+        throw LexError(CompileError{
+            std::string("unexpected character '") + c + "'", tl, tc});
     }
   }
 

@@ -23,6 +23,18 @@ class Parser {
 
   Token eat() { return toks_[pos_++]; }
 
+  /// Fuzz safety: statements, blocks and expressions recurse; a hostile
+  /// source of '(((((...' or deeply nested blocks must fail cleanly
+  /// instead of overflowing the C++ stack.
+  static constexpr int kMaxDepth = 200;
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : p_(p) {
+      if (++p_.depth_ > kMaxDepth) p_.fail("nesting too deep");
+    }
+    ~DepthGuard() { --p_.depth_; }
+    Parser& p_;
+  };
+
   Token expect(Tok t, const char* context) {
     if (!at(t)) {
       fail(std::string("expected '") + to_string(t) + "' " + context +
@@ -36,8 +48,10 @@ class Parser {
   }
 
   StmtPtr statement() {
+    DepthGuard guard(*this);
     auto s = std::make_unique<Stmt>();
     s->line = cur().line;
+    s->column = cur().column;
 
     if (at(Tok::kVar)) {
       eat();
@@ -125,6 +139,7 @@ class Parser {
   StmtPtr simple_statement_no_semi() {
     auto s = std::make_unique<Stmt>();
     s->line = cur().line;
+    s->column = cur().column;
     if (at(Tok::kVar)) {
       eat();
       s->kind = StmtKind::kVarDecl;
@@ -185,6 +200,7 @@ class Parser {
       node->kind = ExprKind::kBinary;
       node->op = op;
       node->line = lhs->line;
+      node->column = lhs->column;
       node->children.push_back(std::move(lhs));
       node->children.push_back(std::move(rhs));
       lhs = std::move(node);
@@ -193,10 +209,12 @@ class Parser {
   }
 
   ExprPtr unary() {
+    DepthGuard guard(*this);
     if (at(Tok::kMinus) || at(Tok::kBang) || at(Tok::kTilde)) {
       auto node = std::make_unique<Expr>();
       node->kind = ExprKind::kUnary;
       node->line = cur().line;
+      node->column = cur().column;
       node->op = eat().kind;
       node->children.push_back(unary());
       return node;
@@ -205,8 +223,10 @@ class Parser {
   }
 
   ExprPtr primary() {
+    DepthGuard guard(*this);
     auto node = std::make_unique<Expr>();
     node->line = cur().line;
+    node->column = cur().column;
 
     if (at(Tok::kInt)) {
       node->kind = ExprKind::kIntLiteral;
@@ -250,6 +270,7 @@ class Parser {
 
   std::vector<Token> toks_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

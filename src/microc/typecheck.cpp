@@ -1,0 +1,249 @@
+#include "microc/typecheck.hpp"
+
+#include <string>
+#include <vector>
+
+#include "microc/bytecode.hpp"
+
+namespace sdvm::microc {
+
+namespace {
+
+/// Compile-time variable manager: a scope stack binding names to local
+/// slots. Slots are assigned on declaration and released when the scope
+/// ends, so variables in disjoint blocks share storage; `high_water()` is
+/// the locals-array size the microframe needs.
+class VarManager {
+ public:
+  void push_scope() { scopes_.emplace_back(); }
+
+  void pop_scope() {
+    next_slot_ -= static_cast<std::int32_t>(scopes_.back().size());
+    scopes_.pop_back();
+  }
+
+  /// Declares `name` in the innermost scope. Returns the slot, or -1 if
+  /// the name is already declared in this scope (shadowing an outer scope
+  /// is allowed; redeclaring within the same scope is not).
+  std::int32_t declare(const std::string& name) {
+    for (const auto& [n, s] : scopes_.back()) {
+      if (n == name) return -1;
+    }
+    std::int32_t slot = next_slot_++;
+    if (next_slot_ > high_water_) high_water_ = next_slot_;
+    scopes_.back().emplace_back(name, slot);
+    return slot;
+  }
+
+  /// Innermost binding of `name`, or -1 if undeclared.
+  [[nodiscard]] std::int32_t lookup(const std::string& name) const {
+    for (auto scope = scopes_.rbegin(); scope != scopes_.rend(); ++scope) {
+      for (auto it = scope->rbegin(); it != scope->rend(); ++it) {
+        if (it->first == name) return it->second;
+      }
+    }
+    return -1;
+  }
+
+  [[nodiscard]] std::int32_t high_water() const { return high_water_; }
+
+ private:
+  std::vector<std::vector<std::pair<std::string, std::int32_t>>> scopes_;
+  std::int32_t next_slot_ = 0;
+  std::int32_t high_water_ = 0;
+};
+
+class Typechecker {
+ public:
+  TypeckResult check(Unit& unit) {
+    vars_.push_scope();
+    for (auto& s : unit.statements) check_stmt(*s);
+    vars_.pop_scope();
+    TypeckResult r;
+    if (vars_.high_water() > 0xFFFF) {
+      throw TypeError(CompileError{"too many locals", 0, 0});
+    }
+    r.local_count = static_cast<std::uint16_t>(vars_.high_water());
+    return r;
+  }
+
+ private:
+  [[noreturn]] static void fail(int line, int column, std::string msg) {
+    throw TypeError(CompileError{std::move(msg), line, column});
+  }
+
+  static Type char_type(char c) { return c == 's' ? Type::kStr : Type::kInt; }
+
+  void check_stmt(Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kVarDecl: {
+        Type t = check_expr(*s.expr);
+        if (t != Type::kInt) {
+          fail(s.expr->line, s.expr->column,
+               "cannot initialize variable '" + s.name +
+                   "': expected int, got " + to_string(t));
+        }
+        std::int32_t slot = vars_.declare(s.name);
+        if (slot < 0) {
+          fail(s.line, s.column, "redeclaration of '" + s.name + "'");
+        }
+        s.slot = slot;
+        break;
+      }
+      case StmtKind::kAssign: {
+        std::int32_t slot = vars_.lookup(s.name);
+        if (slot < 0) {
+          fail(s.line, s.column,
+               "use of undeclared variable '" + s.name + "'");
+        }
+        Type t = check_expr(*s.expr);
+        if (t != Type::kInt) {
+          fail(s.expr->line, s.expr->column,
+               "cannot assign to '" + s.name + "': expected int, got " +
+                   to_string(t));
+        }
+        s.slot = slot;
+        break;
+      }
+      case StmtKind::kIf: {
+        check_cond(*s.expr, "if");
+        vars_.push_scope();
+        for (auto& b : s.body) check_stmt(*b);
+        vars_.pop_scope();
+        vars_.push_scope();
+        for (auto& b : s.else_body) check_stmt(*b);
+        vars_.pop_scope();
+        break;
+      }
+      case StmtKind::kWhile: {
+        check_cond(*s.expr, "while");
+        ++loop_depth_;
+        vars_.push_scope();
+        for (auto& b : s.body) check_stmt(*b);
+        vars_.pop_scope();
+        --loop_depth_;
+        break;
+      }
+      case StmtKind::kFor: {
+        // The init declaration scopes over the condition, step and body.
+        vars_.push_scope();
+        if (s.init) check_stmt(*s.init);
+        if (s.expr) check_cond(*s.expr, "for");
+        ++loop_depth_;
+        vars_.push_scope();
+        for (auto& b : s.body) check_stmt(*b);
+        vars_.pop_scope();
+        --loop_depth_;
+        if (s.step) check_stmt(*s.step);
+        vars_.pop_scope();
+        break;
+      }
+      case StmtKind::kBreak:
+        if (loop_depth_ == 0) {
+          fail(s.line, s.column, "'break' outside a loop");
+        }
+        break;
+      case StmtKind::kContinue:
+        if (loop_depth_ == 0) {
+          fail(s.line, s.column, "'continue' outside a loop");
+        }
+        break;
+      case StmtKind::kReturn:
+        break;
+      case StmtKind::kExpr: {
+        Type t = check_expr(*s.expr);
+        if (t == Type::kStr) {
+          fail(s.expr->line, s.expr->column,
+               "string literal only allowed as intrinsic argument");
+        }
+        break;
+      }
+    }
+  }
+
+  void check_cond(Expr& e, const char* what) {
+    Type t = check_expr(e);
+    if (t != Type::kInt) {
+      fail(e.line, e.column, std::string(what) +
+                                 " condition: expected int, got " +
+                                 to_string(t));
+    }
+  }
+
+  Type check_expr(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLiteral:
+        return e.type = Type::kInt;
+      case ExprKind::kStringLiteral:
+        return e.type = Type::kStr;
+      case ExprKind::kVariable: {
+        std::int32_t slot = vars_.lookup(e.name);
+        if (slot < 0) {
+          fail(e.line, e.column,
+               "use of undeclared variable '" + e.name + "'");
+        }
+        e.slot = slot;
+        return e.type = Type::kInt;
+      }
+      case ExprKind::kUnary: {
+        Type t = check_expr(*e.children[0]);
+        if (t != Type::kInt) {
+          fail(e.line, e.column,
+               std::string("operand of unary '") + to_string(e.op) +
+                   "': expected int, got " + to_string(t));
+        }
+        return e.type = Type::kInt;
+      }
+      case ExprKind::kBinary: {
+        for (int side = 0; side < 2; ++side) {
+          Type t = check_expr(*e.children[static_cast<std::size_t>(side)]);
+          if (t != Type::kInt) {
+            const Expr& c = *e.children[static_cast<std::size_t>(side)];
+            fail(c.line, c.column,
+                 std::string(side == 0 ? "left" : "right") +
+                     " operand of '" + to_string(e.op) +
+                     "': expected int, got " + to_string(t));
+          }
+        }
+        return e.type = Type::kInt;
+      }
+      case ExprKind::kCall:
+        return check_call(e);
+    }
+    fail(e.line, e.column, "unreachable expression kind");
+  }
+
+  Type check_call(Expr& e) {
+    const IntrinsicInfo* info = find_intrinsic(e.name);
+    if (info == nullptr) {
+      fail(e.line, e.column,
+           "unknown function '" + e.name + "' (MicroC has intrinsics only)");
+    }
+    if (static_cast<int>(e.children.size()) != info->arity) {
+      fail(e.line, e.column,
+           "'" + e.name + "' expects " + std::to_string(info->arity) +
+               " argument(s), got " + std::to_string(e.children.size()));
+    }
+    for (std::size_t i = 0; i < e.children.size(); ++i) {
+      Type want = char_type(info->arg_types[i]);
+      Type got = check_expr(*e.children[i]);
+      if (got != want) {
+        const Expr& c = *e.children[i];
+        fail(c.line, c.column,
+             "'" + e.name + "' argument " + std::to_string(i + 1) +
+                 ": expected " + to_string(want) + ", got " + to_string(got));
+      }
+    }
+    e.intrinsic = info;
+    return e.type = info->returns_value ? Type::kInt : Type::kVoid;
+  }
+
+  VarManager vars_;
+  int loop_depth_ = 0;
+};
+
+}  // namespace
+
+TypeckResult typecheck(Unit& unit) { return Typechecker{}.check(unit); }
+
+}  // namespace sdvm::microc

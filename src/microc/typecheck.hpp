@@ -1,0 +1,45 @@
+// Typechecker pass: runs between the parser and the lowering stage.
+//
+// Responsibilities (paper §3.4 — a site that receives MicroC source must
+// be able to reject a bad program with a diagnostic the code manager can
+// ship back to the submitting site):
+//   * name resolution with lexical block scoping — every variable
+//     reference is bound to a compile-time local slot, so the runtime
+//     never does a name lookup (slots are reused when disjoint scopes
+//     end, keeping microframe locals arrays small);
+//   * type checking over MicroC's three types (int, string, void):
+//     operator operands, intrinsic signatures, conditions, initializers;
+//   * arity checking of intrinsic calls;
+//   * structural checks (break/continue outside a loop).
+//
+// Every error carries a precise line:column position and, where a type is
+// involved, an expected-vs-actual message.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+
+#include "microc/ast.hpp"
+#include "microc/lexer.hpp"
+
+namespace sdvm::microc {
+
+class TypeError : public std::exception {
+ public:
+  explicit TypeError(CompileError e) : error(std::move(e)) {}
+  const char* what() const noexcept override { return error.message.c_str(); }
+  CompileError error;
+};
+
+struct TypeckResult {
+  /// High-water mark of simultaneously-live locals: the size of the
+  /// microframe's locals array.
+  std::uint16_t local_count = 0;
+};
+
+/// Typechecks and annotates `unit` in place (expression types, resolved
+/// local slots, resolved intrinsics). Throws TypeError on the first
+/// violation.
+TypeckResult typecheck(Unit& unit);
+
+}  // namespace sdvm::microc

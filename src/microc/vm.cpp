@@ -1,5 +1,9 @@
 #include "microc/vm.hpp"
 
+#if defined(__GNUC__) || defined(__clang__)
+#define SDVM_VM_HAVE_COMPUTED_GOTO 1
+#endif
+
 namespace sdvm::microc {
 
 namespace {
@@ -13,10 +17,86 @@ class TrapError : public std::exception {
   std::string msg_;
 };
 
+// Explicitly wrapping arithmetic: defined behavior on overflow, matching
+// what the optimizer's constant folder computes.
+inline std::int64_t vm_add(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+inline std::int64_t vm_sub(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                   static_cast<std::uint64_t>(b));
+}
+inline std::int64_t vm_mul(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                   static_cast<std::uint64_t>(b));
+}
+inline std::int64_t vm_neg(std::int64_t a) {
+  return static_cast<std::int64_t>(-static_cast<std::uint64_t>(a));
+}
+
+#ifdef SDVM_VM_HAVE_COMPUTED_GOTO
+#define VM_USE_GOTO 1
+VmResult run_direct(const DecodedProgram& d, const Program& p,
+                    IntrinsicHandler& handler, std::uint64_t step_limit) {
+#include "vm_loop.inc"
+}
+#undef VM_USE_GOTO
+#endif
+
+VmResult run_switch(const DecodedProgram& d, const Program& p,
+                    IntrinsicHandler& handler, std::uint64_t step_limit) {
+#include "vm_loop.inc"
+}
+
 }  // namespace
+
+bool Vm::has_computed_goto() {
+#ifdef SDVM_VM_HAVE_COMPUTED_GOTO
+  return true;
+#else
+  return false;
+#endif
+}
+
+VmResult Vm::run(const DecodedProgram& decoded, const Program& program,
+                 IntrinsicHandler& handler, std::uint64_t step_limit,
+                 DispatchMode mode) {
+  switch (mode) {
+    case DispatchMode::kLegacy:
+      return run_legacy(program, handler, step_limit);
+    case DispatchMode::kSwitch:
+      return run_switch(decoded, program, handler, step_limit);
+    case DispatchMode::kDirect:
+    default:
+#ifdef SDVM_VM_HAVE_COMPUTED_GOTO
+      return run_direct(decoded, program, handler, step_limit);
+#else
+      return run_switch(decoded, program, handler, step_limit);
+#endif
+  }
+}
 
 VmResult Vm::run(const Program& program, IntrinsicHandler& handler,
                  std::uint64_t step_limit) {
+  auto decoded = decode(program);
+  if (!decoded.is_ok()) {
+    return {Status::error(ErrorCode::kInternal,
+                          "microthread '" + program.name +
+                              "' trapped: " + decoded.status().message()),
+            0};
+  }
+  return run(decoded.value(), program, handler, step_limit);
+}
+
+// ---------------------------------------------------------------------------
+// Legacy interpreter: the original byte-walking checked loop, unchanged.
+// Kept as the pre-refactor baseline so bench/overhead_sequential can
+// measure the decode+threading win on the same build.
+// ---------------------------------------------------------------------------
+
+VmResult Vm::run_legacy(const Program& program, IntrinsicHandler& handler,
+                        std::uint64_t step_limit) {
   const std::byte* code = program.code.data();
   const std::size_t code_size = program.code.size();
   std::size_t pc = 0;
@@ -75,9 +155,9 @@ VmResult Vm::run(const Program& program, IntrinsicHandler& handler,
           locals[slot] = pop();
           break;
         }
-        case Op::kAdd: { auto b = pop(), a = pop(); stack.push_back(a + b); break; }
-        case Op::kSub: { auto b = pop(), a = pop(); stack.push_back(a - b); break; }
-        case Op::kMul: { auto b = pop(), a = pop(); stack.push_back(a * b); break; }
+        case Op::kAdd: { auto b = pop(), a = pop(); stack.push_back(vm_add(a, b)); break; }
+        case Op::kSub: { auto b = pop(), a = pop(); stack.push_back(vm_sub(a, b)); break; }
+        case Op::kMul: { auto b = pop(), a = pop(); stack.push_back(vm_mul(a, b)); break; }
         case Op::kDiv: {
           auto b = pop(), a = pop();
           if (b == 0) throw TrapError("division by zero");
@@ -92,7 +172,7 @@ VmResult Vm::run(const Program& program, IntrinsicHandler& handler,
           stack.push_back(a % b);
           break;
         }
-        case Op::kNeg: stack.push_back(-pop()); break;
+        case Op::kNeg: stack.push_back(vm_neg(pop())); break;
         case Op::kEq: { auto b = pop(), a = pop(); stack.push_back(a == b); break; }
         case Op::kNe: { auto b = pop(), a = pop(); stack.push_back(a != b); break; }
         case Op::kLt: { auto b = pop(), a = pop(); stack.push_back(a < b); break; }
@@ -179,6 +259,8 @@ VmResult Vm::run(const Program& program, IntrinsicHandler& handler,
             case Intrinsic::kSpawnP:
               stack.push_back(handler.spawn_prio(pool_str(a[0]), a[1], a[2]));
               break;
+            default:
+              throw TrapError("unknown intrinsic");
           }
           break;
         }

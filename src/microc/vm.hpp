@@ -1,8 +1,22 @@
 // Stack-machine interpreter for compiled MicroC. The processing manager
 // executes bytecode microthreads through this VM; SDVM operations (spawn,
 // send, memory access, I/O) are delegated to an IntrinsicHandler the
-// runtime implements. The VM counts executed instructions, which doubles
-// as the virtual-cycle cost model in sim mode.
+// runtime implements. The VM counts executed wire instructions, which
+// doubles as the virtual-cycle cost model in sim mode (superinstruction
+// fusion does not change the count — see DInst::cost).
+//
+// Execution runs over the verified pre-decoded form (decode.hpp): the
+// decoder proves all slots/indices/jumps/stack depths safe once, so the
+// hot loop does no per-step validation. Two dispatch strategies share one
+// loop body (vm_loop.inc):
+//
+//   kDirect  computed-goto direct threading (GCC/Clang): each instruction
+//            ends by jumping straight to the next handler, giving the
+//            branch predictor one indirect-branch site per opcode instead
+//            of a single shared dispatch branch;
+//   kSwitch  portable dense switch over the same decoded instructions;
+//   kLegacy  the original byte-walking checked interpreter, kept verbatim
+//            as the pre-refactor baseline for overhead benchmarks.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +27,7 @@
 
 #include "common/status.hpp"
 #include "microc/bytecode.hpp"
+#include "microc/decode.hpp"
 
 namespace sdvm::microc {
 
@@ -59,9 +74,11 @@ class IntrinsicError : public std::runtime_error {
 
 struct VmResult {
   Status status;
-  /// Instructions executed — the microthread's intrinsic compute cost.
+  /// Wire instructions executed — the microthread's intrinsic compute cost.
   std::uint64_t cycles = 0;
 };
+
+enum class DispatchMode : std::uint8_t { kDirect, kSwitch, kLegacy };
 
 class Vm {
  public:
@@ -69,11 +86,33 @@ class Vm {
   /// fragments", so a runaway loop is a program bug we trap.
   static constexpr std::uint64_t kDefaultStepLimit = 500'000'000;
 
-  /// Runs `program` to completion against `handler`.
+  /// Decodes (verifying) then runs `program`. Invalid bytecode yields an
+  /// error result, never UB. Convenience path for tests and tools; the
+  /// runtime caches the decoded form in its Executable instead.
   [[nodiscard]] static VmResult run(const Program& program,
                                     IntrinsicHandler& handler,
                                     std::uint64_t step_limit =
                                         kDefaultStepLimit);
+
+  /// Runs a pre-decoded program. `program` supplies the string pool and
+  /// name; `decoded` must have been produced from it.
+  [[nodiscard]] static VmResult run(const DecodedProgram& decoded,
+                                    const Program& program,
+                                    IntrinsicHandler& handler,
+                                    std::uint64_t step_limit =
+                                        kDefaultStepLimit,
+                                    DispatchMode mode = DispatchMode::kDirect);
+
+  /// The original checked byte-walking interpreter (the pre-refactor VM),
+  /// kept as the ablation baseline for bench/overhead_sequential.
+  [[nodiscard]] static VmResult run_legacy(const Program& program,
+                                           IntrinsicHandler& handler,
+                                           std::uint64_t step_limit =
+                                               kDefaultStepLimit);
+
+  /// True when kDirect uses real computed-goto threading on this build
+  /// (otherwise it falls back to the switch loop).
+  [[nodiscard]] static bool has_computed_goto();
 };
 
 }  // namespace sdvm::microc

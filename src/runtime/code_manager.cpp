@@ -17,6 +17,17 @@ Nanos wall_nanos_since(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
+Result<Executable> make_bytecode_executable(
+    std::shared_ptr<const microc::Program> prog) {
+  auto decoded = microc::decode(*prog);
+  if (!decoded.is_ok()) return decoded.status();
+  Executable exec;
+  exec.bytecode = std::move(prog);
+  exec.decoded = std::make_shared<const microc::DecodedProgram>(
+      std::move(decoded).value());
+  return exec;
+}
+
 void CodeManager::register_metrics(metrics::MetricsRegistry& registry) {
   registry.register_counter("code.compiles", &compiles);
   registry.register_counter("code.binary_fetches", &binary_fetches);
@@ -63,10 +74,16 @@ std::optional<Executable> CodeManager::resolve_local(ProgramId pid,
   // 2. Local binary artifact compiled for our platform.
   if (auto it = binaries_.find({key, site_.config().platform});
       it != binaries_.end()) {
-    Executable exec;
-    exec.bytecode = it->second;
-    cache_[key] = exec;
-    return exec;
+    auto exec = make_bytecode_executable(it->second);
+    if (!exec.is_ok()) {
+      SDVM_ERROR(site_.tag())
+          << "cached binary for '" << info->thread_names[tid]
+          << "' failed verification: " << exec.status().to_string();
+      binaries_.erase(it);  // poisoned artifact; fall through to source
+    } else {
+      cache_[key] = exec.value();
+      return exec.value();
+    }
   }
 
   // 3. Local source (we are a code home): compile on the fly.
@@ -87,10 +104,11 @@ std::optional<Executable> CodeManager::resolve_local(ProgramId pid,
     auto prog = std::make_shared<const microc::Program>(
         std::move(compiled).value());
     binaries_[{key, site_.config().platform}] = prog;
-    Executable exec;
-    exec.bytecode = prog;
-    cache_[key] = exec;
-    return exec;
+    // Our own compiler's output always verifies.
+    auto exec = make_bytecode_executable(std::move(prog));
+    if (!exec.is_ok()) return std::nullopt;
+    cache_[key] = exec.value();
+    return exec.value();
   }
   return std::nullopt;
 }
@@ -185,11 +203,16 @@ void CodeManager::fetch_from(ProgramId pid, MicrothreadId tid,
         ++binary_fetches;
         auto shared = std::make_shared<const microc::Program>(
             std::move(prog).value());
+        auto exec = make_bytecode_executable(shared);
+        if (!exec.is_ok()) {
+          // Artifact deserialized but failed verification: don't cache it;
+          // a later target (or source fallback) may still serve us.
+          fetch_from(pid, tid, targets, index + 1);
+          return;
+        }
         binaries_[{key, site_.config().platform}] = shared;
-        Executable exec;
-        exec.bytecode = shared;
-        cache_[key] = exec;
-        finish(key, exec);
+        cache_[key] = exec.value();
+        finish(key, exec.value());
         break;
       }
       case MsgType::kCodeReplySource: {
@@ -220,10 +243,13 @@ void CodeManager::fetch_from(ProgramId pid, MicrothreadId tid,
         auto shared = std::make_shared<const microc::Program>(
             std::move(compiled).value());
         binaries_[{key, site_.config().platform}] = shared;
-        Executable exec;
-        exec.bytecode = shared;
-        cache_[key] = exec;
-        finish(key, exec);
+        auto exec = make_bytecode_executable(shared);
+        if (!exec.is_ok()) {
+          finish(key, exec.status());
+          return;
+        }
+        cache_[key] = exec.value();
+        finish(key, exec.value());
 
         // Upload the fresh binary "so that other sites will receive the
         // binary code at first go".

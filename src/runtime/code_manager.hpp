@@ -15,6 +15,7 @@
 
 #include "common/status.hpp"
 #include "microc/bytecode.hpp"
+#include "microc/decode.hpp"
 #include "runtime/message.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/program.hpp"
@@ -23,15 +24,24 @@ namespace sdvm {
 
 class Site;
 
-/// Something the processing manager can run: exactly one of the two is set.
+/// Something the processing manager can run: exactly one of native /
+/// bytecode is set. Bytecode executables also carry the verified decoded
+/// form (microc/decode.hpp), produced once when the artifact enters the
+/// cache so the VM's hot loop never re-validates per dispatch.
 struct Executable {
   NativeFn native;
   std::shared_ptr<const microc::Program> bytecode;
+  std::shared_ptr<const microc::DecodedProgram> decoded;
 
   [[nodiscard]] bool valid() const {
     return native != nullptr || bytecode != nullptr;
   }
 };
+
+/// Decodes and verifies `prog` into a ready-to-run Executable; fails if
+/// the artifact is malformed (e.g. a corrupt upload from another site).
+[[nodiscard]] Result<Executable> make_bytecode_executable(
+    std::shared_ptr<const microc::Program> prog);
 
 class CodeManager {
  public:

@@ -11,6 +11,7 @@ void ProcessingManager::register_metrics(metrics::MetricsRegistry& registry) {
   registry.register_counter("proc.executed", &executed_total);
   registry.register_counter("proc.trapped", &trapped_total);
   registry.register_histogram("proc.runtime_ns", &runtime_ns);
+  registry.register_histogram("proc.vm_dispatch_ns", &vm_dispatch_ns);
   registry.register_gauge("proc.running", [this] {
     return static_cast<std::int64_t>(running());
   });
@@ -57,24 +58,40 @@ void ProcessingManager::worker_loop() {
 
 namespace {
 
-/// Runs the microthread body; returns (status, vm cycles).
-std::pair<Status, std::uint64_t> run_body(const Executable& exec,
-                                          ExecContext& ctx) {
+struct BodyResult {
+  Status status;
+  std::uint64_t cycles = 0;
+  /// Wall nanos inside the VM dispatch loop (0 for native bodies).
+  Nanos vm_ns = 0;
+};
+
+/// Runs the microthread body.
+BodyResult run_body(const Executable& exec, ExecContext& ctx) {
   if (exec.native != nullptr) {
     try {
       exec.native(ctx);
-      return {Status::ok(), 0};
+      return {Status::ok(), 0, 0};
     } catch (const microc::IntrinsicError& e) {
-      return {Status::error(ErrorCode::kInternal, e.what()), 0};
+      return {Status::error(ErrorCode::kInternal, e.what()), 0, 0};
     } catch (const std::exception& e) {
       return {Status::error(ErrorCode::kInternal,
                             std::string("native microthread threw: ") +
                                 e.what()),
-              0};
+              0, 0};
     }
   }
-  auto result = microc::Vm::run(*exec.bytecode, ctx);
-  return {result.status, result.cycles};
+  auto started = std::chrono::steady_clock::now();
+  // Fast path: the code manager pre-decoded and verified the artifact, so
+  // the VM runs the direct-threaded unchecked loop. The decode-on-the-fly
+  // fallback only covers executables built outside the code manager.
+  auto result =
+      exec.decoded != nullptr
+          ? microc::Vm::run(*exec.decoded, *exec.bytecode, ctx)
+          : microc::Vm::run(*exec.bytecode, ctx);
+  Nanos vm_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
+  return {result.status, result.cycles, vm_ns};
 }
 
 }  // namespace
@@ -102,7 +119,7 @@ bool ProcessingManager::execute_once() {
   }
   ExecContext ctx(site_, std::move(frame), std::move(info));
   auto started = std::chrono::steady_clock::now();
-  auto [status, cycles] = run_body(exec, ctx);
+  auto [status, cycles, vm_ns] = run_body(exec, ctx);
   Nanos elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
                       std::chrono::steady_clock::now() - started)
                       .count();
@@ -112,6 +129,7 @@ bool ProcessingManager::execute_once() {
     running_.fetch_sub(1, std::memory_order_relaxed);
     ++executed_total;
     runtime_ns.record(elapsed);
+    if (vm_ns > 0) vm_dispatch_ns.record(vm_ns);
     AccountEntry& acct = ledger_[ctx.program()];
     acct.microthreads += 1;
     acct.vm_instructions += cycles;
@@ -139,8 +157,9 @@ Nanos ProcessingManager::execute_one_sim() {
               ctx.frame().thread);
   site_.messages().set_defer(&ctx.deferred);
   running_.store(1, std::memory_order_relaxed);
-  auto [status, cycles] = run_body(work->exec, ctx);
+  auto [status, cycles, vm_ns] = run_body(work->exec, ctx);
   running_.store(0, std::memory_order_relaxed);
+  if (vm_ns > 0) vm_dispatch_ns.record(vm_ns);
   site_.messages().set_defer(nullptr);
 
   ++executed_total;

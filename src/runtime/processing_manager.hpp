@@ -65,6 +65,11 @@ class ProcessingManager {
   /// Microthread runtime: wall nanos in threaded modes, virtual cost in
   /// sim mode (both recorded under the site lock).
   metrics::Histogram runtime_ns;
+  /// Wall nanos spent inside the VM dispatch loop for bytecode
+  /// microthreads (all modes) — the interpreter-overhead component of
+  /// runtime_ns, separated so bench/overhead_sequential can attribute
+  /// MicroC-vs-native overhead to the VM rather than SDVM machinery.
+  metrics::Histogram vm_dispatch_ns;
 
   /// Per-program contribution ledger (guarded by the site lock).
   [[nodiscard]] const AccountLedger& accounting() const { return ledger_; }

@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "microc/bytecode.hpp"
+#include "microc/compiler.hpp"
 #include "microc/vm.hpp"
 #include "runtime/checkpoint_store.hpp"
 #include "runtime/cluster_info.hpp"
@@ -163,6 +164,98 @@ TEST_P(FuzzDecodeTest, VmSurvivesGarbageCode) {
     prog.string_pool = {"a", "b"};
     auto result = microc::Vm::run(prog, handler, /*step_limit=*/10'000);
     (void)result;  // trap or clean return, never UB
+  }
+}
+
+// --- MicroC front-end fuzzing ----------------------------------------------
+// The lexer/parser/typechecker must reject (or accept) any input with a
+// clean diagnostic — never crash, hang, or trip ASan. compile() is the
+// full pipeline: lex -> parse -> typecheck -> lower -> optimize -> emit.
+
+void compile_must_not_crash(const std::string& src) {
+  auto r = microc::compile(src, "fuzz");
+  if (r.is_ok()) {
+    // Anything that compiles must also decode and run cleanly (step-capped).
+    NullHandler h;
+    (void)microc::Vm::run(r.value(), h, /*step_limit=*/20'000);
+  }
+}
+
+TEST_P(FuzzDecodeTest, CompilerSurvivesRandomSource) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  for (int i = 0; i < 200; ++i) {
+    std::string src(rng.below(200), ' ');
+    for (auto& c : src) {
+      c = static_cast<char>(32 + rng.below(95));  // printable ASCII
+    }
+    compile_must_not_crash(src);
+  }
+}
+
+TEST_P(FuzzDecodeTest, CompilerSurvivesTokenSoup) {
+  // Valid tokens in random order — exercises the parser far deeper than
+  // byte noise, which the lexer usually rejects first.
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 1100);
+  static const char* kAtoms[] = {
+      "var", "if", "else", "while", "for", "break", "continue", "return",
+      "x",   "y",  "0",    "1",     "42",  "(",     ")",        "{",
+      "}",   ";",  ",",    "+",     "-",   "*",     "/",        "%",
+      "==",  "!=", "<",    "<=",    "&&",  "||",    "!",        "~",
+      "=",   "out", "param", "spawn", "\"s\"", "<<", ">>",      "&"};
+  for (int i = 0; i < 200; ++i) {
+    std::string src;
+    int n = 1 + static_cast<int>(rng.below(60));
+    for (int k = 0; k < n; ++k) {
+      src += kAtoms[rng.below(std::size(kAtoms))];
+      src += ' ';
+    }
+    compile_must_not_crash(src);
+  }
+}
+
+TEST_P(FuzzDecodeTest, CompilerSurvivesMutatedValidSource) {
+  // Start from a real program and corrupt it — hits error paths deep in
+  // the typechecker/lowerer that pure noise never reaches.
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 1200);
+  const std::string seed_src =
+      "var n = param(0);\n"
+      "var s = 0;\n"
+      "for (var i = 1; i <= n; i = i + 1) {\n"
+      "  if (i % 2 == 0) { s = s + i; } else { s = s - 1; }\n"
+      "  while (s > 100) { s = s / 2; }\n"
+      "}\n"
+      "out(s);\n";
+  for (int i = 0; i < 200; ++i) {
+    std::string src = seed_src;
+    int edits = 1 + static_cast<int>(rng.below(6));
+    for (int e = 0; e < edits; ++e) {
+      std::size_t pos = rng.below(src.size());
+      switch (rng.below(3)) {
+        case 0: src[pos] = static_cast<char>(32 + rng.below(95)); break;
+        case 1: src.erase(pos, 1); break;
+        default:
+          src.insert(pos, 1, static_cast<char>(32 + rng.below(95)));
+          break;
+      }
+    }
+    compile_must_not_crash(src);
+  }
+}
+
+TEST_P(FuzzDecodeTest, CompilerSurvivesDeepNesting) {
+  // Parser recursion must be depth-bounded: thousands of parens/braces
+  // end in a ParseError, not a C++ stack overflow.
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 1300);
+  for (int i = 0; i < 20; ++i) {
+    std::size_t depth = 100 + rng.below(4000);
+    char open = rng.below(2) == 0 ? '(' : '{';
+    char close = open == '(' ? ')' : '}';
+    std::string src = open == '(' ? "out(" : "if (1) ";
+    src.append(depth, open);
+    if (open == '(') src += '1';
+    src.append(depth, close);
+    if (open == '(') src += ");";
+    compile_must_not_crash(src);
   }
 }
 

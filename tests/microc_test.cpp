@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "microc/compiler.hpp"
 #include "microc/lexer.hpp"
+#include "microc/parser.hpp"
 #include "microc/vm.hpp"
 
 namespace sdvm::microc {
@@ -471,6 +472,286 @@ TEST_P(ArithmeticEquivalenceTest, MatchesReferenceEvaluator) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ArithmeticEquivalenceTest,
                          ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// Typechecker diagnostics: every rejection carries an exact line:column.
+
+/// Compiles expecting failure; returns the diagnostic message.
+std::string diag(const std::string& src) {
+  auto r = compile(src, "t");
+  EXPECT_FALSE(r.is_ok()) << "source unexpectedly compiled:\n" << src;
+  return r.is_ok() ? std::string() : r.status().message();
+}
+
+TEST(TypecheckDiagTest, UndeclaredVariablePosition) {
+  // 'y' starts at line 2, column 7.
+  std::string m = diag("var a = 1;\nvar b = a + y;\n");
+  EXPECT_NE(m.find("line 2:13"), std::string::npos) << m;
+  EXPECT_NE(m.find("undeclared variable 'y'"), std::string::npos) << m;
+}
+
+TEST(TypecheckDiagTest, ArityMismatchExpectedVsGot) {
+  std::string m = diag("send(1, 2);");
+  EXPECT_NE(m.find("'send' expects 3 argument(s), got 2"), std::string::npos)
+      << m;
+  EXPECT_NE(m.find("line 1:1"), std::string::npos) << m;
+}
+
+TEST(TypecheckDiagTest, StringWhereIntExpected) {
+  std::string m = diag("out(\"nope\");");
+  EXPECT_NE(m.find("expected int, got str"), std::string::npos) << m;
+  EXPECT_NE(m.find("argument 1"), std::string::npos) << m;
+}
+
+TEST(TypecheckDiagTest, IntWhereStringExpected) {
+  std::string m = diag("var f = spawn(5, 2);");
+  EXPECT_NE(m.find("expected string, got int"), std::string::npos) << m;
+}
+
+TEST(TypecheckDiagTest, VoidInBinaryOperand) {
+  std::string m = diag("var x = 1 + out(2);");
+  EXPECT_NE(m.find("expected int, got void"), std::string::npos) << m;
+}
+
+TEST(TypecheckDiagTest, VoidCondition) {
+  std::string m = diag("while (out(1)) { }");
+  EXPECT_NE(m.find("while condition"), std::string::npos) << m;
+}
+
+TEST(TypecheckDiagTest, ContinueOutsideLoop) {
+  std::string m = diag("continue;");
+  EXPECT_NE(m.find("'continue' outside a loop"), std::string::npos) << m;
+}
+
+TEST(TypecheckDiagTest, BreakPositionInsideIf) {
+  std::string m = diag("var x = 1;\nif (x) {\n  break;\n}\n");
+  EXPECT_NE(m.find("line 3:3"), std::string::npos) << m;
+}
+
+TEST(TypecheckDiagTest, RedeclarationInSameScope) {
+  std::string m = diag("var x = 1;\nvar q = 0;\nif (q) { var y = 1; var y = 2; }");
+  EXPECT_NE(m.find("redeclaration of 'y'"), std::string::npos) << m;
+}
+
+TEST(TypecheckDiagTest, ShadowingInDisjointScopesAllowed) {
+  auto h = run_ok(
+      "var x = 1;\n"
+      "if (x) { var t = 10; x = x + t; } else { var t = 20; x = t; }\n"
+      "while (x > 11) { var t = 1; x = x - t; }\n"
+      "out(x);");
+  EXPECT_EQ(h.outputs, std::vector<std::int64_t>{11});
+}
+
+TEST(TypecheckDiagTest, ForInitScopeEndsWithLoop) {
+  std::string m = diag("for (var i = 0; i < 3; i = i + 1) { }\nout(i);");
+  EXPECT_NE(m.find("undeclared variable 'i'"), std::string::npos) << m;
+  EXPECT_NE(m.find("line 2"), std::string::npos) << m;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer/parser edge cases that previously slipped through silently.
+
+TEST(LexerRegressionTest, UnterminatedBlockComment) {
+  EXPECT_THROW(lex("var x = 1; /* no end"), LexError);
+}
+
+TEST(LexerRegressionTest, Int64MaxLiteralAccepted) {
+  auto h = run_ok("out(9223372036854775807);");
+  EXPECT_EQ(h.outputs, std::vector<std::int64_t>{INT64_MAX});
+}
+
+TEST(LexerRegressionTest, JustOverInt64MaxRejected) {
+  EXPECT_THROW(lex("out(9223372036854775808);"), LexError);
+}
+
+TEST(LexerRegressionTest, ErrorCarriesColumn) {
+  try {
+    lex("var x = @;");
+    FAIL() << "expected LexError";
+  } catch (const LexError& e) {
+    EXPECT_EQ(e.error.line, 1);
+    EXPECT_EQ(e.error.column, 9);
+  }
+}
+
+TEST(ParserRegressionTest, DeepNestingRejectedNotCrash) {
+  std::string src = "out(";
+  for (int i = 0; i < 5000; ++i) src += '(';
+  src += '1';
+  for (int i = 0; i < 5000; ++i) src += ')';
+  src += ");";
+  EXPECT_THROW((void)parse(src), ParseError);
+}
+
+TEST(ParserRegressionTest, ModerateNestingStillWorks) {
+  std::string src = "out(";
+  for (int i = 0; i < 50; ++i) src += '(';
+  src += '7';
+  for (int i = 0; i < 50; ++i) src += ')';
+  src += ");";
+  auto h = run_ok(src);
+  EXPECT_EQ(h.outputs, std::vector<std::int64_t>{7});
+}
+
+TEST(ParserRegressionTest, UnterminatedBlockReported) {
+  std::string m = diag("var x = 1;\nwhile (x) {\n  x = x - 1;");
+  EXPECT_NE(m.find("unterminated block"), std::string::npos) << m;
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer behavior: observable size/cycle wins, no semantic drift.
+
+TEST(OptimizerTest, ConstantExpressionsFold) {
+  CompileOptions on{.optimize = true};
+  CompileOptions off{.optimize = false};
+  const std::string src = "out(2 * 3 + 4 * (10 - 3) - 1);";
+  auto o = compile(src, "t", on);
+  auto p = compile(src, "t", off);
+  ASSERT_TRUE(o.is_ok() && p.is_ok());
+  EXPECT_LT(o.value().code.size(), p.value().code.size());
+  MockHandler ho;
+  ASSERT_TRUE(Vm::run(o.value(), ho).status.is_ok());
+  EXPECT_EQ(ho.outputs, std::vector<std::int64_t>{33});
+}
+
+TEST(OptimizerTest, DoesNotFoldReachableDivisionByZero) {
+  // 1/0 must stay a runtime trap, not a compile-time crash or silent 0.
+  CompileOptions on{.optimize = true};
+  auto prog = compile("var z = 0; out(1 / z);", "t", on);
+  ASSERT_TRUE(prog.is_ok());
+  MockHandler h;
+  auto r = Vm::run(prog.value(), h);
+  EXPECT_FALSE(r.status.is_ok());
+  EXPECT_NE(r.status.message().find("division by zero"), std::string::npos);
+}
+
+TEST(OptimizerTest, DeadBranchEliminated) {
+  CompileOptions on{.optimize = true};
+  auto prog = compile("if (0) { out(1); out(2); out(3); } out(9);", "t", on);
+  ASSERT_TRUE(prog.is_ok());
+  MockHandler h;
+  ASSERT_TRUE(Vm::run(prog.value(), h).status.is_ok());
+  EXPECT_EQ(h.outputs, std::vector<std::int64_t>{9});
+  // The constant-false branch must be gone from the artifact entirely.
+  EXPECT_EQ(disassemble(prog.value()).find("push 1"), std::string::npos);
+}
+
+TEST(OptimizerTest, InfiniteLoopSurvivesOptimization) {
+  CompileOptions on{.optimize = true};
+  auto prog = compile("var i = 0; while (1) { i = i + 1; }", "t", on);
+  ASSERT_TRUE(prog.is_ok());
+  MockHandler h;
+  auto r = Vm::run(prog.value(), h, 1000);
+  EXPECT_FALSE(r.status.is_ok());
+  EXPECT_NE(r.status.message().find("step limit"), std::string::npos);
+}
+
+TEST(OptimizerTest, ReportsStats) {
+  CompileOptions on{.optimize = true};
+  CompileArtifacts art;
+  CompileError err;
+  auto prog = compile("var a = 2 + 3; out(a * 1);", "t", on, &err, &art);
+  ASSERT_TRUE(prog.is_ok());
+  EXPECT_NE(art.opt_stats.find("folded"), std::string::npos) << art.opt_stats;
+  EXPECT_FALSE(art.ir.empty());
+  EXPECT_FALSE(art.ast.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch strategies agree with each other and with the legacy VM.
+
+TEST(DispatchTest, AllModesProduceIdenticalResults) {
+  auto prog = compile(
+      "var n = param(0); var s = 0;"
+      "for (var i = 1; i <= n; i = i + 1) { s = s + i * i; }"
+      "out(s);", "t");
+  ASSERT_TRUE(prog.is_ok());
+  auto decoded = decode(prog.value());
+  ASSERT_TRUE(decoded.is_ok());
+  for (DispatchMode mode : {DispatchMode::kDirect, DispatchMode::kSwitch}) {
+    MockHandler h;
+    h.params = {100};
+    auto r = Vm::run(decoded.value(), prog.value(), h,
+                     Vm::kDefaultStepLimit, mode);
+    ASSERT_TRUE(r.status.is_ok());
+    EXPECT_EQ(h.outputs, std::vector<std::int64_t>{338350});
+  }
+  MockHandler hl;
+  hl.params = {100};
+  ASSERT_TRUE(Vm::run_legacy(prog.value(), hl).status.is_ok());
+  EXPECT_EQ(hl.outputs, std::vector<std::int64_t>{338350});
+}
+
+TEST(DispatchTest, FusionKeepsCycleCountsExact) {
+  // Superinstructions must account for every wire instruction they absorb.
+  auto prog = compile(
+      "var s = 0;"
+      "for (var i = 0; i < 37; i = i + 1) { s = s + i; }"
+      "out(s);", "t");
+  ASSERT_TRUE(prog.is_ok());
+  MockHandler h1;
+  auto legacy = Vm::run_legacy(prog.value(), h1);
+  auto fused = decode(prog.value(), /*fuse=*/true);
+  auto plain = decode(prog.value(), /*fuse=*/false);
+  ASSERT_TRUE(fused.is_ok() && plain.is_ok());
+  // Fusion must actually have shortened the decoded stream.
+  EXPECT_LT(fused.value().insts.size(), plain.value().insts.size());
+  MockHandler h2, h3;
+  auto rf = Vm::run(fused.value(), prog.value(), h2);
+  auto rp = Vm::run(plain.value(), prog.value(), h3);
+  ASSERT_TRUE(legacy.status.is_ok());
+  ASSERT_TRUE(rf.status.is_ok() && rp.status.is_ok());
+  EXPECT_EQ(rf.cycles, legacy.cycles);
+  EXPECT_EQ(rp.cycles, legacy.cycles);
+}
+
+TEST(DecodeTest, RejectsTruncatedOperand) {
+  Program p;
+  p.name = "bad";
+  p.code = {static_cast<std::byte>(Op::kPushInt), std::byte{1}};
+  EXPECT_FALSE(decode(p).is_ok());
+}
+
+TEST(DecodeTest, RejectsJumpIntoOperand) {
+  // push 0 (9 bytes); jmp targeting byte 1 (middle of the push operand).
+  Program p;
+  p.name = "bad";
+  p.code.assign(9, std::byte{0});
+  p.code[0] = static_cast<std::byte>(Op::kPushInt);
+  p.code.push_back(static_cast<std::byte>(Op::kJmp));
+  std::int32_t rel = -13;  // operand end is 14; 14 + (-13) = 1.
+  for (int i = 0; i < 4; ++i) {
+    p.code.push_back(static_cast<std::byte>(
+        (static_cast<std::uint32_t>(rel) >> (8 * i)) & 0xFF));
+  }
+  EXPECT_FALSE(decode(p).is_ok());
+}
+
+TEST(DecodeTest, RejectsStackUnderflow) {
+  Program p;
+  p.name = "bad";
+  p.code = {static_cast<std::byte>(Op::kAdd)};
+  auto r = decode(p);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_NE(r.status().message().find("underflow"), std::string::npos);
+}
+
+TEST(DecodeTest, RejectsBadLocalSlot) {
+  Program p;
+  p.name = "bad";
+  p.local_count = 1;
+  p.code = {static_cast<std::byte>(Op::kLoadLocal), std::byte{5},
+            std::byte{0}};
+  EXPECT_FALSE(decode(p).is_ok());
+}
+
+TEST(DecodeTest, RejectsBadStringIndex) {
+  Program p;
+  p.name = "bad";
+  p.code = {static_cast<std::byte>(Op::kPushStr), std::byte{9}, std::byte{0},
+            std::byte{0}, std::byte{0}};
+  EXPECT_FALSE(decode(p).is_ok());
+}
 
 }  // namespace
 }  // namespace sdvm::microc
